@@ -1,0 +1,1 @@
+"""Benchmark harness: regenerates every paper figure under pytest-benchmark."""

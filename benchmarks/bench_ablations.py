@@ -1,0 +1,28 @@
+"""Benchmark the ablation experiments on DESIGN.md's design choices."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import regenerate_and_report
+
+
+def test_ablation_filters(benchmark):
+    regenerate_and_report(benchmark, "abl-filters")
+
+
+def test_ablation_prior_knowledge(benchmark):
+    regenerate_and_report(benchmark, "abl-prior")
+
+
+def test_ablation_breakin_success(benchmark):
+    regenerate_and_report(benchmark, "abl-pb")
+
+
+def test_ablation_tradeoff_frontier(benchmark):
+    result = regenerate_and_report(benchmark, "abl-tradeoff")
+    assert len(result.x_values) >= 2
+
+
+def test_ablation_shared_roles(benchmark):
+    result = regenerate_and_report(benchmark, "abl-shared")
+    # The §3.1 argument: dedicated layering dominates once N_T > 0.
+    assert result.series["dedicated layers"][-1] > result.series["shared roles"][-1]

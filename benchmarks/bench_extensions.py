@@ -1,0 +1,71 @@
+"""Benchmark the §5-extension experiments (latency, repair, monitoring)."""
+
+from __future__ import annotations
+
+from repro.experiments.extensions import (
+    extension_monitoring,
+    extension_priority,
+    extension_repair,
+)
+from repro.experiments.report import render_text
+from benchmarks.conftest import regenerate_and_report
+
+
+def test_extension_latency(benchmark):
+    regenerate_and_report(benchmark, "ext-latency")
+
+
+def test_extension_repair(benchmark):
+    result = benchmark.pedantic(
+        extension_repair, kwargs={"trials": 25, "seed": 11}, rounds=1, iterations=1
+    )
+    print()
+    print(render_text(result, plot=False))
+    assert not result.failed_claims()
+
+
+def test_extension_monitoring(benchmark):
+    result = benchmark.pedantic(
+        extension_monitoring,
+        kwargs={"trials": 20, "seed": 13},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_text(result, plot=False))
+    assert not result.failed_claims()
+
+
+def test_extension_underlay(benchmark):
+    regenerate_and_report(benchmark, "ext-underlay")
+
+
+def test_extension_game(benchmark):
+    regenerate_and_report(benchmark, "ext-game")
+
+
+def test_extension_priority(benchmark):
+    result = benchmark.pedantic(
+        extension_priority,
+        kwargs={"trials": 100, "seed": 29},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_text(result, plot=False))
+    assert not result.failed_claims()
+
+
+def test_baseline_overlay_size(benchmark):
+    regenerate_and_report(benchmark, "base-n")
+
+
+def test_extension_placement(benchmark):
+    result = regenerate_and_report(benchmark, "ext-placement")
+    diverse = result.series["router-diverse enrollment"]
+    random_rates = result.series["random enrollment"]
+    assert diverse[2] > random_rates[2]
+
+
+def test_ablation_schedule_variants(benchmark):
+    regenerate_and_report(benchmark, "abl-variants")

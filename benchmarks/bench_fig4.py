@@ -1,0 +1,21 @@
+"""Regenerate Figure 4 (one-burst attack sensitivity), benchmarked.
+
+Fig. 4(a): pure congestion at N_C in {2000, 6000}; Fig. 4(b): break-in at
+N_T in {200, 2000} with N_C = 2000. Eight layer counts x three mappings.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import regenerate_and_report
+
+
+def test_fig4a(benchmark):
+    result = regenerate_and_report(benchmark, "fig4a")
+    # The headline shape: one-to-all survives pure congestion everywhere.
+    assert min(result.series["one-to-all N_C=6000"]) > 0.99
+
+
+def test_fig4b(benchmark):
+    result = regenerate_and_report(benchmark, "fig4b")
+    # The reversal: the same one-to-all mapping collapses under break-in.
+    assert max(result.series["one-to-all N_T=200"]) < 1e-3

@@ -1,0 +1,25 @@
+"""Regenerate Figure 6 (successive attack: mapping and node distribution)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import regenerate_and_report
+
+
+def test_fig6a(benchmark):
+    result = regenerate_and_report(benchmark, "fig6a")
+    best = max(
+        (value, mapping, layers)
+        for mapping, values in result.series.items()
+        for layers, value in zip(result.x_values, values)
+    )
+    # Paper: L=4 with one-to-two wins this grid.
+    assert best[1] == "one-to-two"
+
+
+def test_fig6b(benchmark):
+    result = regenerate_and_report(benchmark, "fig6b")
+    l4 = result.x_values.index(4)
+    assert (
+        result.series["one-to-five increasing"][l4]
+        > result.series["one-to-five decreasing"][l4]
+    )

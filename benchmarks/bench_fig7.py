@@ -1,0 +1,12 @@
+"""Regenerate Figure 7 (sensitivity of P_S to the round count R)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import regenerate_and_report
+
+
+def test_fig7(benchmark):
+    result = regenerate_and_report(benchmark, "fig7")
+    # Every layer count loses availability as R grows.
+    for values in result.series.values():
+        assert values[0] >= values[-1]

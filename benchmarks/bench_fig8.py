@@ -1,0 +1,24 @@
+"""Regenerate Figure 8 (sensitivity of P_S to the break-in budget N_T)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import regenerate_and_report
+
+
+def test_fig8a(benchmark):
+    result = regenerate_and_report(benchmark, "fig8a")
+    # Doubling the overlay population lifts every curve.
+    assert all(
+        large >= small
+        for small, large in zip(
+            result.series["one-to-one N=10000"],
+            result.series["one-to-one N=20000"],
+        )
+    )
+
+
+def test_fig8b(benchmark):
+    result = regenerate_and_report(benchmark, "fig8b")
+    # Crossover: one-to-two starts above one-to-one but ends below it.
+    assert result.series["L=3 one-to-two"][0] > result.series["L=3 one-to-one"][0]
+    assert result.series["L=3 one-to-two"][-1] < result.series["L=3 one-to-one"][-1]

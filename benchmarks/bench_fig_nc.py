@@ -1,0 +1,18 @@
+"""Regenerate the N_C-sensitivity analysis (omitted in the paper for
+space; reconstructed from the same model and referenced tech report)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import regenerate_and_report
+
+
+def test_fig_nc(benchmark):
+    result = regenerate_and_report(benchmark, "fig-nc")
+    # Every curve is a monotone decay in the congestion budget.
+    for values in result.series.values():
+        assert values[0] >= values[-1]
+
+
+def test_fig_nc_pure_congestion(benchmark):
+    result = regenerate_and_report(benchmark, "fig-nc-pure")
+    assert result.series["one-to-all"][-1] > 0.99

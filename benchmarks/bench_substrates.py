@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the substrates the experiments are built on.
+
+These quantify the cost of the pieces downstream users call in loops:
+analytical evaluations (thousands per design-space sweep), Chord lookups,
+full deployments, and executed attacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import IntelligentAttacker
+from repro.core import SOSArchitecture, SuccessiveAttack, evaluate
+from repro.overlay import ChordRing
+from repro.sos import SOSDeployment, SOSProtocol
+
+
+def test_analytical_successive_evaluation(benchmark):
+    """One successive-attack evaluation (the design-space inner loop)."""
+    arch = SOSArchitecture(layers=4, mapping="one-to-two")
+    attack = SuccessiveAttack()
+    result = benchmark(evaluate, arch, attack)
+    assert 0.0 <= result.p_s <= 1.0
+
+
+def test_chord_lookup(benchmark):
+    """One iterative Chord lookup on a 1000-node ring."""
+    rng = np.random.default_rng(1)
+    ids = sorted(int(i) for i in rng.choice(2**31, size=1000, replace=False))
+    ring = ChordRing.build(ids)
+    keys = [int(k) for k in rng.integers(0, 2**31, size=256)]
+    starts = [ids[int(i)] for i in rng.integers(0, len(ids), size=256)]
+    state = {"i": 0}
+
+    def lookup():
+        i = state["i"] % 256
+        state["i"] += 1
+        return ring.lookup(keys[i], starts[i])
+
+    result = benchmark(lookup)
+    assert result.succeeded
+
+
+def test_deployment(benchmark):
+    """Deploying the paper-scale system (N=10000, n=100)."""
+    arch = SOSArchitecture(layers=4, mapping="one-to-two")
+    rng = np.random.default_rng(3)
+    deployment = benchmark(SOSDeployment.deploy, arch, None, rng)
+    assert len(deployment.network.sos_nodes) == 100
+
+
+def test_executed_successive_attack(benchmark):
+    """Algorithm 1 executed against a paper-scale deployment."""
+    arch = SOSArchitecture(layers=4, mapping="one-to-two")
+    attacker = IntelligentAttacker()
+    attack = SuccessiveAttack()
+    rng = np.random.default_rng(5)
+
+    def run():
+        deployment = SOSDeployment.deploy(arch, rng=rng)
+        return attacker.execute(deployment, attack, rng=rng)
+
+    outcome = benchmark(run)
+    assert outcome.break_in_attempts <= 200
+
+
+def test_adaptive_attacker_best_response(benchmark):
+    """One worst_case_attack sweep (13 analytic evaluations)."""
+    from repro.core.game import worst_case_attack
+
+    arch = SOSArchitecture(layers=4, mapping="one-to-two")
+    result = benchmark(worst_case_attack, arch)
+    assert 0.0 <= result.guaranteed_p_s <= 1.0
+
+
+def test_sensitivity_profile(benchmark):
+    """One full tornado profile (9 perturbed evaluations)."""
+    from repro.core.sensitivity import sensitivity_profile
+
+    arch = SOSArchitecture(layers=4, mapping="one-to-two")
+    attack = SuccessiveAttack()
+    profile = benchmark(sensitivity_profile, arch, attack)
+    assert profile
+
+
+def test_end_to_end_forwarding(benchmark):
+    """One client packet through a healthy 5-hop deployment."""
+    arch = SOSArchitecture(layers=4, mapping="one-to-two")
+    deployment = SOSDeployment.deploy(arch, rng=7)
+    protocol = SOSProtocol(deployment)
+    rng = np.random.default_rng(9)
+    contacts = protocol.register_client(rng=rng)
+
+    def send():
+        return protocol.send("bench", "target", contacts=contacts, rng=rng)
+
+    receipt = benchmark(send)
+    assert receipt.delivered

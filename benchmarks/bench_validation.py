@@ -1,0 +1,24 @@
+"""Benchmark the analytical-vs-Monte-Carlo validation grid.
+
+This is the run that justifies trusting the reproduced curves: executed
+attacks (real deployments, Algorithm 1 on real node sets, packet
+forwarding) must agree with the average-case analysis on every grid point.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import render_text
+from repro.experiments.validation import validation_figure
+
+
+def test_validation_grid(benchmark):
+    result = benchmark.pedantic(
+        validation_figure,
+        kwargs={"trials": 60, "clients_per_trial": 4, "seed": 2004},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_text(result, plot=False))
+    failed = result.failed_claims()
+    assert not failed, "; ".join(c.description for c in failed)

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_fig*.py`` regenerates one figure of the paper through
+pytest-benchmark, prints the reproduced rows (the same series the paper
+plots), and asserts the machine-checked claims, so ``pytest benchmarks/
+--benchmark-only`` is simultaneously a performance run and a reproduction
+run.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_figure
+from repro.experiments.report import render_text
+
+
+def regenerate_and_report(benchmark, figure_id: str, plot: bool = False):
+    """Benchmark one figure regeneration and print its rows and claims."""
+    result = benchmark(run_figure, figure_id)
+    print()
+    print(render_text(result, plot=plot))
+    failed = result.failed_claims()
+    assert not failed, f"{figure_id} failed claims: " + "; ".join(
+        c.description for c in failed
+    )
+    return result

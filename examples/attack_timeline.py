@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""The engagement in time: P_S(t) as Algorithm 1 unfolds.
+
+Run:
+    python examples/attack_timeline.py
+
+Plays the successive attack on a simulated clock — break-in rounds every
+10 time units, the congestion phase after the budget is spent — while a
+measurement process probes client success each time unit. Runs three
+defender postures and plots the trajectories side by side.
+"""
+
+from __future__ import annotations
+
+from repro.core import SOSArchitecture, SuccessiveAttack
+from repro.repair import NO_REPAIR, RepairPolicy
+from repro.simulation import CampaignConfig, run_campaign
+from repro.utils.ascii_plot import ascii_plot
+
+
+def main() -> None:
+    architecture = SOSArchitecture(
+        layers=3,
+        mapping="one-to-two",
+        total_overlay_nodes=1000,
+        sos_nodes=45,
+        filters=5,
+    )
+    attack = SuccessiveAttack(
+        break_in_budget=80, congestion_budget=300, rounds=3, prior_knowledge=0.3
+    )
+    config = CampaignConfig(
+        round_interval=10.0,
+        repair_interval=8.0,
+        probe_interval=1.0,
+        probes_per_sample=40,
+        cooldown=40.0,
+    )
+
+    postures = {
+        "no repair": NO_REPAIR,
+        "repair p=0.3": RepairPolicy(detection_probability=0.3),
+        "repair p=0.9": RepairPolicy(detection_probability=0.9),
+    }
+    series = {}
+    reports = {}
+    for name, policy in postures.items():
+        report = run_campaign(architecture, attack, policy, config, seed=11)
+        series[name] = list(report.p_s)
+        reports[name] = report
+
+    times = list(reports["no repair"].times)
+    print(
+        ascii_plot(
+            times,
+            series,
+            title="P_S over the engagement (rounds at t=10,20,30; "
+            "congestion at t=40)",
+            xlabel="time",
+            ylabel="P_S",
+            y_min=0.0,
+            y_max=1.0,
+            height=16,
+        )
+    )
+    for name, report in reports.items():
+        print(
+            f"{name:14s} min={report.minimum:.2f} final={report.final:.2f} "
+            f"repairs={report.repairs_total}"
+        )
+    print(
+        "\nWithout repair the post-congestion plateau persists; with repair\n"
+        "the dip is shallower and the system climbs back to full\n"
+        "availability — the §3.2.1 remark about R and detection, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

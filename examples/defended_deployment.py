@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""The attacker/defender race: dynamic repair against Algorithm 1.
+
+Run:
+    python examples/defended_deployment.py
+
+The paper observes (§3.2.1) that the successive attack's round count R
+"cannot be too large as that would allow the system enough time to detect
+and recover," and defers repair to future work. This example implements
+the race: a RepairingDefender scans for bad nodes after every break-in
+round, recovers what it detects, re-keys and re-wires repaired nodes
+(invalidating the attacker's knowledge about them), and we measure how
+much availability each level of detection buys — including against the
+smarter traffic-monitoring attacker.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.monitoring import monitoring_damage_comparison
+from repro.core import SOSArchitecture, SuccessiveAttack, evaluate
+from repro.repair import RepairPolicy, estimate_ps_with_repair
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    architecture = SOSArchitecture(layers=4, mapping="one-to-two")
+    attack = SuccessiveAttack()  # paper defaults
+
+    print(f"Architecture: {architecture.describe()}")
+    print(f"No-repair analytical P_S: {evaluate(architecture, attack).p_s:.3f}\n")
+
+    rows = []
+    for detection in (0.0, 0.25, 0.5, 0.75, 1.0):
+        estimate = estimate_ps_with_repair(
+            architecture,
+            attack,
+            RepairPolicy(detection_probability=detection),
+            trials=40,
+            seed=17,
+        )
+        low, high = estimate.ci95
+        rows.append([detection, estimate.mean, f"[{low:.3f}, {high:.3f}]"])
+    print(
+        format_table(
+            ["detection prob / round", "P_S (MC)", "95% CI"],
+            rows,
+            title="Repair racing the successive attack (R=3 rounds)\n",
+        )
+    )
+
+    # Capacity-limited operations team.
+    rows = []
+    for capacity in (0, 2, 5, 10, None):
+        estimate = estimate_ps_with_repair(
+            architecture,
+            attack,
+            RepairPolicy(detection_probability=0.8, capacity_per_round=capacity),
+            trials=40,
+            seed=17,
+        )
+        rows.append(["unlimited" if capacity is None else capacity, estimate.mean])
+    print(
+        format_table(
+            ["repairs per round", "P_S (MC)"],
+            rows,
+            title="Operator bandwidth matters (detection fixed at 0.8)\n",
+        )
+    )
+
+    # The smarter attacker shifts the race.
+    smaller = SOSArchitecture(
+        layers=3, mapping="one-to-two",
+        total_overlay_nodes=2000, sos_nodes=60, filters=6,
+    )
+    comparison = monitoring_damage_comparison(
+        smaller,
+        SuccessiveAttack(break_in_budget=100, congestion_budget=400,
+                         rounds=3, prior_knowledge=0.2),
+        trials=30,
+        seed=13,
+    )
+    print(
+        f"Traffic-monitoring attacker (N=2000 scale): baseline P_S "
+        f"{comparison.baseline_ps:.3f} -> {comparison.monitoring_ps:.3f} "
+        f"({comparison.extra_disclosure:.1f} extra identities disclosed)."
+    )
+
+
+if __name__ == "__main__":
+    main()

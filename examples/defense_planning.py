@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""End-to-end defense planning: attacker intel in, posture out.
+
+Run:
+    python examples/defense_planning.py
+
+Feeds operational estimates (botnet bandwidth, intrusion tempo, node
+capacity) through the whole library: budget conversion, design search,
+latency accounting, and the inverted repair model answering "how good must
+our monitoring be to hold 90% availability?".
+"""
+
+from __future__ import annotations
+
+from repro.core.budget import BreakInCampaign, CongestionCostModel
+from repro.planner import plan_defense
+
+
+def main() -> None:
+    scenarios = {
+        "opportunistic botnet": dict(
+            attacker_bandwidth=200_000.0,
+            campaign=BreakInCampaign(attempts_per_hour=2, duration_hours=24),
+        ),
+        "paper-scale adversary": dict(
+            attacker_bandwidth=380_000.0,
+            campaign=BreakInCampaign(attempts_per_hour=10, duration_hours=20),
+        ),
+        "well-funded APT": dict(
+            attacker_bandwidth=900_000.0,
+            campaign=BreakInCampaign(attempts_per_hour=40, duration_hours=50),
+            prior_knowledge=0.4,
+        ),
+    }
+    cost_model = CongestionCostModel(
+        node_capacity=100.0, legitimate_rate=10.0, congestion_threshold=0.5
+    )
+    for name, kwargs in scenarios.items():
+        # Target 0.8 at the attack's PEAK (the congestion wave just landed);
+        # see repro.planner.required_detection for the semantics.
+        plan = plan_defense(cost_model=cost_model, target_p_s=0.8, **kwargs)
+        print(f"=== {name} ===")
+        print(plan.summary())
+        print()
+    print(
+        "Each verdict is exact under the average-case repair model and\n"
+        "validated against executed attacks elsewhere in the test suite."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""One overlay, many protected services — and their isolation.
+
+Run:
+    python examples/multi_target_services.py
+
+Registers three targets on a shared generalized-SOS overlay. Each gets
+its own secret servlets and filter ring, with bindings in the Chord
+directory. A targeted attack that takes down one service's dedicated
+resources leaves the others delivering; an attack on the shared beacon
+layer hurts everyone — the two failure domains of the architecture.
+"""
+
+from __future__ import annotations
+
+from repro.core import SOSArchitecture
+from repro.sos import MultiTargetSOS, SOSDeployment
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    architecture = SOSArchitecture(
+        layers=3,
+        mapping="one-to-half",
+        total_overlay_nodes=500,
+        sos_nodes=60,
+        filters=5,
+    )
+    overlay = MultiTargetSOS(SOSDeployment.deploy(architecture, rng=7))
+    for index, name in enumerate(("hospital", "dispatch", "utility-grid")):
+        site = overlay.register_target(name, rng=index)
+        print(
+            f"registered {name!r}: servlets={list(site.servlet_ids)} "
+            f"filters={site.filters.filter_ids}"
+        )
+    print()
+
+    baseline = overlay.delivery_rates(probes=100, rng=1)
+    overlay.attack_target_site("hospital")
+    after_targeted = overlay.delivery_rates(probes=100, rng=2)
+
+    for node_id in overlay.deployment.layer_members(2):
+        overlay.deployment.network.get(node_id).congest()
+    after_shared = overlay.delivery_rates(probes=100, rng=3)
+
+    rows = [
+        [name, baseline[name], after_targeted[name], after_shared[name]]
+        for name in overlay.targets
+    ]
+    print(
+        format_table(
+            [
+                "target",
+                "healthy",
+                "after 'hospital' site attacked",
+                "after shared layer-2 flooded",
+            ],
+            rows,
+            title="Delivery rates per target across attack stages\n",
+        )
+    )
+    print(
+        "Dedicated resources isolate failures per target; the shared\n"
+        "layers remain the common-mode risk the layering analysis prices."
+    )
+
+
+if __name__ == "__main__":
+    main()

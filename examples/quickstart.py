@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate generalized SOS designs under intelligent attacks.
+
+Run:
+    python examples/quickstart.py
+
+Covers the library's core loop in ~40 lines: describe an architecture,
+describe an attack, get P_S — then compare a few designs the paper
+discusses, including the original SOS (L=3, one-to-all) that collapses
+under break-in attacks.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    OneBurstAttack,
+    SOSArchitecture,
+    SuccessiveAttack,
+    evaluate,
+    original_sos_architecture,
+)
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # The paper's two threat models.
+    random_congestion = OneBurstAttack(break_in_budget=0, congestion_budget=6000)
+    intelligent = SuccessiveAttack()  # N_T=200, N_C=2000, R=3, P_B=0.5, P_E=0.2
+
+    designs = {
+        "original SOS (L=3, one-to-all)": original_sos_architecture(),
+        "L=1, one-to-all (flat)": SOSArchitecture(layers=1, mapping="one-to-all"),
+        "L=3, one-to-one (thin)": SOSArchitecture(layers=3, mapping="one-to-one"),
+        "L=4, one-to-two (paper's pick)": SOSArchitecture(layers=4, mapping="one-to-two"),
+        "L=4, one-to-two, increasing": SOSArchitecture(
+            layers=4, mapping="one-to-two", distribution="increasing"
+        ),
+    }
+
+    rows = []
+    for name, design in designs.items():
+        survive_random = evaluate(design, random_congestion).p_s
+        survive_intelligent = evaluate(design, intelligent).p_s
+        rows.append([name, survive_random, survive_intelligent])
+
+    print(
+        format_table(
+            ["design", "P_S vs random congestion", "P_S vs intelligent attack"],
+            rows,
+            title="Path availability under the paper's two threat models\n",
+        )
+    )
+    print(
+        "The original SOS is excellent against its own threat model and\n"
+        "useless against an attacker that breaks into nodes first — the\n"
+        "observation that motivates the generalized architecture."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Reproduce the paper, end to end, in one command.
+
+Run:
+    python examples/reproduce_paper.py           # tables + claims
+    python examples/reproduce_paper.py --plots   # + ASCII curve shapes
+
+Regenerates every data figure in the paper's evaluation (Figs. 4a, 4b,
+6a, 6b, 7, 8a, 8b) from the analytical models, prints the same series the
+paper plots, and machine-checks every qualitative claim the paper makes
+about them. Equivalent to ``repro-experiments --paper-only``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.figures import PAPER_FIGURES, run_figure
+from repro.experiments.report import render_text
+
+
+def main() -> int:
+    show_plots = "--plots" in sys.argv[1:]
+    total_claims = 0
+    failed_claims = 0
+    for figure_id in PAPER_FIGURES:
+        result = run_figure(figure_id)
+        print(render_text(result, plot=show_plots))
+        total_claims += len(result.claims)
+        failed_claims += len(result.failed_claims())
+    print(
+        f"Reproduced {len(PAPER_FIGURES)} figures; "
+        f"{total_claims - failed_claims}/{total_claims} paper claims hold."
+    )
+    return 1 if failed_claims else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

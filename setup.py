@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This offline environment has no ``wheel`` package, so PEP 660 editable
+installs cannot build; with this shim ``pip install -e . --no-build-isolation``
+falls back to the legacy ``setup.py develop`` path, which works offline.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""repro — Generalized Secure Overlay Services under intelligent DDoS attacks.
+
+A full reproduction of *"Analyzing the Secure Overlay Services Architecture
+under Intelligent DDoS Attacks"* (Xuan, Chellappan, Wang & Wang, ICDCS 2004),
+plus the substrates the paper builds on:
+
+* :mod:`repro.core` — the analytical models (one-burst §3.1, successive §3.2)
+  and the generalized architecture's design features (``L``, ``n_i``, ``m_i``);
+* :mod:`repro.overlay` — an overlay-network substrate including a full Chord
+  DHT implementation (the routing layer SOS uses);
+* :mod:`repro.sos` — an executable SOS protocol (SOAP / beacons / secret
+  servlets / filters) over the overlay;
+* :mod:`repro.attacks` — an executable intelligent attacker implementing
+  Algorithm 1 against concrete deployments;
+* :mod:`repro.simulation` — seeded Monte Carlo and discrete-event simulation
+  validating the analytical model;
+* :mod:`repro.baselines` — the original SOS analysis under random attacks;
+* :mod:`repro.experiments` — the harness regenerating every figure in the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import SOSArchitecture, SuccessiveAttack, evaluate
+    design = SOSArchitecture(layers=4, mapping="one-to-two")
+    print(evaluate(design, SuccessiveAttack()).p_s)
+"""
+
+from repro.core import (
+    NodeDistribution,
+    OneBurstAttack,
+    SOSArchitecture,
+    SuccessiveAttack,
+    SystemPerformance,
+    evaluate,
+    original_sos_architecture,
+    path_availability_probability,
+)
+from repro.planner import DefensePlan, plan_defense, required_detection
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    ExperimentError,
+    ProtocolError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NodeDistribution",
+    "OneBurstAttack",
+    "SOSArchitecture",
+    "SuccessiveAttack",
+    "SystemPerformance",
+    "evaluate",
+    "original_sos_architecture",
+    "path_availability_probability",
+    "DefensePlan",
+    "plan_defense",
+    "required_detection",
+    "AnalysisError",
+    "ConfigurationError",
+    "ExperimentError",
+    "ProtocolError",
+    "ReproError",
+    "RoutingError",
+    "SimulationError",
+    "__version__",
+]

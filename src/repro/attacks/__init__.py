@@ -1,0 +1,34 @@
+"""Executable intelligent attackers operating on concrete deployments."""
+
+from repro.attacks.attacker import IntelligentAttacker
+from repro.attacks.knowledge import AttackerKnowledge
+from repro.attacks.monitoring import (
+    MonitoringAttacker,
+    MonitoringComparison,
+    monitoring_damage_comparison,
+    upstream_observer,
+)
+from repro.attacks.outcome import AttackOutcome
+from repro.attacks.strategies import OneBurstStrategy, SuccessiveStrategy
+from repro.attacks.variants import (
+    ScheduledSuccessiveStrategy,
+    back_loaded_weights,
+    compare_schedules,
+    front_loaded_weights,
+)
+
+__all__ = [
+    "IntelligentAttacker",
+    "AttackerKnowledge",
+    "MonitoringAttacker",
+    "MonitoringComparison",
+    "monitoring_damage_comparison",
+    "upstream_observer",
+    "AttackOutcome",
+    "OneBurstStrategy",
+    "SuccessiveStrategy",
+    "ScheduledSuccessiveStrategy",
+    "back_loaded_weights",
+    "compare_schedules",
+    "front_loaded_weights",
+]

@@ -1,0 +1,23 @@
+"""Baselines the paper compares against (original SOS, no overlay)."""
+
+from repro.baselines.direct import direct_target_ps
+from repro.baselines.original_sos import (
+    exact_random_congestion_ps,
+    generalized_model_ps,
+    original_sos_ps,
+)
+from repro.baselines.shared_roles import (
+    analyze_shared_roles_one_burst,
+    shared_roles_ps,
+    shared_vs_dedicated,
+)
+
+__all__ = [
+    "direct_target_ps",
+    "exact_random_congestion_ps",
+    "generalized_model_ps",
+    "original_sos_ps",
+    "analyze_shared_roles_one_burst",
+    "shared_roles_ps",
+    "shared_vs_dedicated",
+]

@@ -1,0 +1,44 @@
+"""Baseline: no overlay at all (the scenario SOS exists to prevent).
+
+Without SOS, the target's address is public infrastructure knowledge. Two
+framing points the SOS papers make:
+
+* an attacker who knows the target simply floods it — ``P_S = 0`` whenever
+  it can afford a single congestion unit;
+* even a *blind* attacker spraying ``N_C`` flows over ``N`` addresses takes
+  the target down with probability ``N_C / N``.
+
+These trivial formulas anchor the comparisons in the examples and the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def direct_target_ps(
+    congestion_budget: float,
+    total_addresses: int = 10_000,
+    target_known: bool = True,
+) -> float:
+    """``P_S`` for a directly exposed target.
+
+    Parameters
+    ----------
+    congestion_budget:
+        ``N_C`` — attack flows available.
+    total_addresses:
+        Address-space size a blind attacker sprays over.
+    target_known:
+        True (default) when the attacker knows where the target is.
+    """
+    if congestion_budget < 0:
+        raise ConfigurationError("congestion_budget must be >= 0")
+    if total_addresses < 1:
+        raise ConfigurationError("total_addresses must be >= 1")
+    if congestion_budget == 0:
+        return 1.0
+    if target_known:
+        return 0.0
+    return max(0.0, 1.0 - congestion_budget / total_addresses)

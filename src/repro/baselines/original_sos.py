@@ -1,0 +1,119 @@
+"""Baseline: the original SOS analysis (Keromytis et al., SIGCOMM 2002).
+
+The original paper evaluates the fixed 3-layer, one-to-all architecture
+under *random congestion-based* attacks: the attacker congests ``N_C``
+overlay nodes chosen uniformly at random, and communication fails exactly
+when some layer is congested in its entirety (with one-to-all mapping,
+a single survivor in every layer keeps a path alive).
+
+Unlike the generalized model's average-case approximation, this baseline is
+computed *exactly* by inclusion-exclusion over layers:
+
+    P(layers S all fully congested) = C(N - k_S, N_C - k_S) / C(N, N_C)
+
+with ``k_S`` the total size of the layers in ``S``. That also gives an
+independent correctness oracle for the generalized model in the special
+case ``N_T = 0``, one-to-all (they agree closely; see
+``tests/baselines/test_original_sos.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Sequence
+
+from repro.core.architecture import original_sos_architecture
+from repro.core.attack_models import OneBurstAttack
+from repro.core.model import evaluate
+from repro.errors import ConfigurationError
+
+
+def _fully_congested_probability(
+    total: int, congested: int, subset_size: int
+) -> float:
+    """P that a specific set of ``subset_size`` nodes is entirely congested
+    when ``congested`` of ``total`` nodes are congested uniformly at random."""
+    if subset_size > congested:
+        return 0.0
+    return math.comb(total - subset_size, congested - subset_size) / math.comb(
+        total, congested
+    )
+
+
+def exact_random_congestion_ps(
+    layer_sizes: Sequence[int], total_overlay_nodes: int, congestion_budget: int
+) -> float:
+    """Exact ``P_S`` for one-to-all layers under uniform random congestion.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Integer SOS layer sizes ``n_1 .. n_L`` (filters are untouchable by
+        random congestion and excluded, matching both papers).
+    total_overlay_nodes:
+        ``N`` — the population the congestion budget spreads over.
+    congestion_budget:
+        ``N_C`` — number of randomly congested nodes.
+    """
+    if any(size < 1 for size in layer_sizes):
+        raise ConfigurationError(f"layer sizes must be >= 1, got {layer_sizes!r}")
+    if sum(layer_sizes) > total_overlay_nodes:
+        raise ConfigurationError("layers exceed the overlay population")
+    if not 0 <= congestion_budget <= total_overlay_nodes:
+        raise ConfigurationError(
+            f"congestion budget {congestion_budget} out of range "
+            f"[0, {total_overlay_nodes}]"
+        )
+    layers = list(layer_sizes)
+    # Inclusion-exclusion over which layers are fully congested.
+    failure = 0.0
+    for r in range(1, len(layers) + 1):
+        sign = (-1.0) ** (r + 1)
+        for subset in itertools.combinations(layers, r):
+            failure += sign * _fully_congested_probability(
+                total_overlay_nodes, congestion_budget, sum(subset)
+            )
+    return min(1.0, max(0.0, 1.0 - failure))
+
+
+def original_sos_ps(
+    congestion_budget: int,
+    total_overlay_nodes: int = 10_000,
+    sos_nodes: int = 100,
+) -> float:
+    """Exact ``P_S`` of the original SOS design under random congestion.
+
+    The original design: 3 layers, even split, one-to-all mapping.
+
+    Examples
+    --------
+    >>> round(original_sos_ps(congestion_budget=0), 6)
+    1.0
+    >>> original_sos_ps(congestion_budget=10_000)
+    0.0
+    """
+    arch = original_sos_architecture(
+        total_overlay_nodes=total_overlay_nodes, sos_nodes=sos_nodes
+    )
+    return exact_random_congestion_ps(
+        arch.integer_layer_sizes, total_overlay_nodes, congestion_budget
+    )
+
+
+def generalized_model_ps(
+    congestion_budget: int,
+    total_overlay_nodes: int = 10_000,
+    sos_nodes: int = 100,
+) -> float:
+    """The generalized average-case model evaluated at the same point.
+
+    Used to cross-validate the two derivations (exact vs average-case).
+    """
+    arch = original_sos_architecture(
+        total_overlay_nodes=total_overlay_nodes, sos_nodes=sos_nodes
+    )
+    attack = OneBurstAttack(
+        break_in_budget=0, congestion_budget=congestion_budget
+    )
+    return evaluate(arch, attack).p_s

@@ -1,0 +1,147 @@
+"""Shared-roles SOS: every node serves every layer (and why that's bad).
+
+The original SOS analysis assumes "each node can simultaneously provide
+the functionality of nodes at multiple layers"; the paper under
+reproduction refuses that assumption because "once such a node is
+broken-into, nodes in several other layers will be disclosed" (§3.1).
+This module quantifies the refusal.
+
+Model: the same ``n`` SOS nodes serve all ``L`` layers. Every node keeps
+``L`` neighbor tables (one per layer it forwards into, each of degree
+``m_i``) drawn from the same pool, plus the servlet-role filter table.
+
+* **Upside** (why the original paper liked it): every layer effectively
+  has ``n`` nodes instead of ``n / L``, so random congestion must kill the
+  whole pool to sever a hop — shared roles *beat* dedicated layering under
+  pure congestion.
+* **Downside** (this paper's point): one break-in discloses ``L`` tables
+  at once, and the disclosure probability compounds as
+  ``1 - prod_i (1 - m_i/n)^b``. Under break-in attacks the shared design
+  collapses while the dedicated one stands.
+
+Both effects are asserted in ``tests/baselines/test_shared_roles.py`` and
+shown by the ``abl-shared`` experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.core.architecture import SOSArchitecture
+from repro.core.attack_models import OneBurstAttack
+from repro.core.probability import (
+    clamp,
+    hop_success_probability,
+    no_fresh_disclosure_probability,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class SharedRolesBreakdown:
+    """Average-case sets for the shared-roles one-burst analysis."""
+
+    attempted: float  # h — attempts landing on the shared pool
+    broken_in: float  # b
+    disclosed_unattacked: float  # d^N in the pool
+    disclosed_survived: float  # d^A in the pool
+    disclosed_filters: float  # d^N_{L+1}
+    congested: float  # c in the pool
+    congested_filters: float
+    p_s: float
+
+
+def analyze_shared_roles_one_burst(
+    architecture: SOSArchitecture, attack: OneBurstAttack
+) -> SharedRolesBreakdown:
+    """One-burst analysis when all ``n`` nodes serve all ``L`` layers.
+
+    The ``architecture`` supplies ``n``, ``N``, ``L``, the per-layer
+    mapping degrees, and the filter count; its node *distribution* is
+    irrelevant because the pool is shared.
+    """
+    if attack.n_t > architecture.total_overlay_nodes:
+        raise ConfigurationError("break_in_budget exceeds overlay population")
+    n = float(architecture.sos_nodes)
+    total = float(architecture.total_overlay_nodes)
+    filters = float(architecture.filters)
+    # Mapping policies resolve against the *shared pool* (every layer has
+    # all n nodes), so one-to-half means n/2 neighbors, not (n/L)/2.
+    pool_degrees = [
+        policy.degree_for(n) for policy in architecture.layer_mapping_policies
+    ]
+    filter_degree = architecture.mapping_degrees[-1]
+
+    # Break-in phase: uniform attempts over the overlay.
+    attempted = clamp(n / total * attack.n_t, 0.0, n)
+    broken = attack.p_b * attempted
+
+    # Disclosure: a broken node leaks all L of its tables at once.
+    survive = 1.0
+    for degree in pool_degrees:
+        survive *= no_fresh_disclosure_probability(degree, n, broken)
+    untouched = clamp(1.0 - attempted / n, 0.0, 1.0)
+    z = n * (1.0 - survive * untouched)
+    disclosed_unattacked = clamp(z - attempted, 0.0, n)
+    disclosed_survived = clamp(
+        (attempted - broken) * (1.0 - survive), 0.0, n
+    )
+    disclosed_filters = filters * (
+        1.0 - no_fresh_disclosure_probability(filter_degree, filters, broken)
+    )
+
+    # Congestion phase (Eq. 8/9 with a single pool).
+    n_d = disclosed_unattacked + disclosed_survived + disclosed_filters
+    if attack.n_c >= n_d:
+        surplus = attack.n_c - n_d
+        pool = total - broken - (n_d - disclosed_filters)
+        fraction = 0.0 if pool <= 0 else min(1.0, surplus / pool)
+        remaining = max(
+            0.0, n - broken - disclosed_unattacked - disclosed_survived
+        )
+        congested = (
+            disclosed_unattacked + disclosed_survived + fraction * remaining
+        )
+        congested_filters = disclosed_filters
+    else:
+        share = attack.n_c / n_d if n_d > 0 else 0.0
+        congested = share * (disclosed_unattacked + disclosed_survived)
+        congested_filters = share * disclosed_filters
+
+    bad = clamp(broken + congested, 0.0, n)
+    bad_filters = clamp(congested_filters, 0.0, filters)
+    p_s = 1.0
+    for degree in pool_degrees:
+        p_s *= hop_success_probability(n, bad, degree)
+    p_s *= hop_success_probability(filters, bad_filters, filter_degree)
+
+    return SharedRolesBreakdown(
+        attempted=attempted,
+        broken_in=broken,
+        disclosed_unattacked=disclosed_unattacked,
+        disclosed_survived=disclosed_survived,
+        disclosed_filters=disclosed_filters,
+        congested=congested,
+        congested_filters=congested_filters,
+        p_s=clamp(p_s, 0.0, 1.0),
+    )
+
+
+def shared_roles_ps(
+    architecture: SOSArchitecture, attack: OneBurstAttack
+) -> float:
+    """Shorthand returning just ``P_S`` for the shared-roles design."""
+    return analyze_shared_roles_one_burst(architecture, attack).p_s
+
+
+def shared_vs_dedicated(
+    architecture: SOSArchitecture, attack: OneBurstAttack
+) -> Tuple[float, float]:
+    """``(shared_roles_p_s, dedicated_p_s)`` at the same parameter point."""
+    from repro.core.one_burst import analyze_one_burst
+
+    return (
+        shared_roles_ps(architecture, attack),
+        analyze_one_burst(architecture, attack).p_s,
+    )

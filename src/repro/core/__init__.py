@@ -1,0 +1,128 @@
+"""Analytical core: the paper's generalized SOS model and attack analyses.
+
+Public surface:
+
+* :class:`SOSArchitecture` / :func:`original_sos_architecture` — design points;
+* :class:`OneBurstAttack` / :class:`SuccessiveAttack` — attack models;
+* :func:`evaluate` / :func:`path_availability_probability` — ``P_S`` analysis;
+* :mod:`repro.core.design_space` — search and trade-off tooling.
+"""
+
+from repro.core.architecture import (
+    DEFAULT_FILTERS,
+    DEFAULT_SOS_NODES,
+    DEFAULT_TOTAL_OVERLAY_NODES,
+    SOSArchitecture,
+    original_sos_architecture,
+)
+from repro.core.attack_models import (
+    AttackModel,
+    OneBurstAttack,
+    SuccessiveAttack,
+)
+from repro.core.budget import (
+    BreakInCampaign,
+    CongestionCostModel,
+    attack_from_resources,
+)
+from repro.core.game import (
+    AttackSplit,
+    BestResponseStep,
+    GameResult,
+    iterated_best_response,
+    minimax_design,
+    worst_case_attack,
+)
+from repro.core.distributions import (
+    NodeDistribution,
+    decreasing_distribution,
+    distribute,
+    even_distribution,
+    increasing_distribution,
+    integerize,
+)
+from repro.core.latency import (
+    LatencyEstimate,
+    estimate_latency,
+    expected_probes,
+    latency_availability_tradeoff,
+)
+from repro.core.layer_state import LayerState, SystemPerformance, path_availability
+from repro.core.mapping import (
+    ONE_TO_ALL,
+    ONE_TO_FIVE,
+    ONE_TO_HALF,
+    ONE_TO_ONE,
+    ONE_TO_TWO,
+    FixedMapping,
+    FractionMapping,
+    MappingPolicy,
+    resolve_mapping,
+)
+from repro.core.model import evaluate, path_availability_probability
+from repro.core.sensitivity import Sensitivity, sensitivity_profile
+from repro.core.one_burst import analyze_one_burst, analyze_one_burst_breakdown
+from repro.core.probability import (
+    all_bad_probability,
+    exact_all_bad_probability,
+    hop_success_probability,
+)
+from repro.core.successive import (
+    RoundCase,
+    analyze_successive,
+    analyze_successive_breakdown,
+)
+
+__all__ = [
+    "BreakInCampaign",
+    "CongestionCostModel",
+    "attack_from_resources",
+    "AttackSplit",
+    "BestResponseStep",
+    "GameResult",
+    "iterated_best_response",
+    "minimax_design",
+    "worst_case_attack",
+    "DEFAULT_FILTERS",
+    "DEFAULT_SOS_NODES",
+    "DEFAULT_TOTAL_OVERLAY_NODES",
+    "SOSArchitecture",
+    "original_sos_architecture",
+    "AttackModel",
+    "OneBurstAttack",
+    "SuccessiveAttack",
+    "NodeDistribution",
+    "decreasing_distribution",
+    "distribute",
+    "even_distribution",
+    "increasing_distribution",
+    "integerize",
+    "LatencyEstimate",
+    "estimate_latency",
+    "expected_probes",
+    "latency_availability_tradeoff",
+    "LayerState",
+    "SystemPerformance",
+    "path_availability",
+    "ONE_TO_ALL",
+    "ONE_TO_FIVE",
+    "ONE_TO_HALF",
+    "ONE_TO_ONE",
+    "ONE_TO_TWO",
+    "FixedMapping",
+    "FractionMapping",
+    "MappingPolicy",
+    "resolve_mapping",
+    "evaluate",
+    "path_availability_probability",
+    "Sensitivity",
+    "sensitivity_profile",
+    "analyze_one_burst",
+    "analyze_one_burst_breakdown",
+    "all_bad_probability",
+    "exact_all_bad_probability",
+    "hop_success_probability",
+    "RoundCase",
+    "analyze_successive",
+    "analyze_successive_breakdown",
+]

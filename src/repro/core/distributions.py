@@ -1,0 +1,131 @@
+"""Node-distribution policies: how ``n`` SOS nodes are split across layers.
+
+Section 3.2.3 of the paper studies three distributions:
+
+* **even** — every layer holds ``n / L`` nodes;
+* **increasing** — the first layer keeps its even share ``n / L`` (to load
+  balance against clients), and the remaining nodes are split over layers
+  ``2..L`` in proportion ``1 : 2 : ... : L-1``;
+* **decreasing** — the first layer keeps ``n / L``, and the remaining layers
+  receive shares in proportion ``L-1 : L-2 : ... : 1``.
+
+The analytical model is an average-case model, so fractional per-layer node
+counts are meaningful and distributions return floats by default. Concrete
+deployments (the simulator) need integers; :func:`integerize` converts a
+fractional allocation into integers with the same total using largest-
+remainder rounding.
+
+All policies are exposed through :func:`distribute` and the
+:class:`NodeDistribution` enum so experiment configs can name them.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive, check_positive_int
+
+
+class NodeDistribution(str, enum.Enum):
+    """Named node-distribution policies from the paper."""
+
+    EVEN = "even"
+    INCREASING = "increasing"
+    DECREASING = "decreasing"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def even_distribution(n: float, layers: int) -> List[float]:
+    """Split ``n`` nodes evenly across ``layers`` layers."""
+    n = check_positive("n", n)
+    layers = check_positive_int("layers", layers)
+    return [n / layers] * layers
+
+
+def _weighted_tail_distribution(
+    n: float, layers: int, tail_weights: Sequence[float]
+) -> List[float]:
+    """First layer gets ``n / layers``; the rest is split by ``tail_weights``."""
+    n = check_positive("n", n)
+    layers = check_positive_int("layers", layers)
+    if layers == 1:
+        return [n]
+    if len(tail_weights) != layers - 1:
+        raise ConfigurationError(
+            f"need {layers - 1} tail weights, got {len(tail_weights)}"
+        )
+    first = n / layers
+    remaining = n - first
+    total_weight = float(sum(tail_weights))
+    if total_weight <= 0:
+        raise ConfigurationError("tail weights must sum to a positive value")
+    return [first] + [remaining * w / total_weight for w in tail_weights]
+
+
+def increasing_distribution(n: float, layers: int) -> List[float]:
+    """First layer ``n/L``; layers ``2..L`` in proportion ``1:2:...:L-1``."""
+    return _weighted_tail_distribution(n, layers, list(range(1, layers)))
+
+
+def decreasing_distribution(n: float, layers: int) -> List[float]:
+    """First layer ``n/L``; layers ``2..L`` in proportion ``L-1:...:1``."""
+    return _weighted_tail_distribution(n, layers, list(range(layers - 1, 0, -1)))
+
+
+_POLICIES: Dict[NodeDistribution, Callable[[float, int], List[float]]] = {
+    NodeDistribution.EVEN: even_distribution,
+    NodeDistribution.INCREASING: increasing_distribution,
+    NodeDistribution.DECREASING: decreasing_distribution,
+}
+
+
+def distribute(
+    n: float, layers: int, policy: "NodeDistribution | str" = NodeDistribution.EVEN
+) -> List[float]:
+    """Split ``n`` SOS nodes across ``layers`` layers under ``policy``.
+
+    ``policy`` may be a :class:`NodeDistribution` member or its string value.
+    """
+    try:
+        policy = NodeDistribution(policy)
+    except ValueError as exc:
+        names = ", ".join(p.value for p in NodeDistribution)
+        raise ConfigurationError(
+            f"unknown node distribution {policy!r}; expected one of: {names}"
+        ) from exc
+    return _POLICIES[policy](n, layers)
+
+
+def integerize(allocation: Sequence[float]) -> List[int]:
+    """Round a fractional allocation to integers preserving the total.
+
+    Uses largest-remainder (Hamilton) rounding: floor every share, then hand
+    the leftover units to the layers with the largest fractional parts.
+    The input total must itself be (near-)integral.
+    """
+    if not allocation:
+        raise ConfigurationError("allocation must be non-empty")
+    if any(a < 0 for a in allocation):
+        raise ConfigurationError(f"allocation must be non-negative: {allocation!r}")
+    total = sum(allocation)
+    target = round(total)
+    if abs(total - target) > 1e-6:
+        raise ConfigurationError(
+            f"allocation total {total!r} is not integral; cannot integerize"
+        )
+    floors = [math.floor(a) for a in allocation]
+    leftover = target - sum(floors)
+    remainders = sorted(
+        range(len(allocation)),
+        key=lambda i: (allocation[i] - floors[i], -i),
+        reverse=True,
+    )
+    result = list(floors)
+    for index in remainders[:leftover]:
+        result[index] += 1
+    return result

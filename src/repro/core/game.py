@@ -1,0 +1,260 @@
+"""The design game: an adaptive attacker vs an adaptive architect.
+
+The paper evaluates fixed attack budgets, but its conclusion is game-
+theoretic: "if the system is designed carefully keeping potential attack
+scenarios in mind, more resilient architectures can be designed" — and a
+rational attacker, in turn, allocates resources against whatever design it
+faces. This module closes that loop:
+
+* the attacker owns a total resource ``budget`` convertible between
+  break-in attempts and congestion floods at ``exchange_rate`` congestion
+  units per break-in attempt (break-ins are expensive: exploitation,
+  operator time; floods are cheap bandwidth);
+* :func:`worst_case_attack` finds the split minimizing ``P_S`` against a
+  fixed design — the attacker's best response;
+* :func:`minimax_design` finds the design maximizing that worst case —
+  the architect's security-level guarantee.
+
+Results double as an ablation: the optimal split's break-in share reveals
+how much an intelligent adversary should invest in intelligence rather
+than bandwidth against each design (the paper's central theme).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.architecture import SOSArchitecture
+from repro.core.attack_models import SuccessiveAttack
+from repro.core.design_space import enumerate_designs
+from repro.core.model import evaluate
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackSplit:
+    """One point on the attacker's resource-allocation frontier."""
+
+    break_in_budget: float
+    congestion_budget: float
+    p_s: float
+
+    @property
+    def break_in_share(self) -> float:
+        """Fraction of the (converted) total spent on break-ins."""
+        total = self.break_in_budget + self.congestion_budget
+        return 0.0 if total == 0 else self.break_in_budget / total
+
+
+@dataclasses.dataclass(frozen=True)
+class GameResult:
+    """Attacker best response against one design."""
+
+    architecture: SOSArchitecture
+    splits: Tuple[AttackSplit, ...]
+    worst: AttackSplit
+
+    @property
+    def guaranteed_p_s(self) -> float:
+        """The design's security level against the adaptive attacker."""
+        return self.worst.p_s
+
+
+def _attack_for_split(
+    break_in_budget: float,
+    congestion_budget: float,
+    rounds: int,
+    break_in_success: float,
+    prior_knowledge: float,
+) -> SuccessiveAttack:
+    return SuccessiveAttack(
+        break_in_budget=break_in_budget,
+        congestion_budget=congestion_budget,
+        break_in_success=break_in_success,
+        rounds=rounds,
+        prior_knowledge=prior_knowledge,
+    )
+
+
+def worst_case_attack(
+    architecture: SOSArchitecture,
+    budget: float = 2400.0,
+    exchange_rate: float = 10.0,
+    split_points: int = 13,
+    rounds: int = 3,
+    break_in_success: float = 0.5,
+    prior_knowledge: float = 0.2,
+) -> GameResult:
+    """Attacker's best response: the budget split minimizing ``P_S``.
+
+    ``budget`` is denominated in congestion units; a break-in attempt costs
+    ``exchange_rate`` of them. The split grid runs from all-congestion to
+    the maximum affordable break-in investment (capped so ``N_T`` never
+    exceeds the overlay population).
+
+    Examples
+    --------
+    >>> from repro.core import SOSArchitecture
+    >>> result = worst_case_attack(SOSArchitecture(layers=4,
+    ...                                            mapping="one-to-two"))
+    >>> 0.0 <= result.guaranteed_p_s <= 1.0
+    True
+    """
+    check_positive("budget", budget)
+    check_positive("exchange_rate", exchange_rate)
+    if split_points < 2:
+        raise ConfigurationError("split_points must be >= 2")
+
+    max_break_in = min(budget / exchange_rate, architecture.total_overlay_nodes)
+    splits: List[AttackSplit] = []
+    for index in range(split_points):
+        fraction = index / (split_points - 1)
+        break_in_budget = fraction * max_break_in
+        congestion_budget = budget - break_in_budget * exchange_rate
+        attack = _attack_for_split(
+            break_in_budget,
+            congestion_budget,
+            rounds,
+            break_in_success,
+            prior_knowledge,
+        )
+        p_s = evaluate(architecture, attack).p_s
+        splits.append(
+            AttackSplit(
+                break_in_budget=break_in_budget,
+                congestion_budget=congestion_budget,
+                p_s=p_s,
+            )
+        )
+    worst = min(splits, key=lambda s: s.p_s)
+    return GameResult(architecture=architecture, splits=tuple(splits), worst=worst)
+
+
+@dataclasses.dataclass(frozen=True)
+class BestResponseStep:
+    """One round of the attacker/architect best-response dynamics."""
+
+    architecture: SOSArchitecture
+    attacker_split: AttackSplit
+    p_s: float
+
+
+def iterated_best_response(
+    initial: Optional[SOSArchitecture] = None,
+    budget: float = 2400.0,
+    exchange_rate: float = 10.0,
+    iterations: int = 6,
+    split_points: int = 13,
+    rounds: int = 3,
+    break_in_success: float = 0.5,
+    prior_knowledge: float = 0.2,
+) -> Tuple[List[BestResponseStep], bool]:
+    """Alternate attacker and architect best responses.
+
+    Starting from ``initial`` (default: the original SOS design), each
+    round the attacker picks its worst-case budget split against the
+    current design, then the architect re-designs against exactly that
+    attack. Returns ``(steps, cycled)``; ``cycled`` is True once a design
+    repeats — either a fixed point (period 1) or, typically, an
+    oscillation: an architect that overfits to the attacker's *last* move
+    keeps getting exploited, which is precisely why
+    :func:`minimax_design`'s worst-case criterion is the right one.
+
+    Examples
+    --------
+    >>> steps, cycled = iterated_best_response(iterations=4)
+    >>> len(steps) <= 4
+    True
+    """
+    from repro.core.architecture import original_sos_architecture
+    from repro.core.design_space import DEFAULT_MAPPINGS
+
+    if iterations < 1:
+        raise ConfigurationError("iterations must be >= 1")
+    design = initial or original_sos_architecture()
+    designs_grid = enumerate_designs(
+        layers=range(1, 9), mappings=DEFAULT_MAPPINGS
+    )
+    steps: List[BestResponseStep] = []
+    seen_designs = set()
+    converged = False
+    for _ in range(iterations):
+        response = worst_case_attack(
+            design,
+            budget=budget,
+            exchange_rate=exchange_rate,
+            split_points=split_points,
+            rounds=rounds,
+            break_in_success=break_in_success,
+            prior_knowledge=prior_knowledge,
+        )
+        steps.append(
+            BestResponseStep(
+                architecture=design,
+                attacker_split=response.worst,
+                p_s=response.guaranteed_p_s,
+            )
+        )
+        fingerprint = (
+            design.layers,
+            design.mapping_policy.label,
+            str(design.distribution),
+        )
+        if fingerprint in seen_designs:
+            converged = True
+            break
+        seen_designs.add(fingerprint)
+        # Architect re-designs against the attacker's chosen split.
+        chosen_attack = _attack_for_split(
+            response.worst.break_in_budget,
+            response.worst.congestion_budget,
+            rounds,
+            break_in_success,
+            prior_knowledge,
+        )
+        scored = [
+            (evaluate(candidate, chosen_attack).p_s, index, candidate)
+            for index, candidate in enumerate(designs_grid)
+        ]
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        design = scored[0][2]
+    return steps, converged
+
+
+def minimax_design(
+    designs: Optional[Sequence[SOSArchitecture]] = None,
+    budget: float = 2400.0,
+    exchange_rate: float = 10.0,
+    split_points: int = 13,
+    rounds: int = 3,
+    break_in_success: float = 0.5,
+    prior_knowledge: float = 0.2,
+) -> Tuple[GameResult, List[GameResult]]:
+    """Architect's move: the design maximizing the attacker's best response.
+
+    Returns ``(winner, all_results)`` with ``all_results`` sorted by
+    guaranteed ``P_S`` descending.
+    """
+    if designs is None:
+        designs = enumerate_designs(
+            layers=range(1, 9),
+            mappings=("one-to-one", "one-to-two", "one-to-five", "one-to-half"),
+        )
+    if not designs:
+        raise ConfigurationError("need at least one design")
+    results = [
+        worst_case_attack(
+            design,
+            budget=budget,
+            exchange_rate=exchange_rate,
+            split_points=split_points,
+            rounds=rounds,
+            break_in_success=break_in_success,
+            prior_knowledge=prior_knowledge,
+        )
+        for design in designs
+    ]
+    results.sort(key=lambda r: r.guaranteed_p_s, reverse=True)
+    return results[0], results

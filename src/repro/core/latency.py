@@ -1,0 +1,159 @@
+"""Timely delivery: the latency side of the layering trade-off (paper §5).
+
+The paper's Final Remarks flag timely delivery as an open issue: more
+layers buy break-in resilience but lengthen the path, while a higher
+mapping degree shortens *effective* latency by giving each hop more
+routing choices (fewer retries to find a good neighbor). This module makes
+that quantitative under the same average-case model:
+
+* every delivered message crosses exactly ``L + 1`` hops (client → layer 1
+  → ... → filter);
+* at a hop into layer ``i``, the forwarding node probes neighbors from its
+  table until it finds a good one; probes of bad neighbors cost
+  ``probe_cost`` each, and the successful forward costs ``hop_latency``;
+* the number of probes follows the negative-hypergeometric expectation over
+  a table of ``m_i`` entries of which ``s_i / n_i`` are bad on average —
+  conditioned on the hop succeeding at all (the ``P_S`` analysis prices the
+  failure case).
+
+The headline output, :func:`latency_availability_tradeoff`, tabulates
+``(P_S, expected latency)`` across designs — the curve an operator
+balancing resilience against responsiveness actually needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Union
+
+from repro.core.architecture import SOSArchitecture
+from repro.core.attack_models import OneBurstAttack, SuccessiveAttack
+from repro.core.layer_state import SystemPerformance
+from repro.core.model import evaluate
+from repro.errors import AnalysisError
+
+Attack = Union[OneBurstAttack, SuccessiveAttack]
+
+
+def expected_probes(table_size: int, bad_fraction: float) -> float:
+    """Expected probes until the first good entry in a neighbor table.
+
+    The table has ``table_size`` entries, each bad independently with
+    probability ``bad_fraction`` (the average-case view), *conditioned on
+    at least one good entry existing*. With ``q = bad_fraction``:
+
+        E[probes | success] = sum_{k=1..m} k * q^(k-1) * (1-q) / (1 - q^m)
+
+    Returns 1.0 when the table is clean (``q = 0``).
+    """
+    if table_size < 1:
+        raise AnalysisError(f"table_size must be >= 1, got {table_size}")
+    if not 0.0 <= bad_fraction <= 1.0:
+        raise AnalysisError(f"bad_fraction must be in [0, 1], got {bad_fraction}")
+    q = bad_fraction
+    if q == 0.0:
+        return 1.0
+    if q == 1.0:
+        # Conditioning event has probability zero; the limit as q -> 1 is
+        # the mean of a uniform draw over 1..m.
+        return (table_size + 1) / 2.0
+    success_any = 1.0 - q**table_size
+    total = 0.0
+    for k in range(1, table_size + 1):
+        total += k * q ** (k - 1) * (1.0 - q)
+    return total / success_any
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyEstimate:
+    """Expected delivery latency of a successful message."""
+
+    hop_latency: float
+    probe_cost: float
+    per_hop_probes: Sequence[float]
+
+    @property
+    def hops(self) -> int:
+        return len(self.per_hop_probes)
+
+    @property
+    def expected_latency(self) -> float:
+        """Total expected latency: forwarding plus wasted probes."""
+        wasted = sum(probes - 1.0 for probes in self.per_hop_probes)
+        return self.hops * self.hop_latency + wasted * self.probe_cost
+
+    @property
+    def baseline_latency(self) -> float:
+        """Latency with zero damage (no retries anywhere)."""
+        return self.hops * self.hop_latency
+
+
+def estimate_latency(
+    architecture: SOSArchitecture,
+    performance: SystemPerformance,
+    hop_latency: float = 1.0,
+    probe_cost: float = 0.5,
+) -> LatencyEstimate:
+    """Expected latency of a *delivered* message under an attack outcome.
+
+    ``performance`` is the result of :func:`repro.core.evaluate` for the
+    same architecture; its per-layer bad sets drive the retry counts.
+    """
+    if hop_latency <= 0 or probe_cost < 0:
+        raise AnalysisError("hop_latency must be > 0 and probe_cost >= 0")
+    if len(performance.layers) != architecture.layers + 1:
+        raise AnalysisError("performance does not match the architecture")
+    probes: List[float] = []
+    for layer_state in performance.layers:
+        bad_fraction = min(1.0, max(0.0, layer_state.bad / layer_state.size))
+        probes.append(
+            expected_probes(layer_state.mapping_degree, bad_fraction)
+        )
+    return LatencyEstimate(
+        hop_latency=hop_latency, probe_cost=probe_cost, per_hop_probes=tuple(probes)
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class TradeoffPoint:
+    """One design on the availability/latency plane."""
+
+    architecture: SOSArchitecture
+    p_s: float
+    expected_latency: float
+    baseline_latency: float
+
+    @property
+    def label(self) -> str:
+        return (
+            f"L={self.architecture.layers} "
+            f"{self.architecture.mapping_policy.label}"
+        )
+
+
+def latency_availability_tradeoff(
+    designs: Sequence[SOSArchitecture],
+    attack: Attack,
+    hop_latency: float = 1.0,
+    probe_cost: float = 0.5,
+) -> List[TradeoffPoint]:
+    """Evaluate ``(P_S, E[latency])`` for every design under ``attack``.
+
+    Designs whose ``P_S`` is zero are still reported (their latency is the
+    baseline-conditional estimate) so the table shows the full grid.
+    """
+    points = []
+    for design in designs:
+        performance = evaluate(design, attack)
+        estimate = estimate_latency(
+            design, performance, hop_latency=hop_latency, probe_cost=probe_cost
+        )
+        points.append(
+            TradeoffPoint(
+                architecture=design,
+                p_s=performance.p_s,
+                expected_latency=estimate.expected_latency,
+                baseline_latency=estimate.baseline_latency,
+            )
+        )
+    return points

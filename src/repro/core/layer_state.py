@@ -1,0 +1,131 @@
+"""Per-layer bad-node accounting shared by both analytical models.
+
+A :class:`LayerState` records, for one layer ``i`` (including the filter
+layer ``L+1``), the average-case sizes of the node sets the paper tracks:
+broken-in nodes ``b_i``, congested nodes ``c_i``, and the resulting bad set
+``s_i = b_i + c_i``. The per-hop success probability ``P_i`` follows from
+Eq. (1). :class:`SystemPerformance` aggregates layers into the end-to-end
+path-availability probability ``P_S``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence, Tuple
+
+from repro.core.probability import clamp, hop_success_probability
+from repro.errors import AnalysisError
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerState:
+    """Average-case attack outcome for one layer.
+
+    Attributes
+    ----------
+    index:
+        1-based layer index; the filter ring is layer ``L+1``.
+    size:
+        ``n_i`` — number of nodes in the layer (fractional allowed).
+    mapping_degree:
+        ``m_i`` — neighbor-table size of each previous-layer node toward
+        this layer.
+    broken_in:
+        ``b_i`` — average number of successfully broken-in nodes.
+    congested:
+        ``c_i`` — average number of congested nodes.
+    disclosed_unattacked:
+        ``d_i^N`` — disclosed nodes never subjected to a break-in attempt
+        (diagnostic; already folded into ``congested``).
+    disclosed_survived:
+        ``d_i^A`` — disclosed nodes that survived a break-in attempt
+        (diagnostic; already folded into ``congested``).
+    """
+
+    index: int
+    size: float
+    mapping_degree: int
+    broken_in: float
+    congested: float
+    disclosed_unattacked: float = 0.0
+    disclosed_survived: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise AnalysisError(f"layer {self.index}: size must be > 0")
+        if self.mapping_degree < 1:
+            raise AnalysisError(f"layer {self.index}: mapping degree must be >= 1")
+        for name in ("broken_in", "congested"):
+            if getattr(self, name) < -1e-9:
+                raise AnalysisError(f"layer {self.index}: {name} is negative")
+
+    @property
+    def bad(self) -> float:
+        """``s_i = b_i + c_i`` clamped into ``[0, n_i]``."""
+        return clamp(self.broken_in + self.congested, 0.0, self.size)
+
+    @property
+    def good(self) -> float:
+        """Remaining good nodes ``n_i - s_i``."""
+        return self.size - self.bad
+
+    @property
+    def hop_success(self) -> float:
+        """``P_i = 1 - P(n_i, s_i, m_i)`` (Eq. 1)."""
+        return hop_success_probability(self.size, self.bad, self.mapping_degree)
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemPerformance:
+    """End-to-end result of evaluating an architecture under an attack.
+
+    Attributes
+    ----------
+    p_s:
+        ``P_S`` — probability a client can reach the target (Eq. 1).
+    layers:
+        Per-layer states ``1 .. L+1`` (the last entry is the filter ring).
+    broken_in_total:
+        ``N_B`` — average total broken-in overlay nodes.
+    disclosed_total:
+        ``N_D`` — average disclosed-but-not-broken-in nodes at the start of
+        the congestion phase.
+    """
+
+    p_s: float
+    layers: Tuple[LayerState, ...]
+    broken_in_total: float
+    disclosed_total: float
+
+    def __post_init__(self) -> None:
+        if not -1e-12 <= self.p_s <= 1.0 + 1e-12:
+            raise AnalysisError(f"P_S out of range: {self.p_s!r}")
+        object.__setattr__(self, "p_s", clamp(self.p_s, 0.0, 1.0))
+
+    @property
+    def hop_probabilities(self) -> Tuple[float, ...]:
+        """``(P_1, ..., P_{L+1})`` per-hop success probabilities."""
+        return tuple(layer.hop_success for layer in self.layers)
+
+    @property
+    def bad_per_layer(self) -> Tuple[float, ...]:
+        """``(s_1, ..., s_{L+1})`` bad-set sizes."""
+        return tuple(layer.bad for layer in self.layers)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary used by experiment tables and serialization."""
+        return {
+            "p_s": self.p_s,
+            "n_b": self.broken_in_total,
+            "n_d": self.disclosed_total,
+            "hop_probabilities": list(self.hop_probabilities),
+            "bad_per_layer": list(self.bad_per_layer),
+        }
+
+
+def path_availability(layers: Sequence[LayerState]) -> float:
+    """``P_S = prod_i P_i`` over every hop, including the filter hop (Eq. 1)."""
+    probability = 1.0
+    for layer in layers:
+        probability *= layer.hop_success
+    return clamp(probability, 0.0, 1.0)

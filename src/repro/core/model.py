@@ -1,0 +1,50 @@
+"""Unified entry point for the analytical models.
+
+:func:`evaluate` dispatches on the attack type so callers (experiments,
+design-space search, examples) do not need to know which derivation applies:
+
+>>> from repro.core import SOSArchitecture, SuccessiveAttack, evaluate
+>>> result = evaluate(SOSArchitecture(layers=4, mapping="one-to-two"),
+...                   SuccessiveAttack())
+>>> 0.0 <= result.p_s <= 1.0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.architecture import SOSArchitecture
+from repro.core.attack_models import AttackModel, OneBurstAttack, SuccessiveAttack
+from repro.core.layer_state import SystemPerformance
+from repro.core.one_burst import analyze_one_burst
+from repro.core.successive import analyze_successive
+from repro.errors import ConfigurationError
+
+Attack = Union[OneBurstAttack, SuccessiveAttack]
+
+
+def evaluate(architecture: SOSArchitecture, attack: Attack) -> SystemPerformance:
+    """Compute :class:`SystemPerformance` for any supported attack model."""
+    if isinstance(attack, SuccessiveAttack):
+        return analyze_successive(architecture, attack)
+    if isinstance(attack, OneBurstAttack):
+        return analyze_one_burst(architecture, attack)
+    if isinstance(attack, AttackModel):
+        # Base-class instances carry only shared resources; treat as one-burst.
+        return analyze_one_burst(
+            architecture,
+            OneBurstAttack(
+                break_in_budget=attack.break_in_budget,
+                congestion_budget=attack.congestion_budget,
+                break_in_success=attack.break_in_success,
+            ),
+        )
+    raise ConfigurationError(f"unsupported attack model: {attack!r}")
+
+
+def path_availability_probability(
+    architecture: SOSArchitecture, attack: Attack
+) -> float:
+    """Shorthand returning just ``P_S``."""
+    return evaluate(architecture, attack).p_s

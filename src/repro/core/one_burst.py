@@ -1,0 +1,206 @@
+"""One-burst intelligent-attack analysis (Section 3.1, Eqs. 1-9).
+
+The attacker spends the entire break-in budget ``N_T`` in a single round of
+uniformly random attempts over all ``N`` overlay nodes, then congests
+``N_C`` nodes, preferring nodes disclosed by the successful break-ins.
+
+Derivation implemented here (average-case, weak law of large numbers):
+
+* break-in attempts per layer:      ``h_i = (n_i / N) N_T``          (i <= L)
+* broken-in nodes per layer:        ``b_i = P_B h_i``                (i <= L)
+* filters cannot be broken into:    ``h_{L+1} = b_{L+1} = 0``
+* disclosed-or-attacked set:        ``z_i`` (Eq. 5)
+* disclosed, never attacked:        ``d_i^N = z_i - h_i`` (Eq. 6)
+* disclosed, attacked unsuccessfully: ``d_i^A`` (Eq. 7)
+* congested nodes per layer:        ``c_i`` (Eq. 8 when ``N_C >= N_D``,
+  Eq. 9 otherwise), where ``N_D = sum_i (d_i^N + d_i^A)``
+* bad nodes:                        ``s_i = b_i + c_i``
+* path availability:                ``P_S = prod_i (1 - P(n_i, s_i, m_i))``
+
+The paper's Eq. 8 writes ``b_i^A`` for the broken-in set; we read it as
+``b_i`` (one-burst has no disclosed/random break-in split). Filters are
+excluded from the random-congestion pool (footnote 2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.core.architecture import SOSArchitecture
+from repro.core.attack_models import OneBurstAttack
+from repro.core.layer_state import LayerState, SystemPerformance, path_availability
+from repro.core.probability import clamp, no_fresh_disclosure_probability
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class OneBurstBreakdown:
+    """Intermediate sets of the one-burst derivation (for tests/diagnostics).
+
+    All arrays are indexed ``0 .. L`` corresponding to layers ``1 .. L+1``.
+    """
+
+    attempted: Tuple[float, ...]  # h_i
+    broken_in: Tuple[float, ...]  # b_i
+    disclosed_or_attacked: Tuple[float, ...]  # z_i
+    disclosed_unattacked: Tuple[float, ...]  # d_i^N
+    disclosed_survived: Tuple[float, ...]  # d_i^A
+    congested: Tuple[float, ...]  # c_i
+    disclosed_total: float  # N_D
+    broken_in_total: float  # N_B
+
+
+def _break_in_phase(
+    architecture: SOSArchitecture, attack: OneBurstAttack
+) -> Tuple[List[float], List[float]]:
+    """Return per-layer break-in attempts ``h_i`` and successes ``b_i``."""
+    total = float(architecture.total_overlay_nodes)
+    if attack.n_t > total:
+        raise ConfigurationError(
+            f"break_in_budget ({attack.n_t}) exceeds overlay population ({total})"
+        )
+    attempted: List[float] = []
+    broken_in: List[float] = []
+    for size in architecture.layer_sizes_tuple:
+        h_i = clamp(size / total * attack.n_t, 0.0, size)
+        attempted.append(h_i)
+        broken_in.append(attack.p_b * h_i)
+    # Filter layer: special nodes, cannot be broken into (paper: b_{L+1} = 0).
+    attempted.append(0.0)
+    broken_in.append(0.0)
+    return attempted, broken_in
+
+
+def _disclosure_phase(
+    architecture: SOSArchitecture,
+    attempted: List[float],
+    broken_in: List[float],
+) -> Tuple[List[float], List[float], List[float]]:
+    """Compute ``z_i``, ``d_i^N``, ``d_i^A`` for every layer (Eqs. 5-7)."""
+    sizes = architecture.layer_sizes_with_filters
+    degrees = architecture.mapping_degrees
+    z: List[float] = [0.0] * len(sizes)
+    d_n: List[float] = [0.0] * len(sizes)
+    d_a: List[float] = [0.0] * len(sizes)
+    # Layer 1 nodes are never disclosed by break-ins (no layer below them).
+    for i in range(1, len(sizes)):
+        n_i = sizes[i]
+        m_i = degrees[i]
+        survive = no_fresh_disclosure_probability(m_i, n_i, broken_in[i - 1])
+        untouched_by_attempts = clamp(1.0 - attempted[i] / n_i, 0.0, 1.0)
+        z[i] = n_i * (1.0 - survive * untouched_by_attempts)
+        d_n[i] = clamp(z[i] - attempted[i], 0.0, n_i)
+        unsuccessful = max(0.0, attempted[i] - broken_in[i])
+        d_a[i] = clamp(unsuccessful * (1.0 - survive), 0.0, n_i)
+    return z, d_n, d_a
+
+
+def _congestion_phase(
+    architecture: SOSArchitecture,
+    attack: OneBurstAttack,
+    broken_in: List[float],
+    d_n: List[float],
+    d_a: List[float],
+) -> Tuple[List[float], float, float]:
+    """Allocate the congestion budget per layer (Eqs. 8-9).
+
+    Returns ``(c_i per layer, N_D, N_B)``.
+    """
+    sizes = architecture.layer_sizes_with_filters
+    last = len(sizes) - 1
+    disclosed_per_layer = [d_n[i] + d_a[i] for i in range(len(sizes))]
+    n_d = sum(disclosed_per_layer)
+    n_b = sum(broken_in)
+
+    congested = [0.0] * len(sizes)
+    if attack.n_c >= n_d:
+        # Congest every disclosed node, then spread the surplus uniformly
+        # over the remaining good *overlay* nodes. Disclosed filters are not
+        # part of the overlay pool (footnote 2), hence the subtraction.
+        surplus = attack.n_c - n_d
+        pool = (
+            float(architecture.total_overlay_nodes)
+            - n_b
+            - (n_d - disclosed_per_layer[last])
+        )
+        fraction = 0.0 if pool <= 0 else min(1.0, surplus / pool)
+        for i in range(last):
+            remaining = max(0.0, sizes[i] - broken_in[i] - disclosed_per_layer[i])
+            congested[i] = disclosed_per_layer[i] + surplus_share(
+                fraction, remaining
+            )
+        congested[last] = disclosed_per_layer[last]
+    else:
+        # Not enough budget: congest a uniformly random subset of the
+        # disclosed nodes, proportionally per layer (Eq. 9).
+        share = attack.n_c / n_d if n_d > 0 else 0.0
+        for i in range(len(sizes)):
+            congested[i] = share * disclosed_per_layer[i]
+
+    congested = [clamp(c, 0.0, sizes[i]) for i, c in enumerate(congested)]
+    return congested, n_d, n_b
+
+
+def surplus_share(fraction: float, remaining: float) -> float:
+    """Random-congestion share of a layer's remaining good nodes."""
+    return fraction * remaining
+
+
+def analyze_one_burst_breakdown(
+    architecture: SOSArchitecture, attack: OneBurstAttack
+) -> OneBurstBreakdown:
+    """Run the full one-burst derivation and return every intermediate set."""
+    attempted, broken_in = _break_in_phase(architecture, attack)
+    z, d_n, d_a = _disclosure_phase(architecture, attempted, broken_in)
+    congested, n_d, n_b = _congestion_phase(
+        architecture, attack, broken_in, d_n, d_a
+    )
+    return OneBurstBreakdown(
+        attempted=tuple(attempted),
+        broken_in=tuple(broken_in),
+        disclosed_or_attacked=tuple(z),
+        disclosed_unattacked=tuple(d_n),
+        disclosed_survived=tuple(d_a),
+        congested=tuple(congested),
+        disclosed_total=n_d,
+        broken_in_total=n_b,
+    )
+
+
+def analyze_one_burst(
+    architecture: SOSArchitecture, attack: OneBurstAttack
+) -> SystemPerformance:
+    """Evaluate ``P_S`` for ``architecture`` under a one-burst attack.
+
+    Examples
+    --------
+    >>> from repro.core.architecture import SOSArchitecture
+    >>> from repro.core.attack_models import OneBurstAttack
+    >>> arch = SOSArchitecture(layers=3, mapping="one-to-all")
+    >>> result = analyze_one_burst(arch, OneBurstAttack(break_in_budget=0,
+    ...                                                 congestion_budget=2000))
+    >>> 0.0 <= result.p_s <= 1.0
+    True
+    """
+    breakdown = analyze_one_burst_breakdown(architecture, attack)
+    sizes = architecture.layer_sizes_with_filters
+    degrees = architecture.mapping_degrees
+    layers = tuple(
+        LayerState(
+            index=i + 1,
+            size=sizes[i],
+            mapping_degree=degrees[i],
+            broken_in=breakdown.broken_in[i],
+            congested=breakdown.congested[i],
+            disclosed_unattacked=breakdown.disclosed_unattacked[i],
+            disclosed_survived=breakdown.disclosed_survived[i],
+        )
+        for i in range(len(sizes))
+    )
+    return SystemPerformance(
+        p_s=path_availability(layers),
+        layers=layers,
+        broken_in_total=breakdown.broken_in_total,
+        disclosed_total=breakdown.disclosed_total,
+    )

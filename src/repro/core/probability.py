@@ -1,0 +1,135 @@
+"""Probability kernel for the average-case SOS analysis.
+
+The paper (Section 3.1) defines ``P(x, y, z)`` as the probability that a set
+of ``y`` nodes selected at random from ``x > y`` nodes contains a specific
+subset of ``z`` nodes::
+
+    P(x, y, z) = C(y, z) / C(x, z)   if y >= z, else 0
+
+Its role in the model: a node in Layer ``i-1`` has ``m_i`` random neighbors
+in Layer ``i``; if ``s_i`` of the ``n_i`` nodes in Layer ``i`` are *bad*,
+``P(n_i, s_i, m_i)`` is the probability that **all** of the node's next-hop
+neighbors are bad, and the per-hop success probability is
+``P_i = 1 - P(n_i, s_i, m_i)`` (Eq. 1).
+
+Average-case analysis produces *fractional* bad-set sizes ``s_i``, so this
+module provides the natural continuous extension
+
+    P(x, y, z) = prod_{k=0}^{z-1} (y - k) / (x - k)
+
+which equals ``C(y,z)/C(x,z)`` exactly at integer ``y`` and interpolates
+monotonically in between. Each factor is clamped at zero so the product
+vanishes as soon as ``y < z`` (fewer bad nodes than neighbors means at least
+one neighbor is guaranteed good), matching the paper's case split.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from repro.errors import AnalysisError
+
+Number = Union[int, float]
+
+
+def all_bad_probability(x: Number, y: Number, z: int) -> float:
+    """Continuous extension of ``P(x, y, z) = C(y, z) / C(x, z)``.
+
+    Parameters
+    ----------
+    x:
+        Population size (``n_i``, number of nodes in the layer). Must be a
+        positive value with ``x >= z``.
+    y:
+        Bad-subset size (``s_i``); may be fractional (average-case) and is
+        clamped into ``[0, x]``.
+    z:
+        Sample size (``m_i``, the mapping degree). Must be a non-negative
+        integer; ``z = 0`` returns 1.0 (an empty neighbor set is vacuously
+        all-bad — callers never use ``z = 0`` for live layers).
+
+    Returns
+    -------
+    float
+        The probability, guaranteed to lie in ``[0, 1]``.
+
+    Raises
+    ------
+    AnalysisError
+        If ``x <= 0``, ``z < 0``, ``z`` is not an integer, or ``z > x``.
+    """
+    if isinstance(z, bool) or not isinstance(z, int):
+        raise AnalysisError(f"sample size z must be an integer, got {z!r}")
+    if z < 0:
+        raise AnalysisError(f"sample size z must be >= 0, got {z}")
+    x = float(x)
+    if not math.isfinite(x) or x <= 0:
+        raise AnalysisError(f"population size x must be finite and > 0, got {x}")
+    if z > x:
+        raise AnalysisError(f"sample size z={z} exceeds population x={x}")
+
+    y = min(max(float(y), 0.0), x)
+    if z == 0:
+        return 1.0
+
+    probability = 1.0
+    for k in range(z):
+        numerator = y - k
+        if numerator <= 0.0:
+            return 0.0
+        probability *= numerator / (x - k)
+    # Floating products can drift a hair above 1.0 when y ~= x.
+    return min(1.0, max(0.0, probability))
+
+
+def hop_success_probability(n: Number, s: Number, m: int) -> float:
+    """Per-hop success probability ``P_i = 1 - P(n_i, s_i, m_i)`` (Eq. 1)."""
+    return 1.0 - all_bad_probability(n, s, m)
+
+
+def exact_all_bad_probability(x: int, y: int, z: int) -> float:
+    """Exact integer-argument ``C(y, z) / C(x, z)`` for cross-validation.
+
+    Used by tests to confirm the continuous extension agrees with the exact
+    hypergeometric expression on integer inputs.
+    """
+    for name, value in (("x", x), ("y", y), ("z", z)):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise AnalysisError(f"{name} must be an integer, got {value!r}")
+    if x <= 0 or z < 0 or z > x:
+        raise AnalysisError(f"invalid arguments x={x}, y={y}, z={z}")
+    y = min(max(y, 0), x)
+    if y < z:
+        return 0.0
+    return math.comb(y, z) / math.comb(x, z)
+
+
+def no_fresh_disclosure_probability(m: Number, n: Number, breakins: Number) -> float:
+    """Probability a given node is *not* disclosed by any of ``breakins``
+    broken-in previous-layer nodes, ``(1 - m/n)^b`` (Eq. 3).
+
+    ``breakins`` may be fractional (average-case). The base is clamped into
+    ``[0, 1]`` so one-to-all mappings (``m = n``) yield exactly 0 whenever
+    at least one break-in occurred.
+    """
+    n = float(n)
+    m = float(m)
+    breakins = max(0.0, float(breakins))
+    if n <= 0:
+        raise AnalysisError(f"layer size n must be > 0, got {n}")
+    if m < 0 or m > n:
+        raise AnalysisError(f"mapping degree m={m} out of range [0, {n}]")
+    base = min(1.0, max(0.0, 1.0 - m / n))
+    if breakins == 0.0:
+        return 1.0
+    if base == 0.0:
+        return 0.0
+    return base**breakins
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` into ``[lo, hi]`` (used for average-case set sizes)."""
+    if hi < lo:
+        raise AnalysisError(f"empty clamp interval [{lo}, {hi}]")
+    return min(hi, max(lo, value))

@@ -1,0 +1,155 @@
+"""Local sensitivity analysis of ``P_S`` — the paper's question, as a tool.
+
+Every evaluation section of the paper asks "how sensitive is ``P_S`` to
+X?" for one X at a time. :func:`sensitivity_profile` answers it for all of
+them at once at any operating point: each design and attack parameter is
+perturbed (multiplicatively for continuous parameters, by one unit for
+integers) and the resulting ``P_S`` deltas are returned sorted by impact —
+a tornado diagram in table form, telling an operator which knob matters
+most *where the system currently stands*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.core.architecture import SOSArchitecture
+from repro.core.attack_models import SuccessiveAttack
+from repro.core.model import evaluate
+from repro.errors import ConfigurationError
+
+Attack = SuccessiveAttack
+
+
+@dataclasses.dataclass(frozen=True)
+class Sensitivity:
+    """Effect of one parameter perturbation on ``P_S``."""
+
+    parameter: str
+    base_value: float
+    perturbed_value: float
+    base_p_s: float
+    perturbed_p_s: float
+
+    @property
+    def delta(self) -> float:
+        """``P_S(perturbed) - P_S(base)``."""
+        return self.perturbed_p_s - self.base_p_s
+
+    @property
+    def magnitude(self) -> float:
+        return abs(self.delta)
+
+
+def _perturb_architecture(
+    architecture: SOSArchitecture, **changes
+) -> Optional[SOSArchitecture]:
+    try:
+        return SOSArchitecture(
+            layers=changes.get("layers", architecture.layers),
+            mapping=architecture.mapping,
+            total_overlay_nodes=changes.get(
+                "total_overlay_nodes", architecture.total_overlay_nodes
+            ),
+            sos_nodes=changes.get("sos_nodes", architecture.sos_nodes),
+            distribution=architecture.distribution,
+            filters=changes.get("filters", architecture.filters),
+            filter_mapping=architecture.filter_mapping,
+            layer_mappings=architecture.layer_mappings,
+        )
+    except ConfigurationError:
+        return None
+
+
+def sensitivity_profile(
+    architecture: SOSArchitecture,
+    attack: Attack,
+    rel_step: float = 0.25,
+) -> List[Sensitivity]:
+    """Perturb every parameter once; return effects sorted by magnitude.
+
+    Continuous parameters move by ``+rel_step`` relatively; integer design
+    features move by one unit. Perturbations that leave the feasible
+    region (e.g. ``P_E`` above 1) are skipped.
+
+    Examples
+    --------
+    >>> from repro.core import SOSArchitecture, SuccessiveAttack
+    >>> profile = sensitivity_profile(
+    ...     SOSArchitecture(layers=4, mapping="one-to-two"),
+    ...     SuccessiveAttack())
+    >>> profile[0].magnitude >= profile[-1].magnitude
+    True
+    """
+    if not isinstance(attack, SuccessiveAttack):
+        raise ConfigurationError(
+            "sensitivity_profile expects a SuccessiveAttack (it spans both "
+            "attack phases); project one-burst attacks via SuccessiveAttack"
+        )
+    if not 0.0 < rel_step <= 1.0:
+        raise ConfigurationError("rel_step must be in (0, 1]")
+    base_p_s = evaluate(architecture, attack).p_s
+    results: List[Sensitivity] = []
+
+    def record(parameter: str, base, perturbed, p_s: Optional[float]) -> None:
+        if p_s is None:
+            return
+        results.append(
+            Sensitivity(
+                parameter=parameter,
+                base_value=float(base),
+                perturbed_value=float(perturbed),
+                base_p_s=base_p_s,
+                perturbed_p_s=p_s,
+            )
+        )
+
+    def try_attack(**changes) -> Optional[float]:
+        try:
+            perturbed = dataclasses.replace(attack, **changes)
+            return evaluate(architecture, perturbed).p_s
+        except ConfigurationError:
+            return None
+
+    # --- attack-side parameters ---------------------------------------
+    new_nt = attack.n_t * (1 + rel_step) if attack.n_t else 100.0 * rel_step
+    record("N_T (break-in budget)", attack.n_t, new_nt,
+           try_attack(break_in_budget=new_nt))
+    new_nc = attack.n_c * (1 + rel_step) if attack.n_c else 100.0 * rel_step
+    record("N_C (congestion budget)", attack.n_c, new_nc,
+           try_attack(congestion_budget=new_nc))
+    new_pb = min(1.0, attack.p_b * (1 + rel_step)) if attack.p_b else rel_step
+    if new_pb != attack.p_b:
+        record("P_B (break-in success)", attack.p_b, new_pb,
+               try_attack(break_in_success=new_pb))
+    new_pe = min(1.0, attack.p_e * (1 + rel_step)) if attack.p_e else rel_step
+    if new_pe != attack.p_e:
+        record("P_E (prior knowledge)", attack.p_e, new_pe,
+               try_attack(prior_knowledge=new_pe))
+    record("R (rounds)", attack.rounds, attack.rounds + 1,
+           try_attack(rounds=attack.rounds + 1))
+
+    # --- design-side parameters ---------------------------------------
+    def try_design(**changes) -> Optional[float]:
+        perturbed = _perturb_architecture(architecture, **changes)
+        if perturbed is None:
+            return None
+        try:
+            return evaluate(perturbed, attack).p_s
+        except ConfigurationError:
+            return None
+
+    record("L (layers)", architecture.layers, architecture.layers + 1,
+           try_design(layers=architecture.layers + 1))
+    new_n = int(round(architecture.sos_nodes * (1 + rel_step)))
+    record("n (SOS nodes)", architecture.sos_nodes, new_n,
+           try_design(sos_nodes=new_n))
+    new_total = int(round(architecture.total_overlay_nodes * (1 + rel_step)))
+    record("N (overlay population)", architecture.total_overlay_nodes,
+           new_total, try_design(total_overlay_nodes=new_total))
+    record("filters", architecture.filters, architecture.filters + 1,
+           try_design(filters=architecture.filters + 1))
+
+    results.sort(key=lambda s: s.magnitude, reverse=True)
+    return results

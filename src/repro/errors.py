@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime protocol failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An architecture, attack, or experiment was configured inconsistently.
+
+    Raised eagerly at construction time (e.g. a mapping degree larger than
+    the next layer, a negative budget, node counts that do not sum to ``n``)
+    so that invalid states never reach the analytical or simulation code.
+    """
+
+
+class AnalysisError(ReproError, ArithmeticError):
+    """The analytical model reached a numerically invalid state.
+
+    This signals a bug or an input far outside the model's domain (e.g. a
+    probability outside ``[0, 1]`` after clamping), never an expected
+    condition.
+    """
+
+
+class RoutingError(ReproError, RuntimeError):
+    """An overlay or Chord routing operation could not complete."""
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """An SOS protocol invariant was violated (bad hop, failed verification)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A simulation run was configured or driven inconsistently."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment harness failure (unknown figure id, empty sweep...)."""

@@ -1,0 +1,16 @@
+"""Experiment harness regenerating every figure in the paper's evaluation."""
+
+from repro.experiments.figures import PAPER_FIGURES, REGISTRY, available, run_figure
+from repro.experiments.report import render_markdown, render_text
+from repro.experiments.result import Claim, FigureResult
+
+__all__ = [
+    "PAPER_FIGURES",
+    "REGISTRY",
+    "available",
+    "run_figure",
+    "render_markdown",
+    "render_text",
+    "Claim",
+    "FigureResult",
+]

@@ -1,0 +1,264 @@
+"""Ablations on the design decisions DESIGN.md calls out.
+
+Not paper figures, but each probes one modeling or architectural choice:
+
+* :func:`ablation_filters` — how the filter-ring size changes ``P_S``
+  (the paper fixes 10 filters without justification);
+* :func:`ablation_prior_knowledge` — ``P_E`` sweep, isolating the value of
+  the attacker's pre-attack intelligence;
+* :func:`ablation_breakin_success` — ``P_B`` sweep (hardening nodes);
+* :func:`ablation_tradeoff` — the break-in vs congestion Pareto frontier,
+  making §5's "clear trade-off" claim concrete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.architecture import SOSArchitecture
+from repro.core.attack_models import OneBurstAttack, SuccessiveAttack
+from repro.core.design_space import enumerate_designs, tradeoff_frontier
+from repro.core.model import evaluate
+from repro.experiments import config
+from repro.experiments.result import Claim, FigureResult, non_decreasing, non_increasing
+
+FILTER_SWEEP = (1, 2, 5, 10, 20, 50)
+PE_SWEEP = (0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+PB_SWEEP = (0.0, 0.1, 0.25, 0.5, 0.75, 1.0)
+
+
+def _arch(layers: int = 4, mapping: str = "one-to-two", **kwargs) -> SOSArchitecture:
+    defaults = dict(
+        total_overlay_nodes=config.TOTAL_OVERLAY_NODES,
+        sos_nodes=config.SOS_NODES,
+        filters=config.FILTERS,
+    )
+    defaults.update(kwargs)
+    return SOSArchitecture(layers=layers, mapping=mapping, **defaults)
+
+
+def ablation_filters() -> FigureResult:
+    """P_S vs filter-ring size under the default successive attack."""
+    series: Dict[str, List[float]] = {}
+    for mapping in ("one-to-one", "one-to-two", "one-to-five"):
+        values = []
+        for filters in FILTER_SWEEP:
+            arch = _arch(mapping=mapping, filters=filters)
+            values.append(evaluate(arch, SuccessiveAttack()).p_s)
+        series[mapping] = values
+    claims = [
+        Claim(
+            # Allow 1e-3 slack: each disclosed filter diverts one unit of
+            # congestion budget from the overlay, producing a second-order
+            # ~1e-4 wiggle in the average-case model.
+            "more filters never hurt (one-to-two, within 1e-3)",
+            non_decreasing(series["one-to-two"], slack=1e-3),
+        ),
+        Claim(
+            "a single filter is a liability under disclosure-driven attacks "
+            "(one-to-two: P_S at 1 filter below P_S at 10 filters)",
+            series["one-to-two"][0] <= series["one-to-two"][3] + 1e-9,
+        ),
+    ]
+    return FigureResult(
+        figure_id="abl-filters",
+        title="Ablation: P_S vs filter-ring size (successive defaults, L=4)",
+        x_label="filters",
+        x_values=list(FILTER_SWEEP),
+        series=series,
+        claims=claims,
+        notes="The paper fixes 10 filters; the sweep shows the sensitivity.",
+    )
+
+
+def ablation_prior_knowledge() -> FigureResult:
+    """P_S vs the attacker's prior knowledge P_E."""
+    series: Dict[str, List[float]] = {}
+    for mapping in ("one-to-one", "one-to-two", "one-to-five"):
+        arch = _arch(mapping=mapping)
+        values = [
+            evaluate(arch, SuccessiveAttack(prior_knowledge=p_e)).p_s
+            for p_e in PE_SWEEP
+        ]
+        series[mapping] = values
+    claims = [
+        Claim(
+            "more prior knowledge never helps the defender",
+            all(non_increasing(v, slack=1e-6) for v in series.values()),
+        ),
+    ]
+    return FigureResult(
+        figure_id="abl-prior",
+        title="Ablation: P_S vs prior knowledge P_E (successive, L=4)",
+        x_label="P_E",
+        x_values=list(PE_SWEEP),
+        series=series,
+        claims=claims,
+        notes="P_E seeds round 1 of Algorithm 1 with first-layer identities.",
+    )
+
+
+def ablation_breakin_success() -> FigureResult:
+    """P_S vs per-attempt break-in success probability P_B."""
+    series: Dict[str, List[float]] = {}
+    for mapping in ("one-to-two", "one-to-five"):
+        arch = _arch(mapping=mapping)
+        values = [
+            evaluate(arch, SuccessiveAttack(break_in_success=p_b)).p_s
+            for p_b in PB_SWEEP
+        ]
+        series[mapping] = values
+    claims = [
+        Claim(
+            "hardening nodes (lower P_B) raises P_S",
+            all(non_increasing(v, slack=1e-6) for v in series.values()),
+        ),
+        Claim(
+            "with P_B=0 break-ins disclose nothing, so only prior knowledge "
+            "and congestion matter (P_S above 0.5 for one-to-two)",
+            series["one-to-two"][0] > 0.5,
+        ),
+    ]
+    return FigureResult(
+        figure_id="abl-pb",
+        title="Ablation: P_S vs break-in success probability P_B (L=4)",
+        x_label="P_B",
+        x_values=list(PB_SWEEP),
+        series=series,
+        claims=claims,
+        notes="",
+    )
+
+
+def ablation_shared_roles() -> FigureResult:
+    """§3.1's refused assumption: shared roles vs dedicated layers."""
+    from repro.baselines.shared_roles import shared_vs_dedicated
+
+    nt_sweep = (0, 200, 500, 1000, 2000)
+    architecture = _arch(layers=3, mapping="one-to-half")
+    shared_values = []
+    dedicated_values = []
+    for n_t in nt_sweep:
+        shared, dedicated = shared_vs_dedicated(
+            architecture, OneBurstAttack(break_in_budget=n_t, congestion_budget=2000)
+        )
+        shared_values.append(shared)
+        dedicated_values.append(dedicated)
+    shared_congestion, dedicated_congestion = shared_vs_dedicated(
+        architecture, OneBurstAttack(break_in_budget=0, congestion_budget=9000)
+    )
+    series = {
+        "shared roles": shared_values,
+        "dedicated layers": dedicated_values,
+    }
+    claims = [
+        Claim(
+            "shared roles beat dedicated layers under pure heavy congestion "
+            f"({shared_congestion:.3f} vs {dedicated_congestion:.3f} at N_C=9000)",
+            shared_congestion > dedicated_congestion,
+        ),
+        Claim(
+            "under break-in attacks dedicated layering dominates at every N_T > 0",
+            all(
+                d >= s - 1e-9
+                for s, d in zip(shared_values[1:], dedicated_values[1:])
+            ),
+        ),
+        Claim(
+            "shared roles collapse to ~0 at N_T=2000 while dedicated survives",
+            shared_values[-1] < 0.01 and dedicated_values[-1] > 0.2,
+        ),
+    ]
+    return FigureResult(
+        figure_id="abl-shared",
+        title="Ablation: shared roles (original SOS assumption) vs "
+        "dedicated layers under break-in",
+        x_label="N_T",
+        x_values=list(nt_sweep),
+        series=series,
+        claims=claims,
+        notes="L=3, one-to-half, N_C=2000; the reason §3.1 forbids nodes "
+        "from serving multiple layers.",
+    )
+
+
+def ablation_schedule_variants(trials: int = 35, seed: int = 17) -> FigureResult:
+    """§3.2.1's representativeness claim: quota schedules barely matter."""
+    from repro.attacks.variants import compare_schedules
+
+    architecture = _arch(
+        layers=3, total_overlay_nodes=1000, sos_nodes=45, filters=5
+    )
+    attack = SuccessiveAttack(
+        break_in_budget=100, congestion_budget=250, rounds=3, prior_knowledge=0.2
+    )
+    results = compare_schedules(architecture, attack, trials=trials, seed=seed)
+    labels = list(results)
+    values = list(results.values())
+    multi_round = [
+        results["even (paper)"],
+        results["front-loaded"],
+        results["back-loaded"],
+    ]
+    claims = [
+        Claim(
+            "multi-round schedules land within a 0.12 band "
+            "(the even split is representative)",
+            max(multi_round) - min(multi_round) < 0.12,
+        ),
+        Claim(
+            "collapsing to one round forfeits the disclosure cascade "
+            "(defender keeps more P_S)",
+            results["one-burst limit"] > results["even (paper)"] + 0.05,
+        ),
+    ]
+    return FigureResult(
+        figure_id="abl-variants",
+        title="Ablation: successive-attack quota schedules (MC)",
+        x_label="schedule",
+        x_values=list(range(1, len(labels) + 1)),
+        series={"client success rate": values},
+        claims=claims,
+        notes="schedules: "
+        + "; ".join(f"{i + 1}={l}" for i, l in enumerate(labels))
+        + f". {trials} matched trials each, N=1000 scale.",
+    )
+
+
+def ablation_tradeoff() -> FigureResult:
+    """The §5 trade-off: break-in vs congestion resilience frontier."""
+    designs = enumerate_designs(
+        layers=range(1, 9),
+        mappings=("one-to-one", "one-to-two", "one-to-five", "one-to-half", "one-to-all"),
+    )
+    frontier = tradeoff_frontier(designs)
+    labels = [point.label for point in frontier]
+    series = {
+        "break_in_resilience": [p.break_in_resilience for p in frontier],
+        "congestion_resilience": [p.congestion_resilience for p in frontier],
+    }
+    spans_both = (
+        max(series["break_in_resilience"]) > 0.1
+        and max(series["congestion_resilience"]) > 0.9
+    )
+    no_free_lunch = not any(
+        p.break_in_resilience > 0.5 and p.congestion_resilience > 0.99
+        for p in frontier
+    )
+    claims = [
+        Claim("the frontier spans both resilience axes", spans_both),
+        Claim(
+            "no design is simultaneously near-perfect on both axes "
+            "(the paper's 'clear trade-off')",
+            no_free_lunch,
+        ),
+    ]
+    return FigureResult(
+        figure_id="abl-tradeoff",
+        title="Ablation: break-in vs congestion resilience Pareto frontier",
+        x_label="frontier point",
+        x_values=list(range(1, len(frontier) + 1)),
+        series=series,
+        claims=claims,
+        notes="points: " + "; ".join(f"{i + 1}={l}" for i, l in enumerate(labels)),
+    )

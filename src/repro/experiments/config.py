@@ -1,0 +1,44 @@
+"""Canonical parameter points from the paper's evaluation sections.
+
+Sections 3.1.2 and 3.2.3 fix: ``N = 10000`` overlay nodes, ``n = 100`` SOS
+nodes, 10 filters, ``P_B = 0.5``, and (for the successive model)
+``N_T = 200``, ``N_C = 2000``, ``R = 3``, ``P_E = 0.2`` with even node
+distribution unless a figure varies them explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: System-side defaults (§3.1.2).
+TOTAL_OVERLAY_NODES = 10_000
+SOS_NODES = 100
+FILTERS = 10
+BREAK_IN_SUCCESS = 0.5
+
+#: Attack-side defaults for the successive model (§3.2.3).
+BREAK_IN_BUDGET = 200
+CONGESTION_BUDGET = 2_000
+ROUNDS = 3
+PRIOR_KNOWLEDGE = 0.2
+
+#: Layer counts swept on the x-axis of Figs. 4 and 6.
+LAYER_SWEEP: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
+
+#: Mapping degrees used in Fig. 4 (§3.1.2).
+FIG4_MAPPINGS: Tuple[str, ...] = ("one-to-one", "one-to-half", "one-to-all")
+
+#: Mapping degrees used in Fig. 6 (§3.2.3 introduces one-to-two/five).
+FIG6_MAPPINGS: Tuple[str, ...] = (
+    "one-to-one",
+    "one-to-two",
+    "one-to-five",
+    "one-to-half",
+    "one-to-all",
+)
+
+#: Round counts swept in Fig. 7.
+ROUND_SWEEP: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
+
+#: Break-in budgets swept in Fig. 8.
+BREAK_IN_SWEEP: Tuple[int, ...] = (0, 100, 200, 400, 800, 1600, 3200, 6400)

@@ -1,0 +1,82 @@
+"""Monte Carlo re-rendering of a paper figure.
+
+``val-mc`` checks agreement pointwise on a mixed grid; this experiment
+re-draws an actual paper curve — Fig. 4(a)'s one-to-one series — entirely
+by simulation (deploy, attack, forward packets) next to the analytical
+series, so a reader can see the two curves lie on top of each other.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.architecture import SOSArchitecture
+from repro.core.attack_models import OneBurstAttack
+from repro.core.model import evaluate
+from repro.experiments import config
+from repro.experiments.result import Claim, FigureResult
+from repro.simulation.monte_carlo import estimate_ps
+
+MC_LAYERS = (1, 2, 3, 5, 8)
+
+
+def fig4a_monte_carlo(trials: int = 60, seed: int = 41) -> FigureResult:
+    """Fig. 4(a), one-to-one mapping, re-drawn by executed attacks."""
+    attack = OneBurstAttack(break_in_budget=0, congestion_budget=6000)
+    analytic: List[float] = []
+    simulated: List[float] = []
+    ci_low: List[float] = []
+    ci_high: List[float] = []
+    for layers in MC_LAYERS:
+        architecture = SOSArchitecture(
+            layers=layers,
+            mapping="one-to-one",
+            total_overlay_nodes=config.TOTAL_OVERLAY_NODES,
+            sos_nodes=config.SOS_NODES,
+            filters=config.FILTERS,
+        )
+        analytic.append(evaluate(architecture, attack).p_s)
+        estimate = estimate_ps(
+            architecture, attack, trials=trials, clients_per_trial=4, seed=seed
+        )
+        simulated.append(estimate.mean)
+        low, high = estimate.ci95
+        ci_low.append(low)
+        ci_high.append(high)
+
+    agreements = [
+        low - 0.08 <= a <= high + 0.08
+        for a, low, high in zip(analytic, ci_low, ci_high)
+    ]
+    max_gap = max(abs(a - s) for a, s in zip(analytic, simulated))
+    claims = [
+        Claim(
+            "the analytical curve lies within the MC confidence band "
+            f"(+0.08 margin) at every L ({sum(agreements)}/{len(agreements)})",
+            all(agreements),
+        ),
+        Claim(
+            f"max |analytic - MC| <= 0.10 across the curve (measured {max_gap:.3f})",
+            max_gap <= 0.10,
+        ),
+        Claim(
+            "both renderings agree the curve decays with L",
+            analytic[0] > analytic[-1] and simulated[0] > simulated[-1],
+        ),
+    ]
+    return FigureResult(
+        figure_id="fig4a-mc",
+        title="Fig. 4(a) one-to-one series re-drawn by Monte Carlo "
+        "(N_T=0, N_C=6000)",
+        x_label="L",
+        x_values=list(MC_LAYERS),
+        series={
+            "analytical": analytic,
+            "monte_carlo": simulated,
+            "mc_ci_low": ci_low,
+            "mc_ci_high": ci_high,
+        },
+        claims=claims,
+        notes=f"{trials} deployments per point, 4 clients each; full "
+        "attack execution, not the average-case formulas.",
+    )

@@ -1,0 +1,95 @@
+"""Registry of every reproducible experiment, keyed by its DESIGN.md id."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments.ablations import (
+    ablation_breakin_success,
+    ablation_filters,
+    ablation_prior_knowledge,
+    ablation_schedule_variants,
+    ablation_shared_roles,
+    ablation_tradeoff,
+)
+from repro.experiments.extensions import (
+    extension_game,
+    extension_latency,
+    extension_monitoring,
+    extension_placement,
+    extension_priority,
+    extension_repair,
+    extension_sensitivity,
+    extension_underlay,
+)
+from repro.experiments.baseline_figs import baseline_overlay_size
+from repro.experiments.fig4 import fig4a, fig4b
+from repro.experiments.fig_mc import fig4a_monte_carlo
+from repro.experiments.fig_nc import nc_sensitivity, nc_sensitivity_pure_congestion
+from repro.experiments.fig6 import fig6a, fig6b
+from repro.experiments.fig7 import fig7
+from repro.experiments.fig8 import fig8a, fig8b
+from repro.experiments.result import FigureResult
+from repro.experiments.validation import validation_figure
+
+FigureFn = Callable[[], FigureResult]
+
+REGISTRY: Dict[str, FigureFn] = {
+    "fig4a": fig4a,
+    "fig4b": fig4b,
+    "fig6a": fig6a,
+    "fig6b": fig6b,
+    "fig7": fig7,
+    "fig8a": fig8a,
+    "fig8b": fig8b,
+    "val-mc": validation_figure,
+    "abl-filters": ablation_filters,
+    "abl-prior": ablation_prior_knowledge,
+    "abl-pb": ablation_breakin_success,
+    "abl-tradeoff": ablation_tradeoff,
+    "abl-shared": ablation_shared_roles,
+    "abl-variants": ablation_schedule_variants,
+    "ext-latency": extension_latency,
+    "ext-repair": extension_repair,
+    "ext-monitoring": extension_monitoring,
+    "ext-underlay": extension_underlay,
+    "ext-game": extension_game,
+    "ext-priority": extension_priority,
+    "ext-placement": extension_placement,
+    "ext-sensitivity": extension_sensitivity,
+    "fig-nc": nc_sensitivity,
+    "fig-nc-pure": nc_sensitivity_pure_congestion,
+    "base-n": baseline_overlay_size,
+    "fig4a-mc": fig4a_monte_carlo,
+}
+
+#: The figures that appear in the paper itself (vs added validation).
+PAPER_FIGURES = ("fig4a", "fig4b", "fig6a", "fig6b", "fig7", "fig8a", "fig8b")
+
+
+def available() -> List[str]:
+    return list(REGISTRY)
+
+
+def run_figure(figure_id: str, **overrides) -> FigureResult:
+    """Regenerate one figure by id.
+
+    ``overrides`` (e.g. ``trials=200, seed=7``) are forwarded to the
+    figure function when its signature accepts them and ignored otherwise,
+    so callers can rescale every Monte Carlo experiment uniformly.
+    """
+    import inspect
+
+    try:
+        fn = REGISTRY[figure_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown figure {figure_id!r}; available: {', '.join(REGISTRY)}"
+        ) from None
+    if overrides:
+        accepted = inspect.signature(fn).parameters
+        overrides = {
+            key: value for key, value in overrides.items() if key in accepted
+        }
+    return fn(**overrides)

@@ -1,0 +1,65 @@
+"""Rendering figure results as terminal tables, plots, and markdown."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.result import FigureResult
+from repro.utils.ascii_plot import ascii_plot
+from repro.utils.tables import format_table
+
+
+def render_text(result: FigureResult, plot: bool = True) -> str:
+    """Render one figure result as a table (+ optional ASCII plot)."""
+    parts: List[str] = [result.title, "=" * len(result.title)]
+    parts.append(
+        format_table(result.headers(), result.rows(), float_format=".4f")
+    )
+    if plot and len(result.x_values) > 1:
+        try:
+            parts.append(
+                ascii_plot(
+                    list(result.x_values),
+                    result.series,
+                    title="",
+                    xlabel=result.x_label,
+                    ylabel="P_S",
+                    y_min=0.0,
+                    y_max=1.0,
+                )
+            )
+        except ValueError:
+            parts.append("(no plottable points)")
+    if result.claims:
+        parts.append("Paper claims:")
+        for claim in result.claims:
+            status = "PASS" if claim.holds else "FAIL"
+            parts.append(f"  [{status}] {claim.description}")
+    if result.notes:
+        parts.append(f"Notes: {result.notes}")
+    return "\n".join(parts) + "\n"
+
+
+def render_markdown(result: FigureResult) -> str:
+    """Render one figure result as a markdown section for EXPERIMENTS.md."""
+    lines = [f"### {result.figure_id}: {result.title}", ""]
+    headers = result.headers()
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("|" + "---|" * len(headers))
+    for row in result.rows():
+        cells = [
+            f"{cell:.4f}" if isinstance(cell, float) else str(cell) for cell in row
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    if result.claims:
+        lines.append("Paper claims (machine-checked):")
+        lines.append("")
+        for claim in result.claims:
+            mark = "x" if claim.holds else " "
+            lines.append(f"- [{mark}] {claim.description}")
+        lines.append("")
+    if result.notes:
+        lines.append(f"*{result.notes}*")
+        lines.append("")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,23 @@
+"""Overlay substrate: identifier space, node population, and Chord DHT."""
+
+from repro.overlay.chord import (
+    DEFAULT_SUCCESSOR_LIST,
+    ChordNode,
+    ChordRing,
+    LookupResult,
+)
+from repro.overlay.identifiers import DEFAULT_ID_BITS, IdentifierSpace
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.node import NodeHealth, OverlayNode
+
+__all__ = [
+    "DEFAULT_ID_BITS",
+    "DEFAULT_SUCCESSOR_LIST",
+    "ChordNode",
+    "ChordRing",
+    "LookupResult",
+    "IdentifierSpace",
+    "OverlayNetwork",
+    "NodeHealth",
+    "OverlayNode",
+]

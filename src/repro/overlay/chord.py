@@ -1,0 +1,533 @@
+"""Chord distributed hash table (Stoica et al., SIGCOMM 2001).
+
+SOS routes messages to beacons and secret servlets over Chord (paper §2):
+the beacon for a target is the Chord node owning ``hash(target)``. This
+module implements the full protocol at simulation level — every node keeps
+a finger table, predecessor pointer, and successor list, and lookups hop
+through fingers exactly as the distributed protocol would, including
+failure handling via successor lists.
+
+Supported operations:
+
+* bulk :meth:`ChordRing.build` with exact routing state;
+* incremental :meth:`ChordRing.join` followed by :meth:`ChordRing.stabilize`
+  rounds (``stabilize``/``notify``/``fix_fingers`` from the paper's Fig. 6);
+* node failure (:meth:`ChordRing.fail`) and graceful departure
+  (:meth:`ChordRing.leave`), with lookups routing around dead nodes;
+* iterative :meth:`ChordRing.lookup` returning the full hop path, so tests
+  can assert the O(log N) bound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from bisect import bisect_left, bisect_right, insort
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.overlay.identifiers import DEFAULT_ID_BITS, IdentifierSpace
+
+#: Default successor-list length; Chord recommends O(log N), and 8 covers
+#: the simulated ring sizes used here.
+DEFAULT_SUCCESSOR_LIST = 8
+
+
+@dataclasses.dataclass
+class ChordNode:
+    """Routing state of one Chord participant."""
+
+    node_id: int
+    fingers: List[int] = dataclasses.field(default_factory=list)
+    successor_list: List[int] = dataclasses.field(default_factory=list)
+    predecessor: Optional[int] = None
+    alive: bool = True
+    store: Dict[int, object] = dataclasses.field(default_factory=dict)
+
+    @property
+    def successor(self) -> int:
+        """First live entry of the successor list (primary successor)."""
+        if not self.successor_list:
+            return self.node_id
+        return self.successor_list[0]
+
+
+@dataclasses.dataclass(frozen=True)
+class LookupResult:
+    """Outcome of an iterative Chord lookup."""
+
+    key: int
+    owner: Optional[int]
+    path: Tuple[int, ...]
+    succeeded: bool
+
+    @property
+    def hops(self) -> int:
+        """Number of forwarding hops (path length minus the origin)."""
+        return max(0, len(self.path) - 1)
+
+
+class ChordRing:
+    """A simulated Chord ring.
+
+    Examples
+    --------
+    >>> ring = ChordRing.build([1, 18, 36, 99, 200], bits=8)
+    >>> ring.find_successor(37)
+    99
+    >>> result = ring.lookup(37, start=1)
+    >>> result.owner
+    99
+    """
+
+    def __init__(
+        self,
+        bits: int = DEFAULT_ID_BITS,
+        successor_list_length: int = DEFAULT_SUCCESSOR_LIST,
+    ) -> None:
+        if successor_list_length < 1:
+            raise ConfigurationError("successor_list_length must be >= 1")
+        self.space = IdentifierSpace(bits)
+        self.successor_list_length = successor_list_length
+        self._nodes: Dict[int, ChordNode] = {}
+        self._alive_sorted: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        node_ids: List[int],
+        bits: int = DEFAULT_ID_BITS,
+        successor_list_length: int = DEFAULT_SUCCESSOR_LIST,
+    ) -> "ChordRing":
+        """Build a ring with exact routing state for ``node_ids``."""
+        ring = cls(bits=bits, successor_list_length=successor_list_length)
+        if not node_ids:
+            raise ConfigurationError("cannot build an empty ring")
+        unique = set()
+        for node_id in node_ids:
+            ring.space.validate(node_id)
+            if node_id in unique:
+                raise ConfigurationError(f"duplicate node id {node_id}")
+            unique.add(node_id)
+        ring._alive_sorted = sorted(unique)
+        for node_id in ring._alive_sorted:
+            ring._nodes[node_id] = ChordNode(node_id=node_id)
+        ring.rebuild_routing_state()
+        return ring
+
+    def rebuild_routing_state(self) -> None:
+        """Recompute exact fingers, successor lists, and predecessors for
+        every live node (an omniscient stabilization)."""
+        for node_id in self._alive_sorted:
+            node = self._nodes[node_id]
+            node.fingers = [
+                self._ideal_successor(self.space.finger_start(node_id, i))
+                for i in range(self.space.bits)
+            ]
+            node.successor_list = self._ideal_successor_list(node_id)
+            node.predecessor = self._ideal_predecessor(node_id)
+
+    # ------------------------------------------------------------------
+    # Oracle views (ground truth over live nodes)
+    # ------------------------------------------------------------------
+    def _ideal_successor(self, key: int) -> int:
+        """The live node owning ``key`` (first node at or after it)."""
+        if not self._alive_sorted:
+            raise RoutingError("ring has no live nodes")
+        index = bisect_left(self._alive_sorted, key)
+        if index == len(self._alive_sorted):
+            index = 0
+        return self._alive_sorted[index]
+
+    def _ideal_predecessor(self, node_id: int) -> int:
+        index = bisect_left(self._alive_sorted, node_id)
+        return self._alive_sorted[index - 1]
+
+    def _ideal_successor_list(self, node_id: int) -> List[int]:
+        ring = self._alive_sorted
+        index = bisect_right(ring, node_id)
+        length = min(self.successor_list_length, max(1, len(ring) - 1) if len(ring) > 1 else 1)
+        result = []
+        for offset in range(length):
+            result.append(ring[(index + offset) % len(ring)])
+        return result
+
+    def find_successor(self, key: int) -> int:
+        """Ground-truth owner of ``key`` among live nodes."""
+        self.space.validate(key)
+        return self._ideal_successor(key)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._alive_sorted)
+
+    def __contains__(self, node_id: int) -> bool:
+        node = self._nodes.get(node_id)
+        return node is not None and node.alive
+
+    @property
+    def live_node_ids(self) -> List[int]:
+        return list(self._alive_sorted)
+
+    def node(self, node_id: int) -> ChordNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise RoutingError(f"unknown chord node {node_id}") from None
+
+    def join(self, node_id: int) -> None:
+        """Add a node with only its successor pointer set (Chord join).
+
+        The new node learns its successor via a lookup through an existing
+        member; fingers, predecessor, and successor list converge through
+        subsequent :meth:`stabilize` rounds.
+        """
+        self.space.validate(node_id)
+        if node_id in self._nodes and self._nodes[node_id].alive:
+            raise ConfigurationError(f"node {node_id} already in the ring")
+        node = ChordNode(node_id=node_id)
+        if self._alive_sorted:
+            successor = self._ideal_successor(node_id)
+            node.successor_list = [successor]
+            node.fingers = [successor] * self.space.bits
+        else:
+            node.successor_list = [node_id]
+            node.fingers = [node_id] * self.space.bits
+        node.predecessor = None
+        self._nodes[node_id] = node
+        insort(self._alive_sorted, node_id)
+
+    def fail(self, node_id: int) -> None:
+        """Crash-fail a node: it disappears without notifying anyone.
+
+        Other nodes' routing state still references it until stabilization
+        (or :meth:`rebuild_routing_state`) repairs the ring; lookups route
+        around it via successor lists in the meantime.
+        """
+        node = self.node(node_id)
+        if not node.alive:
+            return
+        node.alive = False
+        index = bisect_left(self._alive_sorted, node_id)
+        if index < len(self._alive_sorted) and self._alive_sorted[index] == node_id:
+            self._alive_sorted.pop(index)
+        if not self._alive_sorted:
+            raise RoutingError("last live node failed; ring is empty")
+
+    def leave(self, node_id: int) -> None:
+        """Graceful departure: hand pointers over before going away."""
+        node = self.node(node_id)
+        if not node.alive:
+            return
+        predecessor_id = self._ideal_predecessor(node_id)
+        successor_id = self._ideal_successor((node_id + 1) % self.space.size)
+        self.fail(node_id)
+        if predecessor_id != node_id:
+            predecessor = self._nodes[predecessor_id]
+            predecessor.successor_list = self._ideal_successor_list(predecessor_id)
+        if successor_id != node_id:
+            successor = self._nodes[successor_id]
+            if successor.predecessor == node_id:
+                successor.predecessor = predecessor_id if predecessor_id != node_id else None
+
+    # ------------------------------------------------------------------
+    # Stabilization protocol (Chord Fig. 6)
+    # ------------------------------------------------------------------
+    def stabilize(self, rounds: int = 1) -> None:
+        """Run ``rounds`` of stabilize/notify/fix_fingers on every live node."""
+        if rounds < 1:
+            raise ConfigurationError("rounds must be >= 1")
+        for _ in range(rounds):
+            for node_id in list(self._alive_sorted):
+                node = self._nodes[node_id]
+                if node.alive:
+                    self._stabilize_node(node)
+            for node_id in list(self._alive_sorted):
+                node = self._nodes[node_id]
+                if node.alive:
+                    self._fix_fingers(node)
+                    self._refresh_successor_list(node)
+
+    def _first_live_successor(self, node: ChordNode) -> int:
+        """First live entry in the successor list, pruning dead ones."""
+        for candidate in node.successor_list:
+            if candidate in self:
+                return candidate
+        # Whole list dead: fall back to any live finger, then to self.
+        for candidate in node.fingers:
+            if candidate in self:
+                return candidate
+        return node.node_id
+
+    def _stabilize_node(self, node: ChordNode) -> None:
+        successor_id = self._first_live_successor(node)
+        successor = self._nodes[successor_id]
+        candidate = successor.predecessor
+        if (
+            candidate is not None
+            and candidate in self
+            and self.space.in_open_interval(candidate, node.node_id, successor_id)
+        ):
+            successor_id = candidate
+            successor = self._nodes[successor_id]
+        if successor_id == node.node_id and len(self._alive_sorted) > 1:
+            # Pointing at ourselves on a multi-node ring: adopt any live node.
+            successor_id = self._ideal_successor((node.node_id + 1) % self.space.size)
+            successor = self._nodes[successor_id]
+        node.successor_list = [successor_id] + [
+            s for s in node.successor_list if s != successor_id
+        ]
+        node.successor_list = node.successor_list[: self.successor_list_length]
+        # notify(successor, node)
+        if (
+            successor.predecessor is None
+            or successor.predecessor not in self
+            or self.space.in_open_interval(
+                node.node_id, successor.predecessor, successor_id
+            )
+        ):
+            if successor_id != node.node_id:
+                successor.predecessor = node.node_id
+
+    def _fix_fingers(self, node: ChordNode) -> None:
+        node.fingers = [
+            self._lookup_internal(self.space.finger_start(node.node_id, i), node.node_id)
+            or node.successor
+            for i in range(self.space.bits)
+        ]
+
+    def _refresh_successor_list(self, node: ChordNode) -> None:
+        chain = []
+        current = self._first_live_successor(node)
+        for _ in range(self.successor_list_length):
+            if current == node.node_id and chain:
+                break
+            chain.append(current)
+            current = self._first_live_successor(self._nodes[current])
+            if current in chain:
+                break
+        node.successor_list = chain or [node.node_id]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _closest_preceding_node(self, node: ChordNode, key: int) -> int:
+        for finger in reversed(node.fingers):
+            if finger in self and self.space.in_open_interval(
+                finger, node.node_id, key
+            ):
+                return finger
+        for candidate in node.successor_list:
+            if candidate in self and self.space.in_open_interval(
+                candidate, node.node_id, key
+            ):
+                return candidate
+        return node.node_id
+
+    def _lookup_internal(self, key: int, start: int) -> Optional[int]:
+        result = self.lookup(key, start)
+        return result.owner if result.succeeded else None
+
+    def lookup(self, key: int, start: int) -> LookupResult:
+        """Iteratively resolve the owner of ``key`` starting at ``start``.
+
+        Follows fingers exactly as a distributed Chord lookup would: at each
+        step the current node either answers (its live successor owns the
+        key) or forwards to the closest preceding live finger. Dead next
+        hops are skipped via successor lists. Gives up (``succeeded=False``)
+        after ``2 * bits + len(ring)`` hops, which only happens on heavily
+        corrupted routing state.
+        """
+        self.space.validate(key)
+        if start not in self:
+            raise RoutingError(f"lookup must start at a live node, got {start}")
+        path = [start]
+        current = self._nodes[start]
+        max_hops = 2 * self.space.bits + len(self._alive_sorted)
+        for _ in range(max_hops):
+            successor_id = self._first_live_successor(current)
+            if successor_id == current.node_id and len(self._alive_sorted) == 1:
+                return LookupResult(key, current.node_id, tuple(path), True)
+            if self.space.in_half_open_interval(key, current.node_id, successor_id):
+                path.append(successor_id)
+                return LookupResult(key, successor_id, tuple(path), True)
+            next_id = self._closest_preceding_node(current, key)
+            if next_id == current.node_id:
+                next_id = successor_id
+            if next_id == current.node_id:
+                break
+            path.append(next_id)
+            current = self._nodes[next_id]
+        return LookupResult(key, None, tuple(path), False)
+
+    def lookup_key(self, key_string: str, start: int) -> LookupResult:
+        """Hash ``key_string`` onto the ring and resolve its owner."""
+        return self.lookup(self.space.hash_key(key_string), start)
+
+    # ------------------------------------------------------------------
+    # Key-value storage with successor-list replication
+    # ------------------------------------------------------------------
+    # SOS beacons keep state in the DHT (the target -> servlet binding);
+    # Chord replicates each key on the owner and its next live successors
+    # so the binding survives owner failures until re-replication runs.
+
+    DEFAULT_REPLICAS = 3
+
+    def _replica_nodes(self, key: int, replicas: int) -> List[int]:
+        """The owner of ``key`` plus its next ``replicas - 1`` live
+        successors (ring order, distinct)."""
+        owner = self._ideal_successor(key)
+        nodes = [owner]
+        index = bisect_right(self._alive_sorted, owner) % max(
+            1, len(self._alive_sorted)
+        )
+        while len(nodes) < min(replicas, len(self._alive_sorted)):
+            candidate = self._alive_sorted[index % len(self._alive_sorted)]
+            index += 1
+            if candidate not in nodes:
+                nodes.append(candidate)
+        return nodes
+
+    def put(
+        self, key: int, value: object, replicas: int = DEFAULT_REPLICAS
+    ) -> List[int]:
+        """Store ``value`` under ``key`` on the owner and its replicas.
+
+        Returns the node identifiers holding a copy.
+        """
+        if replicas < 1:
+            raise ConfigurationError("replicas must be >= 1")
+        self.space.validate(key)
+        holders = self._replica_nodes(key, replicas)
+        for node_id in holders:
+            self._nodes[node_id].store[key] = value
+        return holders
+
+    def put_key(
+        self, key_string: str, value: object, replicas: int = DEFAULT_REPLICAS
+    ) -> List[int]:
+        """Hash ``key_string`` and store under the resulting identifier."""
+        return self.put(self.space.hash_key(key_string), value, replicas)
+
+    def get(self, key: int, start: Optional[int] = None) -> object:
+        """Retrieve the value for ``key``, surviving owner failures.
+
+        Routes to the owner via :meth:`lookup`; when the owner has no copy
+        (e.g. it took over the range after a crash and re-replication has
+        not run yet), its successor list is consulted for a surviving
+        replica. Raises :class:`RoutingError` when no copy is found.
+        """
+        self.space.validate(key)
+        if start is None:
+            start = self._alive_sorted[0]
+        result = self.lookup(key, start)
+        if not result.succeeded or result.owner is None:
+            raise RoutingError(f"lookup for key {key} failed")
+        owner = self._nodes[result.owner]
+        if key in owner.store:
+            return owner.store[key]
+        for candidate in owner.successor_list:
+            if candidate in self and key in self._nodes[candidate].store:
+                return self._nodes[candidate].store[key]
+        # Last resort: any live replica (models a directory-wide search).
+        for node_id in self._alive_sorted:
+            if key in self._nodes[node_id].store:
+                return self._nodes[node_id].store[key]
+        raise RoutingError(f"no surviving replica for key {key}")
+
+    def get_key(self, key_string: str, start: Optional[int] = None) -> object:
+        """Hash ``key_string`` and retrieve the stored value."""
+        return self.get(self.space.hash_key(key_string), start)
+
+    def maintain_replicas(self, replicas: int = DEFAULT_REPLICAS) -> int:
+        """Restore the replication factor after churn.
+
+        For every stored key, copies the value onto missing replica nodes
+        and drops copies from nodes outside the replica set. Returns the
+        number of copy operations performed.
+        """
+        if replicas < 1:
+            raise ConfigurationError("replicas must be >= 1")
+        # Collect the surviving copies.
+        values: Dict[int, object] = {}
+        holders: Dict[int, List[int]] = {}
+        for node_id in self._alive_sorted:
+            for key, value in self._nodes[node_id].store.items():
+                values[key] = value
+                holders.setdefault(key, []).append(node_id)
+        copies = 0
+        for key, value in values.items():
+            desired = set(self._replica_nodes(key, replicas))
+            current = set(holders.get(key, ()))
+            for node_id in desired - current:
+                self._nodes[node_id].store[key] = value
+                copies += 1
+            for node_id in current - desired:
+                del self._nodes[node_id].store[key]
+        return copies
+
+    def replica_count(self, key: int) -> int:
+        """Number of live nodes currently holding ``key``."""
+        return sum(
+            1
+            for node_id in self._alive_sorted
+            if key in self._nodes[node_id].store
+        )
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def lookup_statistics(self, samples: int = 200, rng=None) -> "LookupStatistics":
+        """Sample random lookups and summarize hop counts and correctness.
+
+        Used by operational dashboards and tests asserting the O(log N)
+        bound; lookups start at uniformly random live nodes with uniformly
+        random keys.
+        """
+        import numpy as np
+
+        if samples < 1:
+            raise ConfigurationError("samples must be >= 1")
+        generator = np.random.default_rng(rng) if not isinstance(
+            rng, np.random.Generator
+        ) else rng
+        hops: List[int] = []
+        correct = 0
+        failed = 0
+        live = self._alive_sorted
+        for _ in range(samples):
+            key = int(generator.integers(0, self.space.size))
+            start = live[int(generator.integers(0, len(live)))]
+            result = self.lookup(key, start)
+            if not result.succeeded:
+                failed += 1
+                continue
+            if result.owner == self.find_successor(key):
+                correct += 1
+                hops.append(result.hops)
+        return LookupStatistics(
+            samples=samples,
+            correct=correct,
+            failed=failed,
+            mean_hops=sum(hops) / len(hops) if hops else float("nan"),
+            max_hops=max(hops) if hops else 0,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class LookupStatistics:
+    """Aggregate outcome of sampled Chord lookups."""
+
+    samples: int
+    correct: int
+    failed: int
+    mean_hops: float
+    max_hops: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.samples

@@ -1,0 +1,90 @@
+"""Identifier space for the overlay: an m-bit ring with consistent hashing.
+
+SOS routes through a Chord ring (paper §2, ref [2]); Chord places nodes and
+keys on a circular identifier space of size ``2**bits`` using a cryptographic
+hash. This module provides the hashing and the modular-interval arithmetic
+every Chord operation relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ConfigurationError
+
+#: Default identifier width. 32 bits is ample for simulated overlays of
+#: tens of thousands of nodes while keeping identifiers readable.
+DEFAULT_ID_BITS = 32
+
+
+class IdentifierSpace:
+    """An ``m``-bit circular identifier space with SHA-1 based hashing.
+
+    Examples
+    --------
+    >>> space = IdentifierSpace(8)
+    >>> space.size
+    256
+    >>> space.contains(space.hash_key("target:example"))
+    True
+    """
+
+    def __init__(self, bits: int = DEFAULT_ID_BITS) -> None:
+        if not isinstance(bits, int) or isinstance(bits, bool):
+            raise ConfigurationError(f"bits must be an integer, got {bits!r}")
+        if not 1 <= bits <= 160:
+            raise ConfigurationError(f"bits must be in [1, 160], got {bits}")
+        self.bits = bits
+        self.size = 1 << bits
+
+    def hash_key(self, key: str) -> int:
+        """Map an arbitrary string key onto the ring (consistent hashing)."""
+        digest = hashlib.sha1(key.encode("utf-8")).digest()
+        return int.from_bytes(digest, "big") % self.size
+
+    def contains(self, identifier: int) -> bool:
+        """True when ``identifier`` is a valid point on this ring."""
+        return isinstance(identifier, int) and 0 <= identifier < self.size
+
+    def validate(self, identifier: int) -> int:
+        """Return ``identifier`` or raise if it is outside the ring."""
+        if not self.contains(identifier):
+            raise ConfigurationError(
+                f"identifier {identifier!r} outside ring of size {self.size}"
+            )
+        return identifier
+
+    def distance(self, start: int, end: int) -> int:
+        """Clockwise distance from ``start`` to ``end``."""
+        return (end - start) % self.size
+
+    def in_open_interval(self, value: int, start: int, end: int) -> bool:
+        """True when ``value`` lies in the clockwise-open interval
+        ``(start, end)`` on the ring.
+
+        The interval wraps; when ``start == end`` it covers the whole ring
+        minus the endpoint (Chord's convention for a single-node ring).
+        """
+        if start == end:
+            return value != start
+        return self.distance(start, value) > 0 and self.distance(
+            start, value
+        ) < self.distance(start, end)
+
+    def in_half_open_interval(self, value: int, start: int, end: int) -> bool:
+        """True when ``value`` lies in the clockwise interval ``(start, end]``.
+
+        This is the successor-ownership test: the node with identifier
+        ``end`` owns exactly the keys in ``(predecessor, end]``.
+        """
+        if start == end:
+            return True
+        return 0 < self.distance(start, value) <= self.distance(start, end)
+
+    def finger_start(self, node_id: int, index: int) -> int:
+        """Start of the ``index``-th finger interval: ``node + 2**index``."""
+        if not 0 <= index < self.bits:
+            raise ConfigurationError(
+                f"finger index {index} out of range [0, {self.bits})"
+            )
+        return (node_id + (1 << index)) % self.size

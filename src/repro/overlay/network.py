@@ -1,0 +1,168 @@
+"""The overlay network: a population of ``N`` nodes on an identifier ring.
+
+:class:`OverlayNetwork` owns the node population that both the SOS
+deployment (:mod:`repro.sos.deployment`) and the attacker
+(:mod:`repro.attacks`) operate on. It provides O(1) lookup by identifier,
+random sampling, health bookkeeping, and per-layer views.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.overlay.identifiers import DEFAULT_ID_BITS, IdentifierSpace
+from repro.overlay.node import NodeHealth, OverlayNode
+from repro.utils.seeding import SeedLike, make_rng
+
+
+class OverlayNetwork:
+    """A population of overlay nodes with unique ring identifiers.
+
+    Parameters
+    ----------
+    size:
+        Number of nodes (``N`` in the paper).
+    bits:
+        Identifier-ring width; must satisfy ``2**bits >= size``.
+    rng:
+        Seed or generator controlling identifier placement.
+
+    Examples
+    --------
+    >>> network = OverlayNetwork(100, rng=7)
+    >>> len(network)
+    100
+    >>> node = network.random_nodes(1)[0]
+    >>> network.get(node.node_id) is node
+    True
+    """
+
+    def __init__(
+        self,
+        size: int,
+        bits: int = DEFAULT_ID_BITS,
+        rng: SeedLike = None,
+    ) -> None:
+        if not isinstance(size, int) or isinstance(size, bool) or size < 1:
+            raise ConfigurationError(f"size must be a positive int, got {size!r}")
+        self.space = IdentifierSpace(bits)
+        if self.space.size < size:
+            raise ConfigurationError(
+                f"ring of size {self.space.size} cannot hold {size} unique nodes"
+            )
+        self._rng = make_rng(rng)
+        self._nodes: Dict[int, OverlayNode] = {}
+        identifiers = self._draw_unique_identifiers(size)
+        for index, node_id in enumerate(identifiers):
+            node = OverlayNode(node_id=node_id, address=f"node-{index}")
+            self._nodes[node_id] = node
+
+    def _draw_unique_identifiers(self, count: int) -> List[int]:
+        """Draw ``count`` distinct ring positions uniformly at random."""
+        if count > self.space.size // 2:
+            # Dense ring: permute the whole space (only feasible for small
+            # test rings).
+            return [int(i) for i in self._rng.permutation(self.space.size)[:count]]
+        identifiers: set = set()
+        while len(identifiers) < count:
+            needed = count - len(identifiers)
+            draws = self._rng.integers(0, self.space.size, size=needed * 2)
+            for draw in draws:
+                identifiers.add(int(draw))
+                if len(identifiers) == count:
+                    break
+        return sorted(identifiers)
+
+    # ------------------------------------------------------------------
+    # Lookup and iteration
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self):
+        return iter(self._nodes.values())
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    @property
+    def node_ids(self) -> List[int]:
+        """All identifiers, sorted clockwise from 0."""
+        return sorted(self._nodes)
+
+    def get(self, node_id: int) -> OverlayNode:
+        """Return the node with ``node_id`` or raise :class:`RoutingError`."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise RoutingError(f"no node with identifier {node_id}") from None
+
+    def nodes(self, ids: Iterable[int]) -> List[OverlayNode]:
+        """Resolve many identifiers at once."""
+        return [self.get(node_id) for node_id in ids]
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def sos_nodes(self) -> List[OverlayNode]:
+        """Nodes enrolled in the SOS system."""
+        return [node for node in self if node.is_sos]
+
+    @property
+    def plain_nodes(self) -> List[OverlayNode]:
+        """Nodes not enrolled in the SOS system."""
+        return [node for node in self if not node.is_sos]
+
+    def layer_nodes(self, layer: int) -> List[OverlayNode]:
+        """SOS nodes serving in 1-based ``layer``."""
+        return [node for node in self if node.sos_layer == layer]
+
+    def good_nodes(self) -> List[OverlayNode]:
+        return [node for node in self if node.is_good]
+
+    def bad_nodes(self) -> List[OverlayNode]:
+        return [node for node in self if node.is_bad]
+
+    def health_census(self) -> Dict[NodeHealth, int]:
+        """Counts of nodes per health state."""
+        census = {health: 0 for health in NodeHealth}
+        for node in self:
+            census[node.health] += 1
+        return census
+
+    # ------------------------------------------------------------------
+    # Sampling and mutation
+    # ------------------------------------------------------------------
+    def random_nodes(
+        self,
+        count: int,
+        rng: SeedLike = None,
+        exclude: Optional[Sequence[int]] = None,
+    ) -> List[OverlayNode]:
+        """Sample ``count`` distinct nodes uniformly at random.
+
+        ``exclude`` removes identifiers from the candidate pool; asking for
+        more nodes than remain raises :class:`ConfigurationError`.
+        """
+        generator = self._rng if rng is None else make_rng(rng)
+        excluded = set(exclude or ())
+        pool = [node_id for node_id in self._nodes if node_id not in excluded]
+        if count > len(pool):
+            raise ConfigurationError(
+                f"cannot sample {count} nodes from a pool of {len(pool)}"
+            )
+        chosen = generator.choice(len(pool), size=count, replace=False)
+        return [self._nodes[pool[int(i)]] for i in chosen]
+
+    def reset_health(self) -> None:
+        """Restore every node to GOOD (fresh trial in Monte Carlo runs)."""
+        for node in self:
+            node.recover()
+
+    def reset_roles(self) -> None:
+        """Clear SOS enrollment (layer + neighbor tables) on every node."""
+        for node in self:
+            node.sos_layer = None
+            node.neighbors = ()

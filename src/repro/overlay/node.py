@@ -1,0 +1,112 @@
+"""Overlay node model.
+
+An :class:`OverlayNode` is one of the ``N`` hosts in the overlay population.
+A subset of them is enrolled into the SOS system and given a role
+(:class:`~repro.sos.roles.Role`); the rest are plain overlay members the SOS
+nodes hide among. Nodes track their *health* — the attack simulator marks
+them compromised (broken into) or congested — and their SOS neighbor table
+(identities of next-layer nodes), which is exactly what a successful
+break-in disclosed to the attacker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import FrozenSet, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class NodeHealth(str, enum.Enum):
+    """Health of an overlay node under attack.
+
+    ``GOOD`` nodes route normally. ``COMPROMISED`` nodes were broken into
+    (the attacker read their neighbor table; they no longer route).
+    ``CONGESTED`` nodes are flooded and drop everything. Both compromised
+    and congested nodes are *bad* in the paper's terminology.
+    """
+
+    GOOD = "good"
+    COMPROMISED = "compromised"
+    CONGESTED = "congested"
+
+    @property
+    def is_bad(self) -> bool:
+        return self is not NodeHealth.GOOD
+
+
+@dataclasses.dataclass
+class OverlayNode:
+    """A host in the overlay population.
+
+    Attributes
+    ----------
+    node_id:
+        Position on the identifier ring (unique within a network).
+    address:
+        Human-readable address, e.g. ``"node-417"``.
+    sos_layer:
+        1-based SOS layer this node serves in, or ``None`` for plain overlay
+        members. The filter ring uses layer ``L+1``.
+    neighbors:
+        Identifiers of this node's next-layer SOS neighbors (its routing
+        table toward the target) — the secret a break-in discloses.
+    health:
+        Current health; see :class:`NodeHealth`.
+    """
+
+    node_id: int
+    address: str
+    sos_layer: Optional[int] = None
+    neighbors: Tuple[int, ...] = ()
+    health: NodeHealth = NodeHealth.GOOD
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.node_id, int) or isinstance(self.node_id, bool):
+            raise ConfigurationError(f"node_id must be an int, got {self.node_id!r}")
+        if self.node_id < 0:
+            raise ConfigurationError(f"node_id must be >= 0, got {self.node_id}")
+        if self.sos_layer is not None and self.sos_layer < 1:
+            raise ConfigurationError(
+                f"sos_layer must be >= 1 or None, got {self.sos_layer}"
+            )
+
+    @property
+    def is_sos(self) -> bool:
+        """True when the node is enrolled in the SOS system."""
+        return self.sos_layer is not None
+
+    @property
+    def is_good(self) -> bool:
+        """True when the node can still route traffic."""
+        return self.health is NodeHealth.GOOD
+
+    @property
+    def is_bad(self) -> bool:
+        """True when broken-into or congested (cannot route)."""
+        return self.health.is_bad
+
+    def compromise(self) -> FrozenSet[int]:
+        """Break into the node; returns the disclosed neighbor identifiers.
+
+        Compromising is idempotent; a congested node can still be broken
+        into (the attacker would not bother, but the model allows it).
+        """
+        self.health = NodeHealth.COMPROMISED
+        return frozenset(self.neighbors)
+
+    def congest(self) -> None:
+        """Flood the node. Compromised nodes stay compromised (the paper's
+        attacker never wastes congestion resources on nodes it owns)."""
+        if self.health is NodeHealth.COMPROMISED:
+            return
+        self.health = NodeHealth.CONGESTED
+
+    def recover(self) -> None:
+        """Restore the node to good health (used by repair experiments)."""
+        self.health = NodeHealth.GOOD
+
+    def set_neighbors(self, neighbors: Tuple[int, ...]) -> None:
+        """Install the SOS next-layer neighbor table."""
+        self.neighbors = tuple(neighbors)

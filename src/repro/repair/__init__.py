@@ -1,0 +1,15 @@
+"""Dynamic repair: the defender the paper defers to future work (§5)."""
+
+from repro.repair.analysis import analyze_successive_with_repair
+from repro.repair.defender import RepairingDefender
+from repro.repair.estimator import estimate_ps_with_repair, repair_benefit
+from repro.repair.policy import NO_REPAIR, RepairPolicy
+
+__all__ = [
+    "analyze_successive_with_repair",
+    "RepairingDefender",
+    "estimate_ps_with_repair",
+    "repair_benefit",
+    "NO_REPAIR",
+    "RepairPolicy",
+]

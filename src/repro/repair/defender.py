@@ -1,0 +1,93 @@
+"""The repairing defender: executes a RepairPolicy against a deployment.
+
+Plugs into :class:`~repro.attacks.strategies.SuccessiveStrategy` through
+its ``on_round_end`` hook, so repair happens exactly where the paper's
+future-work discussion places it: between successive break-in rounds,
+racing the attacker's disclosure cascade.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.attacks.knowledge import AttackerKnowledge
+from repro.repair.policy import RepairPolicy
+from repro.sos.deployment import SOSDeployment
+from repro.utils.seeding import SeedLike, make_rng
+
+
+class RepairingDefender:
+    """Scans for bad SOS nodes after each attack round and repairs them."""
+
+    def __init__(self, policy: RepairPolicy, rng: SeedLike = None) -> None:
+        self.policy = policy
+        self._rng = make_rng(rng)
+        self.repairs_per_round: Dict[int, int] = {}
+        self.total_repaired = 0
+
+    # The SuccessiveStrategy on_round_end signature.
+    def __call__(
+        self,
+        deployment: SOSDeployment,
+        knowledge: AttackerKnowledge,
+        round_index: int,
+    ) -> None:
+        repaired = self.scan_and_repair(deployment, knowledge)
+        self.repairs_per_round[round_index] = repaired
+
+    def scan_and_repair(
+        self, deployment: SOSDeployment, knowledge: AttackerKnowledge
+    ) -> int:
+        """One scan: detect, repair, re-key. Returns the repair count."""
+        if self.policy.is_noop:
+            return 0
+        detected: List[int] = []
+        for layer in range(1, deployment.architecture.layers + 2):
+            for node_id in deployment.layer_members(layer):
+                node = deployment.resolve(node_id)
+                if node.is_bad and (
+                    self._rng.random() < self.policy.detection_probability
+                ):
+                    detected.append(node_id)
+        if self.policy.capacity_per_round is not None:
+            self._rng.shuffle(detected)
+            detected = detected[: self.policy.capacity_per_round]
+        for node_id in detected:
+            self._repair_node(deployment, knowledge, node_id)
+        self.total_repaired += len(detected)
+        return len(detected)
+
+    def _repair_node(
+        self,
+        deployment: SOSDeployment,
+        knowledge: AttackerKnowledge,
+        node_id: int,
+    ) -> None:
+        node = deployment.resolve(node_id)
+        node.recover()
+        # Re-keying invalidates everything the attacker knew about the node.
+        knowledge.broken.discard(node_id)
+        knowledge.disclosed.discard(node_id)
+        knowledge.known_unattacked.discard(node_id)
+        knowledge.forfeited.discard(node_id)
+        knowledge.attempted.discard(node_id)
+        knowledge.disclosed_filters.discard(node_id)
+        if self.policy.rewire and node_id not in deployment.filters:
+            self._rewire(deployment, node_id)
+
+    def _rewire(self, deployment: SOSDeployment, node_id: int) -> None:
+        """Draw a fresh next-layer neighbor table for a repaired node."""
+        node = deployment.network.get(node_id)
+        if node.sos_layer is None:
+            return
+        next_layer = node.sos_layer + 1
+        if next_layer > deployment.architecture.layers + 1:
+            return
+        candidates = deployment.layer_members(next_layer)
+        degree = min(
+            deployment.architecture.mapping_degree(next_layer), len(candidates)
+        )
+        chosen = self._rng.choice(len(candidates), size=degree, replace=False)
+        node.set_neighbors(tuple(candidates[int(i)] for i in chosen))
+        if next_layer == deployment.architecture.layers + 1:
+            deployment.filters.allow_servlet(node_id)

@@ -1,0 +1,60 @@
+"""Repair policies: how the defender fights back between attack rounds.
+
+The paper defers system repair to future work (§5), noting that the
+successive attack is only dangerous when ``R`` stays small enough that the
+system cannot "detect and recover from an on-going attack before the
+attack is completed." This package supplies that missing defender.
+
+A :class:`RepairPolicy` describes a periodic scan that runs after every
+break-in round:
+
+* each *bad* SOS node (compromised or congested) is detected independently
+  with probability ``detection_probability``;
+* at most ``capacity_per_round`` detected nodes are repaired per scan
+  (operator bandwidth is finite); ``None`` means unbounded;
+* a repaired node recovers, is **re-keyed and re-wired** (it gets a fresh
+  neighbor table), and — crucially — every piece of attacker knowledge
+  about it becomes stale: it leaves the attacker's disclosed set, and its
+  old neighbor table is useless.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.utils.validation import check_probability
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairPolicy:
+    """Defender behavior between attack rounds.
+
+    Attributes
+    ----------
+    detection_probability:
+        Per-scan probability that a bad node is noticed.
+    capacity_per_round:
+        Maximum repairs per scan (``None`` = unlimited).
+    rewire:
+        When True (default), repaired nodes draw a fresh neighbor table, so
+        previously disclosed information about them is invalidated.
+    """
+
+    detection_probability: float = 0.5
+    capacity_per_round: Optional[int] = None
+    rewire: bool = True
+
+    def __post_init__(self) -> None:
+        check_probability("detection_probability", self.detection_probability)
+        if self.capacity_per_round is not None and self.capacity_per_round < 0:
+            raise ValueError("capacity_per_round must be >= 0 or None")
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the policy can never repair anything."""
+        return self.detection_probability == 0.0 or self.capacity_per_round == 0
+
+
+#: A defender that never repairs — reduces everything to the paper's model.
+NO_REPAIR = RepairPolicy(detection_probability=0.0)

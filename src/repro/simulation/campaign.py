@@ -1,0 +1,255 @@
+"""Campaign simulation: the attack/repair race on a simulated clock.
+
+The analytical model collapses the whole engagement into one number. This
+module replays it in time: break-in rounds land at a configurable cadence,
+the congestion phase fires when the break-in budget is spent, the defender
+scans periodically, and a measurement process probes client success
+throughout — producing the ``P_S(t)`` trajectory of the engagement.
+
+Built on :class:`~repro.simulation.engine.EventScheduler`; attack rounds
+reuse the exact Algorithm 1 case logic via
+:class:`~repro.attacks.strategies.SuccessiveStrategy` internals (one round
+per event), so the campaign's endpoint matches the one-shot executable
+attack.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.attacks.knowledge import AttackerKnowledge
+from repro.attacks.strategies import (
+    _attempt_break_ins,
+    _congestion_phase,
+    _random_break_in_pool,
+    _sample,
+)
+from repro.core.architecture import SOSArchitecture
+from repro.core.attack_models import SuccessiveAttack
+from repro.errors import SimulationError
+from repro.repair.defender import RepairingDefender
+from repro.repair.policy import NO_REPAIR, RepairPolicy
+from repro.simulation.engine import EventScheduler
+from repro.sos.deployment import SOSDeployment
+from repro.sos.protocol import SOSProtocol
+from repro.utils.seeding import SeedLike, SeedSequenceFactory
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignConfig:
+    """Timing of the engagement."""
+
+    round_interval: float = 10.0  # time between break-in rounds
+    repair_interval: float = 4.0  # time between defender scans
+    probe_interval: float = 1.0  # time between P_S measurements
+    probes_per_sample: int = 25  # client attempts per measurement
+    cooldown: float = 30.0  # observation time after the congestion phase
+
+    def __post_init__(self) -> None:
+        for name in ("round_interval", "repair_interval", "probe_interval"):
+            if getattr(self, name) <= 0:
+                raise SimulationError(f"{name} must be > 0")
+        if self.probes_per_sample < 1:
+            raise SimulationError("probes_per_sample must be >= 1")
+        if self.cooldown < 0:
+            raise SimulationError("cooldown must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignReport:
+    """Time series produced by one campaign run."""
+
+    times: Tuple[float, ...]
+    p_s: Tuple[float, ...]
+    round_times: Tuple[float, ...]
+    congestion_time: float
+    repairs_total: int
+
+    def p_s_at(self, time: float) -> float:
+        """The last measured ``P_S`` at or before ``time``."""
+        value = 1.0
+        for t, p in zip(self.times, self.p_s):
+            if t > time:
+                break
+            value = p
+        return value
+
+    @property
+    def minimum(self) -> float:
+        return min(self.p_s) if self.p_s else 1.0
+
+    @property
+    def final(self) -> float:
+        return self.p_s[-1] if self.p_s else 1.0
+
+
+class CampaignSimulation:
+    """One engagement: successive attack vs periodic repair, over time."""
+
+    def __init__(
+        self,
+        architecture: SOSArchitecture,
+        attack: SuccessiveAttack,
+        repair_policy: RepairPolicy = NO_REPAIR,
+        config: CampaignConfig = CampaignConfig(),
+        seed: SeedLike = None,
+    ) -> None:
+        self.architecture = architecture
+        self.attack = attack
+        self.config = config
+        factory = SeedSequenceFactory(seed)
+        self._rng = factory.generator()
+        self.deployment = SOSDeployment.deploy(architecture, rng=factory.generator())
+        self.protocol = SOSProtocol(self.deployment)
+        self.defender = RepairingDefender(repair_policy, rng=factory.generator())
+        self.knowledge = AttackerKnowledge()
+        self.scheduler = EventScheduler()
+
+        self._budget = int(round(attack.n_t))
+        self._quotas = [
+            (self._budget * j) // attack.rounds
+            - (self._budget * (j - 1)) // attack.rounds
+            for j in range(1, attack.rounds + 1)
+        ]
+        self._round_index = 0
+        self._round_times: List[float] = []
+        self._congestion_time: float = float("nan")
+        self._times: List[float] = []
+        self._ps: List[float] = []
+        self._done_attacking = False
+
+    # ------------------------------------------------------------------
+    # Attack process (Algorithm 1, one round per event)
+    # ------------------------------------------------------------------
+    def _prior_knowledge_phase(self) -> None:
+        first_layer = self.deployment.layer_members(1)
+        count = int(round(self.attack.p_e * len(first_layer)))
+        self.knowledge.learn_prior(_sample(self._rng, first_layer, count))
+
+    def _attack_round(self) -> None:
+        if self._done_attacking:
+            return
+        self._round_index += 1
+        self._round_times.append(self.scheduler.now)
+        known = sorted(self.knowledge.known_unattacked)
+        quota = self._quotas[self._round_index - 1]
+        stop = False
+        if len(known) >= self._budget:
+            attacked = _sample(self._rng, known, self._budget)
+            self.knowledge.forfeit(set(known) - set(attacked))
+            _attempt_break_ins(
+                self.deployment, self.knowledge, attacked, self.attack.p_b, self._rng
+            )
+            self._budget = 0
+            stop = True
+        elif self._budget <= quota:
+            extra = _sample(
+                self._rng,
+                _random_break_in_pool(self.deployment, self.knowledge),
+                self._budget - len(known),
+            )
+            _attempt_break_ins(
+                self.deployment, self.knowledge, known + extra,
+                self.attack.p_b, self._rng,
+            )
+            self._budget = 0
+            stop = True
+        elif len(known) >= quota:
+            _attempt_break_ins(
+                self.deployment, self.knowledge, known, self.attack.p_b, self._rng
+            )
+            self._budget -= len(known)
+        else:
+            extra = _sample(
+                self._rng,
+                _random_break_in_pool(self.deployment, self.knowledge),
+                quota - len(known),
+            )
+            _attempt_break_ins(
+                self.deployment, self.knowledge, known + extra,
+                self.attack.p_b, self._rng,
+            )
+            self._budget -= quota
+
+        if stop or self._budget <= 0 or self._round_index >= self.attack.rounds:
+            self._done_attacking = True
+            self.scheduler.schedule_after(
+                self.config.round_interval, self._congestion_phase_event
+            )
+        else:
+            self.scheduler.schedule_after(
+                self.config.round_interval, self._attack_round
+            )
+
+    def _congestion_phase_event(self) -> None:
+        self._congestion_time = self.scheduler.now
+        _congestion_phase(
+            self.deployment,
+            self.knowledge,
+            int(round(self.attack.n_c)),
+            self._rng,
+        )
+
+    # ------------------------------------------------------------------
+    # Defender and measurement processes
+    # ------------------------------------------------------------------
+    def _repair_scan(self, horizon: float) -> None:
+        self.defender.scan_and_repair(self.deployment, self.knowledge)
+        if self.scheduler.now + self.config.repair_interval <= horizon:
+            self.scheduler.schedule_after(
+                self.config.repair_interval, lambda: self._repair_scan(horizon)
+            )
+
+    def _probe(self, horizon: float) -> None:
+        hits = 0
+        for _ in range(self.config.probes_per_sample):
+            contacts = self.deployment.sample_client_contacts(self._rng)
+            receipt = self.protocol.send(
+                "probe", "target", contacts=contacts, rng=self._rng
+            )
+            hits += int(receipt.delivered)
+        self._times.append(self.scheduler.now)
+        self._ps.append(hits / self.config.probes_per_sample)
+        if self.scheduler.now + self.config.probe_interval <= horizon:
+            self.scheduler.schedule_after(
+                self.config.probe_interval, lambda: self._probe(horizon)
+            )
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self) -> CampaignReport:
+        """Execute the engagement; returns the measured trajectory."""
+        horizon = (
+            self.config.round_interval * (self.attack.rounds + 1)
+            + self.config.cooldown
+        )
+        self._prior_knowledge_phase()
+        self.scheduler.schedule_at(0.0, lambda: self._probe(horizon))
+        self.scheduler.schedule_after(self.config.round_interval, self._attack_round)
+        if not self.defender.policy.is_noop:
+            self.scheduler.schedule_after(
+                self.config.repair_interval, lambda: self._repair_scan(horizon)
+            )
+        self.scheduler.run(until=horizon)
+        return CampaignReport(
+            times=tuple(self._times),
+            p_s=tuple(self._ps),
+            round_times=tuple(self._round_times),
+            congestion_time=self._congestion_time,
+            repairs_total=self.defender.total_repaired,
+        )
+
+
+def run_campaign(
+    architecture: SOSArchitecture,
+    attack: SuccessiveAttack,
+    repair_policy: RepairPolicy = NO_REPAIR,
+    config: CampaignConfig = CampaignConfig(),
+    seed: Optional[int] = None,
+) -> CampaignReport:
+    """Convenience wrapper: build and run one :class:`CampaignSimulation`."""
+    return CampaignSimulation(
+        architecture, attack, repair_policy, config, seed
+    ).run()

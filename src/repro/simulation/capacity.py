@@ -1,0 +1,102 @@
+"""Node capacity and congestion dynamics for the packet-level simulation.
+
+The paper's congestion attack floods a node with traffic until it "becomes
+non functional" (§2) — it still refuses to *forward* attack traffic (hop
+verification drops it), but the flood exhausts its processing capacity so
+legitimate packets are lost too. :class:`NodeCapacity` models this with a
+token bucket: each node processes at most ``capacity`` packets per unit
+time; sustained arrivals beyond that overflow the queue and are dropped,
+and a node whose drop rate stays above ``congestion_threshold`` over a
+window is flagged congested — the packet-level analogue of the analytical
+model's binary congested state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import SimulationError
+
+
+@dataclasses.dataclass
+class NodeCapacity:
+    """Token-bucket processing capacity for one node.
+
+    Parameters
+    ----------
+    capacity:
+        Packets processed per unit time (token refill rate).
+    burst:
+        Maximum tokens accumulated while idle (queue headroom).
+    congestion_threshold:
+        Fraction of dropped packets over the observation window above which
+        the node is considered congested.
+    """
+
+    capacity: float = 100.0
+    burst: float = 200.0
+    congestion_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise SimulationError(f"capacity must be > 0, got {self.capacity}")
+        if self.burst < self.capacity:
+            raise SimulationError("burst must be >= capacity")
+        if not 0.0 < self.congestion_threshold <= 1.0:
+            raise SimulationError("congestion_threshold must be in (0, 1]")
+        self._tokens = self.burst
+        self._last_refill = 0.0
+        self._accepted = 0
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    # Token bucket
+    # ------------------------------------------------------------------
+    def _refill(self, now: float) -> None:
+        if now < self._last_refill:
+            raise SimulationError("time moved backwards in capacity model")
+        elapsed = now - self._last_refill
+        self._tokens = min(self.burst, self._tokens + elapsed * self.capacity)
+        self._last_refill = now
+
+    def offer(self, now: float, packets: float = 1.0) -> bool:
+        """Offer ``packets`` units of work at time ``now``.
+
+        Returns True when accepted (tokens available), False when dropped.
+        """
+        self._refill(now)
+        if self._tokens >= packets:
+            self._tokens -= packets
+            self._accepted += 1
+            return True
+        self._dropped += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Congestion observation
+    # ------------------------------------------------------------------
+    @property
+    def accepted(self) -> int:
+        return self._accepted
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    @property
+    def drop_rate(self) -> float:
+        total = self._accepted + self._dropped
+        return 0.0 if total == 0 else self._dropped / total
+
+    @property
+    def is_congested(self) -> bool:
+        """True when the observed drop rate exceeds the threshold."""
+        return (
+            self._accepted + self._dropped >= 10
+            and self.drop_rate >= self.congestion_threshold
+        )
+
+    def reset_window(self) -> None:
+        """Start a fresh observation window (keeps the token state)."""
+        self._accepted = 0
+        self._dropped = 0

@@ -1,0 +1,112 @@
+"""A minimal discrete-event simulation engine.
+
+The packet-level simulation (:mod:`repro.simulation.packet_sim`) needs an
+ordered event loop with deterministic tie-breaking; this module provides
+exactly that and nothing more: schedule callables at absolute or relative
+times, run until a horizon, and inspect the clock.
+
+Events scheduled at the same timestamp execute in scheduling order
+(FIFO), which keeps seeded simulations bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+Action = Callable[[], Any]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    action: Action = dataclasses.field(compare=False)
+    cancelled: bool = dataclasses.field(compare=False, default=False)
+
+
+class EventScheduler:
+    """Priority-queue event loop with a monotonically advancing clock.
+
+    Examples
+    --------
+    >>> scheduler = EventScheduler()
+    >>> log = []
+    >>> _ = scheduler.schedule_at(2.0, lambda: log.append("b"))
+    >>> _ = scheduler.schedule_at(1.0, lambda: log.append("a"))
+    >>> scheduler.run()
+    >>> log
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule_at(self, time: float, action: Action) -> _ScheduledEvent:
+        """Schedule ``action`` at absolute ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        event = _ScheduledEvent(time=time, sequence=next(self._sequence), action=action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, action: Action) -> _ScheduledEvent:
+        """Schedule ``action`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, action)
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Drain the queue, stopping at time ``until`` if given.
+
+        ``max_events`` guards against runaway self-rescheduling loops.
+        """
+        executed = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                break
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            event.action()
+            self._processed += 1
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway event loop?"
+                )
+        if until is not None and self._now < until:
+            self._now = until
+
+    def step(self) -> bool:
+        """Execute exactly one event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        event.action()
+        self._processed += 1
+        return True

@@ -1,0 +1,92 @@
+"""Statistical containers for simulation estimates."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclasses.dataclass(frozen=True)
+class PsEstimate:
+    """A Monte Carlo estimate of the path-availability probability ``P_S``.
+
+    Attributes
+    ----------
+    mean:
+        Sample mean of per-trial success indicators (or fractions).
+    variance:
+        Sample variance (unbiased) of the per-trial values.
+    trials:
+        Number of independent trials.
+    mean_bad_per_layer:
+        Average bad-node count per layer across trials, comparable to the
+        analytical ``s_i``.
+    """
+
+    mean: float
+    variance: float
+    trials: int
+    mean_bad_per_layer: Dict[int, float] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise SimulationError("an estimate needs at least one trial")
+        if not 0.0 <= self.mean <= 1.0:
+            raise SimulationError(f"P_S estimate out of range: {self.mean}")
+        if self.variance < 0:
+            raise SimulationError(f"negative variance: {self.variance}")
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the mean."""
+        return math.sqrt(self.variance / self.trials)
+
+    @property
+    def ci95(self) -> Tuple[float, float]:
+        """Normal-approximation 95% confidence interval, clipped to [0,1]."""
+        half = 1.96 * self.std_error
+        return (max(0.0, self.mean - half), min(1.0, self.mean + half))
+
+    def agrees_with(self, analytical: float, tolerance: float = 0.05) -> bool:
+        """True when ``analytical`` lies within the CI widened by ``tolerance``.
+
+        The analytical model is an average-case approximation, not the exact
+        expectation, so validation allows a modeling-error margin on top of
+        the sampling error.
+        """
+        lo, hi = self.ci95
+        return lo - tolerance <= analytical <= hi + tolerance
+
+
+def summarize_indicators(values, bad_counts=None) -> PsEstimate:
+    """Build a :class:`PsEstimate` from per-trial success values.
+
+    ``values`` are per-trial success fractions in ``[0, 1]``;
+    ``bad_counts`` is an optional iterable of per-trial ``{layer: bad}``
+    dictionaries averaged into ``mean_bad_per_layer``.
+    """
+    values = list(values)
+    if not values:
+        raise SimulationError("no trials to summarize")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        variance = 0.0
+    mean_bad: Dict[int, float] = {}
+    if bad_counts:
+        totals: Dict[int, float] = {}
+        count = 0
+        for per_layer in bad_counts:
+            count += 1
+            for layer, bad in per_layer.items():
+                totals[layer] = totals.get(layer, 0.0) + bad
+        if count:
+            mean_bad = {layer: total / count for layer, total in totals.items()}
+    return PsEstimate(
+        mean=mean, variance=variance, trials=n, mean_bad_per_layer=mean_bad
+    )

@@ -1,0 +1,40 @@
+"""Executable SOS protocol: roles, authentication, deployment, forwarding."""
+
+from repro.sos.auth import HopAuthenticator
+from repro.sos.deployment import SOSDeployment
+from repro.sos.filters import FilterRing
+from repro.sos.multi_target import MultiTargetSOS, TargetSite
+from repro.sos.packets import DeliveryReceipt, Packet
+from repro.sos.placement import (
+    deploy_with_placement,
+    diverse_enrollment,
+    placement_resilience,
+)
+from repro.sos.priority import (
+    PriorityClient,
+    PriorityProvisioner,
+    ProvisionedPath,
+    priority_advantage,
+)
+from repro.sos.protocol import SOSProtocol
+from repro.sos.roles import Role, role_for_layer
+
+__all__ = [
+    "HopAuthenticator",
+    "SOSDeployment",
+    "FilterRing",
+    "DeliveryReceipt",
+    "MultiTargetSOS",
+    "Packet",
+    "TargetSite",
+    "deploy_with_placement",
+    "diverse_enrollment",
+    "placement_resilience",
+    "PriorityClient",
+    "PriorityProvisioner",
+    "ProvisionedPath",
+    "priority_advantage",
+    "SOSProtocol",
+    "Role",
+    "role_for_layer",
+]

@@ -1,0 +1,229 @@
+"""Deploying a generalized SOS architecture onto a concrete overlay.
+
+:class:`SOSDeployment` turns an abstract :class:`~repro.core.SOSArchitecture`
+into running state: it enrolls ``n`` overlay nodes into layers, wires the
+random neighbor tables that realize the mapping degrees ``m_i``, stands up
+the filter ring, registers everyone with the hop authenticator, and builds
+a Chord ring over the SOS membership (the lookup substrate beacons use).
+
+This is the object both the executable attacker (:mod:`repro.attacks`) and
+the packet forwarder (:mod:`repro.sos.protocol`) operate on, and the thing
+the Monte Carlo validator repeatedly instantiates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.architecture import SOSArchitecture
+from repro.errors import ConfigurationError
+from repro.overlay.chord import ChordRing
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.node import OverlayNode
+from repro.sos.auth import HopAuthenticator
+from repro.sos.filters import FilterRing
+from repro.sos.roles import Role, role_for_layer
+from repro.utils.seeding import SeedLike, make_rng
+
+
+class SOSDeployment:
+    """A generalized SOS instance deployed over an overlay network.
+
+    Use :meth:`deploy` rather than the constructor.
+
+    Examples
+    --------
+    >>> from repro.core import SOSArchitecture
+    >>> arch = SOSArchitecture(layers=3, mapping="one-to-half",
+    ...                        total_overlay_nodes=500, sos_nodes=60)
+    >>> deployment = SOSDeployment.deploy(arch, rng=7)
+    >>> [len(deployment.layer_members(i)) for i in (1, 2, 3)]
+    [20, 20, 20]
+    """
+
+    def __init__(
+        self,
+        architecture: SOSArchitecture,
+        network: OverlayNetwork,
+        filters: FilterRing,
+        authenticator: HopAuthenticator,
+        chord: ChordRing,
+        layer_membership: Dict[int, List[int]],
+    ) -> None:
+        self.architecture = architecture
+        self.network = network
+        self.filters = filters
+        self.authenticator = authenticator
+        self.chord = chord
+        self._layer_membership = layer_membership
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def deploy(
+        cls,
+        architecture: SOSArchitecture,
+        network: Optional[OverlayNetwork] = None,
+        rng: SeedLike = None,
+    ) -> "SOSDeployment":
+        """Enroll nodes, wire neighbor tables, and stand up the system."""
+        generator = make_rng(rng)
+        if network is None:
+            network = OverlayNetwork(
+                architecture.total_overlay_nodes, rng=generator
+            )
+        elif len(network) != architecture.total_overlay_nodes:
+            raise ConfigurationError(
+                f"network has {len(network)} nodes but the architecture "
+                f"expects N={architecture.total_overlay_nodes}"
+            )
+        network.reset_roles()
+        network.reset_health()
+
+        layer_sizes = architecture.integer_layer_sizes
+        sos_nodes = network.random_nodes(sum(layer_sizes), rng=generator)
+        generator.shuffle(sos_nodes)  # type: ignore[arg-type]
+
+        layer_membership: Dict[int, List[int]] = {}
+        cursor = 0
+        for layer_index, size in enumerate(layer_sizes, start=1):
+            members = sos_nodes[cursor : cursor + size]
+            cursor += size
+            for node in members:
+                node.sos_layer = layer_index
+            layer_membership[layer_index] = sorted(n.node_id for n in members)
+
+        filters = FilterRing(
+            count=architecture.filters,
+            layer=architecture.layers + 1,
+            id_offset=network.space.size,
+        )
+        layer_membership[architecture.layers + 1] = filters.filter_ids
+
+        authenticator = HopAuthenticator(architecture.layers + 1)
+        for layer, members in layer_membership.items():
+            for member in members:
+                authenticator.enroll(layer, member)
+
+        deployment = cls(
+            architecture=architecture,
+            network=network,
+            filters=filters,
+            authenticator=authenticator,
+            chord=ChordRing.build(
+                sorted(node.node_id for node in sos_nodes),
+                bits=network.space.bits,
+            ),
+            layer_membership=layer_membership,
+        )
+        deployment._wire_neighbor_tables(generator)
+        return deployment
+
+    def _wire_neighbor_tables(self, generator) -> None:
+        """Give every layer-``i`` node ``m_{i+1}`` random next-layer neighbors."""
+        arch = self.architecture
+        for layer in range(1, arch.layers + 1):
+            next_layer = layer + 1
+            candidates = self._layer_membership[next_layer]
+            degree = arch.mapping_degree(next_layer)
+            degree = min(degree, len(candidates))
+            for node_id in self._layer_membership[layer]:
+                chosen = generator.choice(
+                    len(candidates), size=degree, replace=False
+                )
+                neighbors = tuple(candidates[int(i)] for i in chosen)
+                self.network.get(node_id).set_neighbors(neighbors)
+                if next_layer == arch.layers + 1:
+                    for filter_id in neighbors:
+                        # Every servlet that knows a filter is whitelisted.
+                        self.filters.allow_servlet(node_id)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def layer_members(self, layer: int) -> List[int]:
+        """Sorted identifiers of 1-based ``layer`` (``L+1`` = filters)."""
+        try:
+            return list(self._layer_membership[layer])
+        except KeyError:
+            raise ConfigurationError(
+                f"layer {layer} out of range 1..{self.architecture.layers + 1}"
+            ) from None
+
+    def role_of(self, node_id: int) -> Role:
+        """Role of an enrolled node or filter."""
+        if node_id in self.filters:
+            return Role.FILTER
+        node = self.network.get(node_id)
+        if not node.is_sos:
+            raise ConfigurationError(f"node {node_id} is not enrolled in SOS")
+        return role_for_layer(node.sos_layer, self.architecture.layers)
+
+    def resolve(self, node_id: int) -> OverlayNode:
+        """Resolve an identifier against overlay nodes and filters alike."""
+        if node_id in self.filters:
+            return self.filters.get(node_id)
+        return self.network.get(node_id)
+
+    def sample_client_contacts(self, generator) -> List[int]:
+        """Draw the ``m_1`` access points a new client is given."""
+        members = self._layer_membership[1]
+        degree = min(self.architecture.mapping_degree(1), len(members))
+        chosen = generator.choice(len(members), size=degree, replace=False)
+        return [members[int(i)] for i in chosen]
+
+    def good_members(self, layer: int) -> List[int]:
+        """Identifiers of still-routable members of ``layer``."""
+        return [
+            node_id
+            for node_id in self.layer_members(layer)
+            if self.resolve(node_id).is_good
+        ]
+
+    def bad_counts(self) -> Dict[int, int]:
+        """Per-layer count of bad (compromised or congested) members."""
+        return {
+            layer: sum(
+                1 for node_id in members if self.resolve(node_id).is_bad
+            )
+            for layer, members in self._layer_membership.items()
+        }
+
+    def reset_attack_state(self) -> None:
+        """Clear all health damage (fresh attack trial on the same wiring)."""
+        self.network.reset_health()
+        self.filters.reset_health()
+
+    def reassign_membership(
+        self, chosen_nodes: Sequence[int], generator
+    ) -> None:
+        """Re-enroll the SOS membership onto ``chosen_nodes``.
+
+        ``chosen_nodes`` must contain exactly ``n`` overlay identifiers;
+        they are assigned to layers in order (layer sizes unchanged),
+        authenticator enrollment is refreshed, and neighbor tables are
+        rewired. Used by underlay-aware placement
+        (:mod:`repro.sos.placement`).
+        """
+        sizes = self.architecture.integer_layer_sizes
+        if len(chosen_nodes) != sum(sizes):
+            raise ConfigurationError(
+                f"need exactly {sum(sizes)} nodes, got {len(chosen_nodes)}"
+            )
+        self.network.reset_roles()
+        self.network.reset_health()
+        cursor = 0
+        membership: Dict[int, List[int]] = {}
+        for layer_index, size in enumerate(sizes, start=1):
+            members = list(chosen_nodes[cursor : cursor + size])
+            cursor += size
+            for node_id in members:
+                self.network.get(node_id).sos_layer = layer_index
+            membership[layer_index] = sorted(members)
+        membership[self.architecture.layers + 1] = self.filters.filter_ids
+        self._layer_membership = membership
+        for layer, members in membership.items():
+            for member in members:
+                self.authenticator.enroll(layer, member)
+        self._wire_neighbor_tables(generator)

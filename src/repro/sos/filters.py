@@ -1,0 +1,89 @@
+"""The filter ring around the target (paper §2, footnote 2).
+
+Filters are special machines — typically routers in the target's ISP —
+that drop every packet whose last hop is not a currently enrolled secret
+servlet. They are *not* part of the overlay population: the attacker cannot
+break into them and cannot congest them at random; only a filter whose
+identity leaked through a broken-in servlet can be flooded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.overlay.node import NodeHealth, OverlayNode
+
+
+class FilterRing:
+    """The set of filters guarding one target.
+
+    Filter identifiers live in their own namespace (negative integers are
+    avoided; we offset above the overlay ring instead) so they can never
+    collide with overlay node identifiers.
+    """
+
+    def __init__(self, count: int, layer: int, id_offset: int) -> None:
+        if count < 1:
+            raise ConfigurationError(f"need at least one filter, got {count}")
+        if layer < 2:
+            raise ConfigurationError(
+                f"the filter layer must sit above at least one SOS layer, got {layer}"
+            )
+        self.layer = layer
+        self._filters: Dict[int, OverlayNode] = {}
+        self._allowed_servlets: Set[int] = set()
+        for index in range(count):
+            filter_id = id_offset + index
+            self._filters[filter_id] = OverlayNode(
+                node_id=filter_id,
+                address=f"filter-{index}",
+                sos_layer=layer,
+            )
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def __iter__(self):
+        return iter(self._filters.values())
+
+    def __contains__(self, filter_id: int) -> bool:
+        return filter_id in self._filters
+
+    @property
+    def filter_ids(self) -> List[int]:
+        return sorted(self._filters)
+
+    def get(self, filter_id: int) -> OverlayNode:
+        try:
+            return self._filters[filter_id]
+        except KeyError:
+            raise ProtocolError(f"unknown filter {filter_id}") from None
+
+    # ------------------------------------------------------------------
+    # Servlet admission
+    # ------------------------------------------------------------------
+    def allow_servlet(self, servlet_id: int) -> None:
+        """Whitelist a secret servlet's traffic."""
+        self._allowed_servlets.add(servlet_id)
+
+    def disallow_servlet(self, servlet_id: int) -> None:
+        self._allowed_servlets.discard(servlet_id)
+
+    def admits(self, servlet_id: int) -> bool:
+        """True when packets from ``servlet_id`` pass the firewall."""
+        return servlet_id in self._allowed_servlets
+
+    # ------------------------------------------------------------------
+    # Attack surface
+    # ------------------------------------------------------------------
+    def congest(self, filter_id: int) -> None:
+        """Flood a *disclosed* filter (the only way filters go bad)."""
+        self.get(filter_id).congest()
+
+    def good_filters(self) -> List[OverlayNode]:
+        return [f for f in self if f.health is NodeHealth.GOOD]
+
+    def reset_health(self) -> None:
+        for filter_node in self:
+            filter_node.recover()

@@ -1,0 +1,55 @@
+"""Packets flowing through the SOS overlay.
+
+A :class:`Packet` records its originator, the protected target, an opaque
+payload, and the verified hop trail — each forwarding node appends itself
+after the next hop has verified the previous hop's MAC. The trail is what
+integration tests assert on (one node per layer, strictly ascending).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import List, Optional, Tuple
+
+_SEQUENCE = itertools.count(1)
+
+
+@dataclasses.dataclass
+class Packet:
+    """A client message traversing the overlay toward the target."""
+
+    source: str
+    target: str
+    payload: bytes = b""
+    packet_id: int = dataclasses.field(default_factory=lambda: next(_SEQUENCE))
+    hop_trail: List[int] = dataclasses.field(default_factory=list)
+    mac: Optional[bytes] = None
+    mac_issuer: Optional[int] = None
+
+    def record_hop(self, node_id: int) -> None:
+        """Append a verified forwarding hop."""
+        self.hop_trail.append(node_id)
+
+    @property
+    def hops(self) -> Tuple[int, ...]:
+        return tuple(self.hop_trail)
+
+    def stamp(self, issuer: int, mac: bytes) -> None:
+        """Attach the MAC the next hop will verify."""
+        self.mac_issuer = issuer
+        self.mac = mac
+
+
+@dataclasses.dataclass(frozen=True)
+class DeliveryReceipt:
+    """Outcome of attempting to deliver a packet to the target."""
+
+    packet_id: int
+    delivered: bool
+    hop_trail: Tuple[int, ...]
+    failure_reason: Optional[str] = None
+
+    @property
+    def path_length(self) -> int:
+        return len(self.hop_trail)

@@ -1,0 +1,229 @@
+"""Packet forwarding through a deployed SOS overlay.
+
+:class:`SOSProtocol` implements the paper's routing semantics (§2-3): a
+client hands its packet to one of its ``m_1`` access points; each node
+verifies that the packet arrived from a legitimate lower-layer node (MAC +
+membership), then forwards it to one of its ``m_{i+1}`` next-layer
+neighbors, retrying within its table when a chosen neighbor turns out to be
+bad. A hop fails only when *every* neighbor in the table is bad — exactly
+the per-hop event the analytical model prices as ``P(n_i, s_i, m_i)``.
+
+Two reachability notions are exposed:
+
+* :meth:`send` — forward one packet per the distributed algorithm
+  (per-hop retry, no backtracking); matches Eq. (1)'s product form.
+* :meth:`path_exists` — global reachability through good nodes (layered
+  BFS); an upper bound on :meth:`send` used in validation experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence
+
+from repro.errors import ProtocolError
+from repro.sos.deployment import SOSDeployment
+from repro.sos.packets import DeliveryReceipt, Packet
+from repro.utils.seeding import SeedLike, make_rng
+
+
+class SOSProtocol:
+    """The forwarding plane of a deployed generalized SOS."""
+
+    def __init__(self, deployment: SOSDeployment) -> None:
+        self.deployment = deployment
+
+    # ------------------------------------------------------------------
+    # Client admission
+    # ------------------------------------------------------------------
+    def register_client(self, rng: SeedLike = None) -> List[int]:
+        """Admit a client and hand it ``m_1`` access-point contacts."""
+        return self.deployment.sample_client_contacts(make_rng(rng))
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        source: str,
+        target: str,
+        contacts: Optional[Sequence[int]] = None,
+        payload: bytes = b"",
+        rng: SeedLike = None,
+    ) -> DeliveryReceipt:
+        """Forward one packet from ``source`` toward ``target``.
+
+        ``contacts`` is the client's access-point list; omitted, a fresh one
+        is sampled (a first-time client). Returns a receipt whose
+        ``hop_trail`` contains one node per traversed layer.
+        """
+        generator = make_rng(rng)
+        deployment = self.deployment
+        arch = deployment.architecture
+        packet = Packet(source=source, target=target, payload=payload)
+
+        if contacts is None:
+            contacts = deployment.sample_client_contacts(generator)
+        current_id = self._pick_good(contacts, generator)
+        if current_id is None:
+            return DeliveryReceipt(
+                packet.packet_id,
+                delivered=False,
+                hop_trail=packet.hops,
+                failure_reason="all access points bad",
+            )
+        # Clients are admitted at pseudo-layer 0.
+        packet.stamp(
+            issuer=0,
+            mac=deployment.authenticator._mac(0, 0, packet.packet_id),
+        )
+        packet.record_hop(current_id)
+
+        for layer in range(1, arch.layers + 1):
+            node = deployment.resolve(current_id)
+            if node.sos_layer != layer:
+                raise ProtocolError(
+                    f"node {current_id} serves layer {node.sos_layer}, "
+                    f"expected {layer}"
+                )
+            # Stamp on behalf of this layer, then pick a live next hop.
+            mac = deployment.authenticator.issue(layer, current_id, packet.packet_id)
+            packet.stamp(issuer=current_id, mac=mac)
+            next_id = self._pick_good(node.neighbors, generator)
+            if next_id is None:
+                return DeliveryReceipt(
+                    packet.packet_id,
+                    delivered=False,
+                    hop_trail=packet.hops,
+                    failure_reason=f"all layer-{layer + 1} neighbors bad",
+                )
+            if not deployment.authenticator.verify(
+                layer, current_id, packet.packet_id, packet.mac
+            ):
+                return DeliveryReceipt(
+                    packet.packet_id,
+                    delivered=False,
+                    hop_trail=packet.hops,
+                    failure_reason=f"hop verification failed at layer {layer}",
+                )
+            packet.record_hop(next_id)
+            current_id = next_id
+
+        # current_id is now a filter; it admits only whitelisted servlets.
+        servlet_id = packet.hop_trail[-2] if len(packet.hop_trail) >= 2 else None
+        if servlet_id is None or not deployment.filters.admits(servlet_id):
+            return DeliveryReceipt(
+                packet.packet_id,
+                delivered=False,
+                hop_trail=packet.hops,
+                failure_reason="filter rejected non-servlet traffic",
+            )
+        return DeliveryReceipt(
+            packet.packet_id, delivered=True, hop_trail=packet.hops
+        )
+
+    def _pick_good(
+        self, candidates: Sequence[int], generator
+    ) -> Optional[int]:
+        """Uniformly pick a good node among ``candidates`` (retry-in-table)."""
+        good = [
+            node_id
+            for node_id in candidates
+            if self.deployment.resolve(node_id).is_good
+        ]
+        if not good:
+            return None
+        return good[int(generator.integers(0, len(good)))]
+
+    # ------------------------------------------------------------------
+    # Global reachability
+    # ------------------------------------------------------------------
+    def path_exists(self, contacts: Sequence[int]) -> bool:
+        """True when some all-good path connects ``contacts`` to the target.
+
+        Layered BFS through good nodes only; unlike :meth:`send` it may
+        backtrack, so it upper-bounds the forwarding success probability.
+        """
+        deployment = self.deployment
+        frontier = deque(
+            node_id
+            for node_id in contacts
+            if deployment.resolve(node_id).is_good
+        )
+        visited = set(frontier)
+        target_layer = deployment.architecture.layers + 1
+        while frontier:
+            node_id = frontier.popleft()
+            node = deployment.resolve(node_id)
+            if node.sos_layer == target_layer:
+                return True
+            for neighbor_id in node.neighbors:
+                if neighbor_id in visited:
+                    continue
+                visited.add(neighbor_id)
+                if deployment.resolve(neighbor_id).is_good:
+                    frontier.append(neighbor_id)
+        return False
+
+    # ------------------------------------------------------------------
+    # Beacon lookup via Chord
+    # ------------------------------------------------------------------
+    def beacon_for(self, target: str, start_id: Optional[int] = None) -> int:
+        """The SOS node responsible for ``target`` under Chord routing.
+
+        The original SOS hashes the target's identity and routes over Chord
+        to the owning node (the target's *beacon*). Returns the owner's
+        identifier; raises :class:`ProtocolError` when the lookup fails.
+        """
+        chord = self.deployment.chord
+        if start_id is None:
+            start_id = chord.live_node_ids[0]
+        result = chord.lookup_key(f"target:{target}", start=start_id)
+        if not result.succeeded or result.owner is None:
+            raise ProtocolError(f"chord lookup for target {target!r} failed")
+        return result.owner
+
+    # ------------------------------------------------------------------
+    # Target directory (beacon state in the DHT)
+    # ------------------------------------------------------------------
+    def publish_target(
+        self, target: str, servlet_id: int, replicas: int = 3
+    ) -> List[int]:
+        """Bind ``target`` to a secret servlet in the beacon directory.
+
+        In SOS, beacons know which secret servlet serves a target; we store
+        that binding in the Chord DHT, replicated on the beacon's successor
+        list so it survives beacon failures. Only enrolled servlets can be
+        published. Returns the holder node identifiers.
+        """
+        servlets = set(
+            self.deployment.layer_members(self.deployment.architecture.layers)
+        )
+        if servlet_id not in servlets:
+            raise ProtocolError(
+                f"node {servlet_id} is not a secret servlet; cannot publish"
+            )
+        return self.deployment.chord.put_key(
+            f"target:{target}", servlet_id, replicas=replicas
+        )
+
+    def resolve_servlet(
+        self, target: str, start_id: Optional[int] = None
+    ) -> int:
+        """Look up the servlet bound to ``target`` via the beacon directory.
+
+        Raises :class:`ProtocolError` when the target was never published
+        or every replica has been lost.
+        """
+        from repro.errors import RoutingError
+
+        chord = self.deployment.chord
+        if start_id is None:
+            start_id = chord.live_node_ids[0]
+        try:
+            servlet_id = chord.get_key(f"target:{target}", start=start_id)
+        except RoutingError as exc:
+            raise ProtocolError(
+                f"no servlet binding for target {target!r}: {exc}"
+            ) from exc
+        return int(servlet_id)

@@ -1,0 +1,63 @@
+"""SOS roles: what a node at each layer of the hierarchy does.
+
+The original architecture names three layers — SOAP (Secure Overlay Access
+Point), beacons, and secret servlets — surrounded by a filter ring. The
+generalized architecture keeps the *functions* but allows any number of
+intermediate (beacon-like) layers: layer 1 admits clients, layer ``L``
+talks to the filters, and layers ``2..L-1`` relay in between (paper §2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigurationError
+
+
+class Role(str, enum.Enum):
+    """Functional role of a node in the (generalized) SOS hierarchy."""
+
+    ACCESS_POINT = "access_point"  # layer 1 (SOAP)
+    BEACON = "beacon"  # layers 2 .. L-1
+    SECRET_SERVLET = "secret_servlet"  # layer L
+    FILTER = "filter"  # layer L+1, around the target
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def role_for_layer(layer: int, total_layers: int) -> Role:
+    """Map a 1-based layer index onto its role for an ``L``-layer system.
+
+    With ``L = 1`` the single SOS layer acts as both access point and
+    secret servlet; we report it as :attr:`Role.ACCESS_POINT` since client
+    admission is the externally visible function.
+
+    Examples
+    --------
+    >>> role_for_layer(1, 3)
+    <Role.ACCESS_POINT: 'access_point'>
+    >>> role_for_layer(2, 3)
+    <Role.BEACON: 'beacon'>
+    >>> role_for_layer(3, 3)
+    <Role.SECRET_SERVLET: 'secret_servlet'>
+    >>> role_for_layer(4, 3)
+    <Role.FILTER: 'filter'>
+    """
+    if not isinstance(layer, int) or isinstance(layer, bool):
+        raise ConfigurationError(f"layer must be an int, got {layer!r}")
+    if not isinstance(total_layers, int) or total_layers < 1:
+        raise ConfigurationError(
+            f"total_layers must be a positive int, got {total_layers!r}"
+        )
+    if not 1 <= layer <= total_layers + 1:
+        raise ConfigurationError(
+            f"layer {layer} out of range [1, {total_layers + 1}]"
+        )
+    if layer == total_layers + 1:
+        return Role.FILTER
+    if layer == 1:
+        return Role.ACCESS_POINT
+    if layer == total_layers:
+        return Role.SECRET_SERVLET
+    return Role.BEACON

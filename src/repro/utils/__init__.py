@@ -1,0 +1,24 @@
+"""Shared utilities: argument validation, seeded RNG, ASCII tables/plots."""
+
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+from repro.utils.seeding import SeedSequenceFactory, make_rng
+from repro.utils.tables import format_table
+from repro.utils.ascii_plot import ascii_plot
+
+__all__ = [
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "SeedSequenceFactory",
+    "make_rng",
+    "format_table",
+    "ascii_plot",
+]

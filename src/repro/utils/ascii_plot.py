@@ -1,0 +1,83 @@
+"""Terminal line plots for experiment output.
+
+Renders one or more named series on a shared y-grid using character cells.
+Used by the experiment runner so the *shape* of every reproduced figure is
+visible without matplotlib (which is not installed in this environment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 20,
+    title: Optional[str] = None,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render named ``series`` over shared ``x`` values as an ASCII chart.
+
+    Each series gets a distinct marker from a fixed cycle; a legend maps
+    markers back to series names. Values outside ``[y_min, y_max]`` are
+    clipped to the border rows.
+    """
+    if not x:
+        raise ValueError("x must be non-empty")
+    if not series:
+        raise ValueError("series must be non-empty")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, expected {len(x)}"
+            )
+
+    def is_gap(value: float) -> bool:
+        return isinstance(value, float) and value != value  # NaN marks a gap
+
+    all_values = [v for ys in series.values() for v in ys if not is_gap(v)]
+    if not all_values:
+        raise ValueError("every point is NaN; nothing to plot")
+    lo = min(all_values) if y_min is None else y_min
+    hi = max(all_values) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+    x_lo, x_hi = min(x), max(x)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(value: float) -> int:
+        return min(width - 1, max(0, round((value - x_lo) / x_span * (width - 1))))
+
+    def to_row(value: float) -> int:
+        fraction = (value - lo) / (hi - lo)
+        fraction = min(1.0, max(0.0, fraction))
+        return (height - 1) - min(height - 1, max(0, round(fraction * (height - 1))))
+
+    legend = []
+    for index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"  {marker} = {name}")
+        for xv, yv in zip(x, ys):
+            if is_gap(yv):
+                continue  # infeasible sweep points render as gaps
+            grid[to_row(yv)][to_col(xv)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ylabel} (top={hi:.3f}, bottom={lo:.3f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {xlabel}: {x_lo:g} .. {x_hi:g}")
+    lines.extend(legend)
+    return "\n".join(lines) + "\n"

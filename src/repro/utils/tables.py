@@ -1,0 +1,70 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints the same rows the paper's figures plot; this
+module renders them as aligned ASCII tables so results are readable in a
+terminal and diff-able in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def _stringify(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    float_format: str = ".4f",
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row tuples; each row must have ``len(headers)`` cells.
+    float_format:
+        ``format()`` spec applied to float cells (default 4 decimals).
+    title:
+        Optional title printed above the table.
+
+    Returns
+    -------
+    str
+        The rendered table, with a trailing newline.
+    """
+    header_cells = [str(h) for h in headers]
+    body: List[List[str]] = []
+    for row in rows:
+        cells = [_stringify(cell, float_format) for cell in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(header_cells)}: {cells!r}"
+            )
+        body.append(cells)
+
+    widths = [len(h) for h in header_cells]
+    for cells in body:
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    separator = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(header_cells))
+    lines.append(separator)
+    lines.extend(render_row(cells) for cells in body)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,67 @@
+"""Argument validation helpers used across the library.
+
+All helpers raise :class:`repro.errors.ConfigurationError` with a message
+that names the offending parameter, and return the (possibly coerced) value
+so they can be used inline in ``__post_init__`` bodies::
+
+    self.n_t = check_non_negative("n_t", n_t)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from repro.errors import ConfigurationError
+
+Number = Union[int, float]
+
+
+def _check_real(name: str, value: Number) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: Number) -> float:
+    """Validate that ``value`` is a finite number ``>= 0``."""
+    value = _check_real(name, value)
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_positive(name: str, value: Number) -> float:
+    """Validate that ``value`` is a finite number ``> 0``."""
+    value = _check_real(name, value)
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_positive_int(name: str, value: int) -> int:
+    """Validate that ``value`` is an integer ``>= 1``."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if value < 1:
+        raise ConfigurationError(f"{name} must be >= 1, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: Number) -> float:
+    """Validate that ``value`` lies in the closed interval ``[0, 1]``."""
+    value = _check_real(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: Number) -> float:
+    """Validate that ``value`` lies in the half-open interval ``(0, 1]``."""
+    value = _check_real(name, value)
+    if not 0.0 < value <= 1.0:
+        raise ConfigurationError(f"{name} must be in (0, 1], got {value!r}")
+    return value

@@ -1,0 +1,83 @@
+"""Stateful property tests: AttackerKnowledge under arbitrary op sequences.
+
+Hypothesis drives random interleavings of learning, attacking, and
+forfeiting, and after every step checks the set-algebra invariants that
+the analytical model's overlap discounting relies on (Fig. 5 of the
+paper): the pools must stay disjoint where the derivation assumes
+disjointness, and nothing may be both broken and congestible.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.attacks.knowledge import AttackerKnowledge
+
+NODE_IDS = st.integers(min_value=0, max_value=60)
+FILTER_IDS = st.integers(min_value=1000, max_value=1010)
+
+
+class KnowledgeMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.knowledge = AttackerKnowledge()
+
+    @rule(node_ids=st.lists(NODE_IDS, max_size=8))
+    def learn_prior(self, node_ids):
+        self.knowledge.learn_prior(node_ids)
+
+    @rule(
+        node_ids=st.lists(NODE_IDS, max_size=8),
+        filter_ids=st.lists(FILTER_IDS, max_size=3),
+    )
+    def learn_disclosure(self, node_ids, filter_ids):
+        self.knowledge.learn_disclosure(node_ids, filter_ids)
+
+    @rule(node_id=NODE_IDS, success=st.booleans())
+    def attempt(self, node_id, success):
+        self.knowledge.record_attempt(node_id, success)
+
+    @rule(node_ids=st.lists(NODE_IDS, max_size=8))
+    def forfeit(self, node_ids):
+        self.knowledge.forfeit(node_ids)
+
+    # ------------------------------------------------------------------
+    # Invariants the analytical bookkeeping depends on
+    # ------------------------------------------------------------------
+    @invariant()
+    def attack_pool_never_contains_attempted(self):
+        assert not (self.knowledge.known_unattacked & self.knowledge.attempted)
+
+    @invariant()
+    def broken_is_subset_of_attempted(self):
+        assert self.knowledge.broken <= self.knowledge.attempted
+
+    @invariant()
+    def congestion_targets_exclude_broken(self):
+        assert not (self.knowledge.congestion_targets & self.knowledge.broken)
+
+    @invariant()
+    def filters_never_enter_overlay_pools(self):
+        filters = self.knowledge.disclosed_filters
+        assert not (filters & self.knowledge.known_unattacked)
+        assert not (filters & self.knowledge.broken)
+
+    @invariant()
+    def snapshot_matches_sets(self):
+        snapshot = self.knowledge.snapshot()
+        assert snapshot["broken"] == len(self.knowledge.broken)
+        assert snapshot["disclosed"] == len(self.knowledge.disclosed)
+        assert snapshot["known_unattacked"] == len(self.knowledge.known_unattacked)
+
+
+KnowledgeStatefulTest = KnowledgeMachine.TestCase
+KnowledgeStatefulTest.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,123 @@
+"""Tests for successive-attack schedule variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.strategies import SuccessiveStrategy, even_quotas
+from repro.attacks.variants import (
+    ScheduledSuccessiveStrategy,
+    back_loaded_weights,
+    compare_schedules,
+    front_loaded_weights,
+    quotas_from_weights,
+)
+from repro.core import SOSArchitecture, SuccessiveAttack
+from repro.errors import ConfigurationError
+from repro.sos.deployment import SOSDeployment
+
+
+def arch():
+    return SOSArchitecture(
+        layers=3,
+        mapping="one-to-two",
+        total_overlay_nodes=1000,
+        sos_nodes=45,
+        filters=5,
+    )
+
+
+ATTACK = SuccessiveAttack(
+    break_in_budget=100, congestion_budget=250, rounds=3, prior_knowledge=0.2
+)
+
+
+class TestQuotaSchedules:
+    def test_even_quotas_sum(self):
+        assert sum(even_quotas(200, 3)) == 200
+        assert even_quotas(200, 3) == [66, 67, 67]
+
+    def test_weights_to_quotas_sum(self):
+        assert sum(quotas_from_weights(100, [1, 0.5, 0.25])) == 100
+
+    def test_front_loaded_decreasing(self):
+        weights = front_loaded_weights(4)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_back_loaded_mirrors_front(self):
+        assert back_loaded_weights(4) == list(reversed(front_loaded_weights(4)))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            front_loaded_weights(0)
+        with pytest.raises(ConfigurationError):
+            front_loaded_weights(3, decay=0.0)
+        with pytest.raises(ConfigurationError):
+            quotas_from_weights(10, [])
+        with pytest.raises(ConfigurationError):
+            quotas_from_weights(10, [-1, 2])
+        with pytest.raises(ConfigurationError):
+            ScheduledSuccessiveStrategy([0.0, 0.0])
+
+
+class TestScheduledStrategy:
+    def test_even_schedule_matches_paper_strategy(self):
+        # Equal weights reproduce SuccessiveStrategy exactly (same quotas,
+        # same RNG consumption).
+        deployment_a = SOSDeployment.deploy(arch(), rng=9)
+        deployment_b = SOSDeployment.deploy(arch(), rng=9)
+        paper = SuccessiveStrategy().execute(deployment_a, ATTACK, rng=5)
+        scheduled = ScheduledSuccessiveStrategy([1.0, 1.0, 1.0]).execute(
+            deployment_b, ATTACK, rng=5
+        )
+        assert paper.bad_per_layer() == scheduled.bad_per_layer()
+        assert paper.break_in_attempts == scheduled.break_in_attempts
+
+    def test_budget_respected_for_all_schedules(self):
+        for weights in ([1, 1, 1], front_loaded_weights(3), [1, 0, 0]):
+            deployment = SOSDeployment.deploy(arch(), rng=9)
+            outcome = ScheduledSuccessiveStrategy(weights).execute(
+                deployment, ATTACK, rng=5
+            )
+            assert outcome.break_in_attempts <= 100
+
+    def test_one_burst_limit_single_round(self):
+        deployment = SOSDeployment.deploy(arch(), rng=9)
+        outcome = ScheduledSuccessiveStrategy([1, 0, 0]).execute(
+            deployment, ATTACK, rng=5
+        )
+        assert outcome.rounds_executed == 1
+
+    def test_oversized_budget_rejected(self):
+        deployment = SOSDeployment.deploy(arch(), rng=9)
+        with pytest.raises(ConfigurationError):
+            ScheduledSuccessiveStrategy([1, 1]).execute(
+                deployment,
+                SuccessiveAttack(break_in_budget=5000, rounds=2),
+                rng=5,
+            )
+
+
+class TestRepresentativeness:
+    """The paper's claim: the even schedule is representative."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return compare_schedules(arch(), ATTACK, trials=40, seed=17)
+
+    def test_multi_round_schedules_within_band(self, results):
+        multi = [
+            results["even (paper)"],
+            results["front-loaded"],
+            results["back-loaded"],
+        ]
+        assert max(multi) - min(multi) < 0.12
+
+    def test_multi_round_beats_one_burst_for_the_attacker(self, results):
+        # Collapsing to a single round forfeits the disclosure cascade,
+        # leaving the defender strictly better off (Fig. 7's message).
+        assert results["one-burst limit"] > results["even (paper)"] + 0.05
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            compare_schedules(arch(), ATTACK, trials=0)

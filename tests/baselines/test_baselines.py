@@ -1,0 +1,108 @@
+"""Tests for the original-SOS and direct-target baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    direct_target_ps,
+    exact_random_congestion_ps,
+    generalized_model_ps,
+    original_sos_ps,
+)
+from repro.errors import ConfigurationError
+
+
+class TestExactRandomCongestion:
+    def test_no_congestion_certain_success(self):
+        assert exact_random_congestion_ps([10, 10, 10], 1000, 0) == 1.0
+
+    def test_full_congestion_certain_failure(self):
+        assert exact_random_congestion_ps([10, 10, 10], 1000, 1000) == 0.0
+
+    def test_single_layer_matches_hypergeometric(self):
+        # P(all 3 of a 3-node layer congested when 5 of 10 congested)
+        # = C(7,2)/C(10,5) ... computed directly:
+        from math import comb
+
+        expected = 1 - comb(10 - 3, 5 - 3) / comb(10, 5)
+        assert exact_random_congestion_ps([3], 10, 5) == pytest.approx(expected)
+
+    def test_monotone_in_budget(self):
+        values = [
+            exact_random_congestion_ps([5, 5], 100, nc) for nc in range(0, 101, 10)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_inclusion_exclusion_against_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        layers = [3, 4]
+        total, budget = 30, 18
+        trials = 4000
+        failures = 0
+        ids = np.arange(total)
+        for _ in range(trials):
+            congested = set(rng.choice(ids, size=budget, replace=False))
+            # Layer 1 = ids 0..2, layer 2 = ids 3..6.
+            if set(range(3)) <= congested or set(range(3, 7)) <= congested:
+                failures += 1
+        expected = 1 - failures / trials
+        assert exact_random_congestion_ps(layers, total, budget) == pytest.approx(
+            expected, abs=0.03
+        )
+
+    def test_validation_errors(self):
+        with pytest.raises(ConfigurationError):
+            exact_random_congestion_ps([0], 10, 5)
+        with pytest.raises(ConfigurationError):
+            exact_random_congestion_ps([20], 10, 5)
+        with pytest.raises(ConfigurationError):
+            exact_random_congestion_ps([5], 10, 50)
+
+
+class TestOriginalSOS:
+    def test_resilient_at_paper_scale(self):
+        # The SIGCOMM paper's headline: tiny overlays survive huge random
+        # attacks. Congesting 60% of 10000 nodes barely dents P_S.
+        assert original_sos_ps(congestion_budget=6000) > 0.95
+
+    def test_collapses_only_near_total_congestion(self):
+        assert original_sos_ps(congestion_budget=9900) < 0.5
+        assert original_sos_ps(congestion_budget=10_000) == 0.0
+
+    def test_generalized_model_tracks_exact_baseline(self):
+        for budget in (0, 2000, 5000, 8000):
+            exact = original_sos_ps(congestion_budget=budget)
+            approx = generalized_model_ps(congestion_budget=budget)
+            assert approx == pytest.approx(exact, abs=0.02)
+
+    def test_generalized_model_optimistic_at_extremes(self):
+        # The average-case model rounds the failure tail away near N_C = N;
+        # the exact baseline is the reference there.
+        exact = original_sos_ps(congestion_budget=9500)
+        approx = generalized_model_ps(congestion_budget=9500)
+        assert approx >= exact
+
+
+class TestDirectTarget:
+    def test_known_target_dies(self):
+        assert direct_target_ps(1) == 0.0
+
+    def test_no_attack_survives(self):
+        assert direct_target_ps(0) == 1.0
+
+    def test_blind_attacker_linear(self):
+        assert direct_target_ps(2000, total_addresses=10_000, target_known=False) == (
+            pytest.approx(0.8)
+        )
+
+    def test_sos_beats_direct_exposure(self):
+        # The whole point of the architecture.
+        assert original_sos_ps(2000) > direct_target_ps(2000)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            direct_target_ps(-1)
+        with pytest.raises(ConfigurationError):
+            direct_target_ps(1, total_addresses=0)

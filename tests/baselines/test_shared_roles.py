@@ -1,0 +1,98 @@
+"""Tests for the shared-roles analysis (§3.1's refused assumption)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.shared_roles import (
+    analyze_shared_roles_one_burst,
+    shared_roles_ps,
+    shared_vs_dedicated,
+)
+from repro.core import OneBurstAttack, SOSArchitecture
+from repro.errors import ConfigurationError
+
+
+def arch(mapping="one-to-half", layers=3):
+    return SOSArchitecture(layers=layers, mapping=mapping)
+
+
+class TestBasics:
+    def test_no_attack_full_availability(self):
+        assert shared_roles_ps(arch(), OneBurstAttack(0, 0)) == 1.0
+
+    def test_probability_range(self):
+        for n_t in (0, 200, 2000):
+            for n_c in (0, 2000, 8000):
+                value = shared_roles_ps(arch(), OneBurstAttack(n_t, n_c))
+                assert 0.0 <= value <= 1.0
+
+    def test_budget_validation(self):
+        with pytest.raises(ConfigurationError):
+            shared_roles_ps(arch(), OneBurstAttack(break_in_budget=20_000))
+
+    def test_breakdown_consistency(self):
+        breakdown = analyze_shared_roles_one_burst(
+            arch(), OneBurstAttack(2000, 2000)
+        )
+        assert breakdown.broken_in == pytest.approx(0.5 * breakdown.attempted)
+        assert breakdown.disclosed_unattacked >= 0
+        assert breakdown.congested >= 0
+
+    def test_fraction_mapping_resolves_against_pool(self):
+        # one-to-half of the shared 100-node pool is 50 neighbors.
+        breakdown = analyze_shared_roles_one_burst(
+            arch("one-to-half"), OneBurstAttack(0, 9000)
+        )
+        # With m=50 and 90% of the pool congested, survival is still high:
+        # the attacker must kill essentially all 100 nodes.
+        assert breakdown.p_s > 0.9
+
+
+class TestPaperArgument:
+    """§3.1: shared roles help against congestion, kill you under break-in."""
+
+    def test_shared_beats_dedicated_under_pure_heavy_congestion(self):
+        shared, dedicated = shared_vs_dedicated(
+            arch("one-to-half"), OneBurstAttack(0, 9000)
+        )
+        assert shared > dedicated
+
+    def test_shared_collapses_under_break_in(self):
+        shared, dedicated = shared_vs_dedicated(
+            arch("one-to-half"), OneBurstAttack(2000, 2000)
+        )
+        assert shared < 0.01
+        assert dedicated > 0.3
+
+    def test_disclosure_compounds_across_roles(self):
+        # The same budget discloses more in the shared design than in the
+        # dedicated one because every break-in leaks L tables.
+        from repro.core.one_burst import analyze_one_burst_breakdown
+
+        attack = OneBurstAttack(2000, 0)
+        shared = analyze_shared_roles_one_burst(arch("one-to-five"), attack)
+        dedicated = analyze_one_burst_breakdown(arch("one-to-five"), attack)
+        shared_disclosed = (
+            shared.disclosed_unattacked
+            + shared.disclosed_survived
+            + shared.disclosed_filters
+        )
+        assert shared_disclosed > dedicated.disclosed_total
+
+    def test_one_to_one_pure_congestion_scale_invariant(self):
+        # With m=1 the hop survival is 1 - s/n in both designs, so pure
+        # random congestion treats them identically.
+        shared, dedicated = shared_vs_dedicated(
+            arch("one-to-one"), OneBurstAttack(0, 6000)
+        )
+        assert shared == pytest.approx(dedicated, abs=1e-6)
+
+    def test_more_break_in_hurts_shared_more(self):
+        light_s, light_d = shared_vs_dedicated(
+            arch("one-to-five"), OneBurstAttack(200, 2000)
+        )
+        heavy_s, heavy_d = shared_vs_dedicated(
+            arch("one-to-five"), OneBurstAttack(2000, 2000)
+        )
+        assert (light_s - heavy_s) > (light_d - heavy_d)

@@ -1,0 +1,71 @@
+"""Shared fixtures and strategy helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+
+from repro.core import (
+    OneBurstAttack,
+    SOSArchitecture,
+    SuccessiveAttack,
+)
+
+# Deterministic property testing: the suite is a reproduction record, so
+# the same run must produce the same verdict everywhere.
+settings.register_profile("repro", derandomize=True, deadline=None)
+settings.load_profile("repro")
+
+#: Paper-default parameter points reused across many tests.
+PAPER_N = 10_000
+PAPER_SOS_NODES = 100
+PAPER_FILTERS = 10
+
+MAPPINGS = ["one-to-one", "one-to-two", "one-to-five", "one-to-half", "one-to-all"]
+
+
+@pytest.fixture
+def paper_architecture():
+    """A representative paper configuration: L=3, even, one-to-half."""
+    return SOSArchitecture(layers=3, mapping="one-to-half")
+
+
+@pytest.fixture
+def paper_one_burst():
+    """Default moderate one-burst attack from Fig. 4."""
+    return OneBurstAttack(break_in_budget=200, congestion_budget=2000)
+
+
+@pytest.fixture
+def paper_successive():
+    """Default successive attack from §3.2.3."""
+    return SuccessiveAttack()
+
+
+def architectures_grid():
+    """A small but diverse grid of architectures for exhaustive checks."""
+    grid = []
+    for layers in (1, 2, 3, 5, 8):
+        for mapping in ("one-to-one", "one-to-five", "one-to-half", "one-to-all"):
+            grid.append(SOSArchitecture(layers=layers, mapping=mapping))
+    for dist in ("even", "increasing", "decreasing"):
+        grid.append(SOSArchitecture(layers=4, mapping="one-to-two", distribution=dist))
+    return grid
+
+
+def attacks_grid():
+    """A diverse grid of attacks spanning both models and all regimes."""
+    grid = [
+        OneBurstAttack(break_in_budget=0, congestion_budget=0),
+        OneBurstAttack(break_in_budget=0, congestion_budget=2000),
+        OneBurstAttack(break_in_budget=0, congestion_budget=6000),
+        OneBurstAttack(break_in_budget=200, congestion_budget=2000),
+        OneBurstAttack(break_in_budget=2000, congestion_budget=2000),
+        OneBurstAttack(break_in_budget=2000, congestion_budget=10),
+        SuccessiveAttack(),
+        SuccessiveAttack(rounds=1, prior_knowledge=0.0),
+        SuccessiveAttack(rounds=5, prior_knowledge=0.5),
+        SuccessiveAttack(break_in_budget=0, congestion_budget=500),
+        SuccessiveAttack(break_in_budget=5000, congestion_budget=100, rounds=2),
+    ]
+    return grid

@@ -1,0 +1,134 @@
+"""Tests for node-distribution policies (§3.2.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.distributions import (
+    NodeDistribution,
+    decreasing_distribution,
+    distribute,
+    even_distribution,
+    increasing_distribution,
+    integerize,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEven:
+    def test_simple_split(self):
+        assert even_distribution(100, 4) == [25.0] * 4
+
+    def test_fractional_split(self):
+        sizes = even_distribution(100, 3)
+        assert sizes == pytest.approx([100 / 3] * 3)
+
+    def test_single_layer(self):
+        assert even_distribution(100, 1) == [100.0]
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            even_distribution(0, 3)
+
+
+class TestIncreasing:
+    def test_first_layer_keeps_even_share(self):
+        sizes = increasing_distribution(100, 4)
+        assert sizes[0] == pytest.approx(25.0)
+
+    def test_tail_in_increasing_proportion(self):
+        sizes = increasing_distribution(100, 4)
+        # Tail shares 1:2:3 of the remaining 75.
+        assert sizes[1:] == pytest.approx([12.5, 25.0, 37.5])
+
+    def test_total_preserved(self):
+        assert sum(increasing_distribution(100, 6)) == pytest.approx(100.0)
+
+    def test_single_layer_degenerates(self):
+        assert increasing_distribution(100, 1) == [100.0]
+
+    def test_monotone_tail(self):
+        sizes = increasing_distribution(100, 5)
+        tail = sizes[1:]
+        assert all(a < b for a, b in zip(tail, tail[1:]))
+
+
+class TestDecreasing:
+    def test_tail_in_decreasing_proportion(self):
+        sizes = decreasing_distribution(100, 4)
+        assert sizes[0] == pytest.approx(25.0)
+        assert sizes[1:] == pytest.approx([37.5, 25.0, 12.5])
+
+    def test_total_preserved(self):
+        assert sum(decreasing_distribution(100, 6)) == pytest.approx(100.0)
+
+    def test_is_mirror_of_increasing(self):
+        inc = increasing_distribution(100, 5)
+        dec = decreasing_distribution(100, 5)
+        assert inc[1:] == pytest.approx(dec[1:][::-1])
+
+
+class TestDistribute:
+    def test_by_enum(self):
+        assert distribute(100, 4, NodeDistribution.EVEN) == [25.0] * 4
+
+    def test_by_name(self):
+        assert distribute(100, 4, "increasing") == increasing_distribution(100, 4)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown node distribution"):
+            distribute(100, 4, "parabolic")
+
+
+class TestIntegerize:
+    def test_already_integral(self):
+        assert integerize([25.0, 25.0, 50.0]) == [25, 25, 50]
+
+    def test_largest_remainder(self):
+        assert integerize([33.4, 33.3, 33.3]) == [34, 33, 33]
+
+    def test_total_preserved(self):
+        result = integerize(distribute(100, 3, "even"))
+        assert sum(result) == 100
+
+    def test_increasing_distribution_totals(self):
+        for layers in range(1, 12):
+            assert sum(integerize(distribute(100, layers, "increasing"))) == 100
+            assert sum(integerize(distribute(100, layers, "decreasing"))) == 100
+
+    def test_rejects_non_integral_total(self):
+        with pytest.raises(ConfigurationError):
+            integerize([1.2, 1.3])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            integerize([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            integerize([-1.0, 2.0])
+
+
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    layers=st.integers(min_value=1, max_value=20),
+    policy=st.sampled_from(list(NodeDistribution)),
+)
+def test_property_distribution_invariants(n, layers, policy):
+    """Every policy: positive shares summing to n, one per layer."""
+    sizes = distribute(n, layers, policy)
+    assert len(sizes) == layers
+    assert all(s > 0 for s in sizes)
+    assert sum(sizes) == pytest.approx(float(n))
+
+
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    layers=st.integers(min_value=1, max_value=20),
+    policy=st.sampled_from(list(NodeDistribution)),
+)
+def test_property_integerize_preserves_total(n, layers, policy):
+    result = integerize(distribute(n, layers, policy))
+    assert sum(result) == n
+    assert all(isinstance(v, int) for v in result)

@@ -1,0 +1,112 @@
+"""Tests for the adaptive attacker / architect game."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SOSArchitecture, SuccessiveAttack, evaluate
+from repro.core.game import minimax_design, worst_case_attack
+from repro.errors import ConfigurationError
+
+
+def arch(layers=4, mapping="one-to-two"):
+    return SOSArchitecture(layers=layers, mapping=mapping)
+
+
+class TestWorstCaseAttack:
+    def test_split_grid_spans_extremes(self):
+        result = worst_case_attack(arch(), split_points=5)
+        assert result.splits[0].break_in_budget == 0.0
+        assert result.splits[-1].congestion_budget == pytest.approx(0.0)
+
+    def test_budget_conserved_on_every_split(self):
+        result = worst_case_attack(arch(), budget=2400, exchange_rate=10)
+        for split in result.splits:
+            total = split.congestion_budget + 10 * split.break_in_budget
+            assert total == pytest.approx(2400)
+
+    def test_worst_is_minimum(self):
+        result = worst_case_attack(arch())
+        assert result.worst.p_s == min(s.p_s for s in result.splits)
+        assert result.guaranteed_p_s == result.worst.p_s
+
+    def test_adaptive_attacker_at_least_as_good_as_fixed(self):
+        # The best response can't do worse than the all-congestion split.
+        result = worst_case_attack(arch(), budget=2400, exchange_rate=10)
+        fixed = evaluate(
+            arch(), SuccessiveAttack(break_in_budget=0, congestion_budget=2400)
+        ).p_s
+        assert result.guaranteed_p_s <= fixed + 1e-9
+
+    def test_mixed_split_beats_extremes_against_balanced_design(self):
+        # Against the paper's balanced design the attacker's optimum is
+        # interior: some intelligence plus lots of bandwidth.
+        result = worst_case_attack(arch(), split_points=13)
+        assert 0.0 < result.worst.break_in_share < 1.0
+
+    def test_break_in_cap_respected(self):
+        small = SOSArchitecture(
+            layers=2, mapping="one-to-two",
+            total_overlay_nodes=2000, sos_nodes=40, filters=4,
+        )
+        result = worst_case_attack(small, budget=50_000, exchange_rate=10)
+        for split in result.splits:
+            assert split.break_in_budget <= 2000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            worst_case_attack(arch(), budget=0)
+        with pytest.raises(ConfigurationError):
+            worst_case_attack(arch(), exchange_rate=0)
+        with pytest.raises(ConfigurationError):
+            worst_case_attack(arch(), split_points=1)
+
+
+class TestIteratedBestResponse:
+    def test_dynamics_cycle(self):
+        from repro.core.game import iterated_best_response
+
+        steps, cycled = iterated_best_response(iterations=6)
+        assert cycled
+        assert 2 <= len(steps) <= 6
+        # The original SOS opens the game and is immediately destroyed.
+        assert steps[0].architecture.mapping_policy.label == "one-to-all"
+        assert steps[0].p_s < 0.01
+
+    def test_overfitting_is_punished(self):
+        from repro.core.game import iterated_best_response, worst_case_attack
+
+        steps, _ = iterated_best_response(iterations=6)
+        # At least one re-design gets exploited back below the minimax
+        # guarantee of the balanced design (the lesson of the module).
+        balanced = worst_case_attack(arch()).guaranteed_p_s
+        assert any(step.p_s < balanced for step in steps)
+
+    def test_validation(self):
+        from repro.core.game import iterated_best_response
+
+        with pytest.raises(ConfigurationError):
+            iterated_best_response(iterations=0)
+
+
+class TestMinimaxDesign:
+    def test_winner_maximizes_guarantee(self):
+        designs = [arch(layers, mapping) for layers in (2, 4)
+                   for mapping in ("one-to-one", "one-to-two")]
+        winner, results = minimax_design(designs, split_points=7)
+        assert winner.guaranteed_p_s == max(r.guaranteed_p_s for r in results)
+        assert results[0] is winner
+
+    def test_default_grid_picks_balanced_design(self):
+        winner, _ = minimax_design(split_points=7)
+        assert winner.architecture.mapping_policy.label in ("one-to-2", "one-to-1")
+        assert winner.architecture.layers >= 3
+
+    def test_empty_designs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            minimax_design([])
+
+    def test_costlier_break_ins_help_the_defender(self):
+        cheap, _ = minimax_design([arch()], exchange_rate=5, split_points=9)
+        costly, _ = minimax_design([arch()], exchange_rate=40, split_points=9)
+        assert costly.guaranteed_p_s >= cheap.guaranteed_p_s - 1e-9

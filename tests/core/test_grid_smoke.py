@@ -1,0 +1,37 @@
+"""Broad smoke matrix: every grid architecture under every grid attack.
+
+Uses the shared grids from ``conftest`` to sweep ~250 (architecture,
+attack) pairs through the unified evaluator, catching regressions anywhere
+in the analytical pipeline's cross-product that the targeted tests do not
+visit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import evaluate
+from tests.conftest import architectures_grid, attacks_grid
+
+
+@pytest.mark.parametrize(
+    "architecture", architectures_grid(), ids=lambda a: a.describe()
+)
+def test_architecture_under_every_attack(architecture):
+    for attack in attacks_grid():
+        result = evaluate(architecture, attack)
+        assert 0.0 <= result.p_s <= 1.0
+        assert len(result.layers) == architecture.layers + 1
+        for layer in result.layers:
+            assert -1e-9 <= layer.bad <= layer.size + 1e-9
+
+
+def test_grids_are_nontrivial():
+    assert len(architectures_grid()) >= 20
+    assert len(attacks_grid()) >= 10
+
+
+def test_paper_fixture_configurations(paper_architecture, paper_one_burst,
+                                      paper_successive):
+    assert evaluate(paper_architecture, paper_one_burst).p_s > 0.9
+    assert 0.0 <= evaluate(paper_architecture, paper_successive).p_s <= 1.0

@@ -1,0 +1,121 @@
+"""Tests for heterogeneous per-layer mapping degrees (§2 flexibility)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    OneBurstAttack,
+    SOSArchitecture,
+    SuccessiveAttack,
+    evaluate,
+)
+from repro.errors import ConfigurationError
+from repro.sos.deployment import SOSDeployment
+
+
+class TestConfiguration:
+    def test_per_layer_degrees_resolved(self):
+        arch = SOSArchitecture(
+            layers=3,
+            layer_mappings=["one-to-five", "one-to-one", "one-to-half"],
+        )
+        # n_i = 33.33 -> degrees 5, 1, 17; filter hop follows `mapping`
+        # (default one-to-all over 10 filters).
+        assert arch.mapping_degrees == (5, 1, 17, 10)
+
+    def test_integer_shorthand_per_layer(self):
+        arch = SOSArchitecture(layers=2, layer_mappings=[3, 7])
+        assert arch.mapping_degrees[:2] == (3, 7)
+
+    def test_uniform_when_not_given(self):
+        arch = SOSArchitecture(layers=3, mapping="one-to-two")
+        assert len(set(arch.layer_mapping_policies)) == 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="layer_mappings has"):
+            SOSArchitecture(layers=3, layer_mappings=["one-to-one"])
+
+    def test_filter_mapping_still_separate(self):
+        arch = SOSArchitecture(
+            layers=2,
+            layer_mappings=[1, 1],
+            filter_mapping="one-to-all",
+        )
+        assert arch.mapping_degrees == (1, 1, 10)
+
+
+class TestAnalysis:
+    def test_evaluates_under_both_models(self):
+        arch = SOSArchitecture(
+            layers=3, layer_mappings=["one-to-five", "one-to-two", "one-to-one"]
+        )
+        for attack in (OneBurstAttack(), SuccessiveAttack()):
+            result = evaluate(arch, attack)
+            assert 0.0 <= result.p_s <= 1.0
+
+    def test_thin_deep_layers_beat_uniform_thick_under_break_in(self):
+        """Design insight: wide first hop (client access) + thin deep hops
+        (disclosure containment) outperforms uniform one-to-five under the
+        default intelligent attack."""
+        attack = SuccessiveAttack()
+        uniform = evaluate(
+            SOSArchitecture(layers=4, mapping="one-to-five"), attack
+        ).p_s
+        tapered = evaluate(
+            SOSArchitecture(
+                layers=4,
+                layer_mappings=["one-to-five", "one-to-two", "one-to-two",
+                                "one-to-one"],
+                filter_mapping="one-to-two",
+            ),
+            attack,
+        ).p_s
+        assert tapered > uniform
+
+    def test_default_filter_mapping_is_a_trap_with_layer_mappings(self):
+        # When layer_mappings is given but `mapping` is left at its
+        # one-to-all default, the servlet->filter hop stays one-to-all:
+        # one broken servlet discloses every filter and P_S collapses.
+        attack = SuccessiveAttack()
+        trap = evaluate(
+            SOSArchitecture(
+                layers=4,
+                layer_mappings=["one-to-five", "one-to-two", "one-to-two",
+                                "one-to-one"],
+            ),
+            attack,
+        ).p_s
+        assert trap == pytest.approx(0.0, abs=1e-9)
+
+    def test_degenerate_equivalence_with_uniform(self):
+        attack = SuccessiveAttack()
+        uniform = evaluate(SOSArchitecture(layers=3, mapping="one-to-two"), attack)
+        explicit = evaluate(
+            SOSArchitecture(layers=3, layer_mappings=["one-to-two"] * 3,
+                            filter_mapping="one-to-two"),
+            attack,
+        )
+        # Same degrees everywhere except possibly the filter hop default.
+        base = SOSArchitecture(layers=3, mapping="one-to-two")
+        assert explicit.p_s == pytest.approx(
+            evaluate(base, attack).p_s, abs=1e-12
+        ) or uniform.p_s == pytest.approx(explicit.p_s, abs=1e-12)
+
+
+class TestDeployment:
+    def test_wiring_respects_per_layer_degrees(self):
+        arch = SOSArchitecture(
+            layers=3,
+            layer_mappings=[2, 5, 1],
+            total_overlay_nodes=500,
+            sos_nodes=60,
+            filters=5,
+        )
+        deployment = SOSDeployment.deploy(arch, rng=3)
+        # Layer-1 nodes map into layer 2 with m_2 = 5; layer-2 nodes map
+        # into layer 3 with m_3 = 1.
+        for node_id in deployment.layer_members(1):
+            assert len(deployment.network.get(node_id).neighbors) == 5
+        for node_id in deployment.layer_members(2):
+            assert len(deployment.network.get(node_id).neighbors) == 1

@@ -1,0 +1,159 @@
+"""Property-based invariants of the analytical models.
+
+These hypothesis tests sweep random architectures and attacks and assert the
+model-level invariants that must hold for *any* input: probabilities in
+range, monotone damage in attack resources, bad sets bounded by layer sizes,
+and internal consistency between ``P_S`` and the per-hop probabilities.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.core import (
+    NodeDistribution,
+    OneBurstAttack,
+    SOSArchitecture,
+    SuccessiveAttack,
+    evaluate,
+)
+
+MAPPINGS = ["one-to-one", "one-to-two", "one-to-five", "one-to-half", "one-to-all"]
+
+
+@st.composite
+def architectures(draw):
+    layers = draw(st.integers(min_value=1, max_value=10))
+    mapping = draw(st.sampled_from(MAPPINGS))
+    distribution = draw(st.sampled_from(list(NodeDistribution)))
+    # Keep at least `layers` nodes per layer under the skewed distributions:
+    # the increasing/decreasing tails give the smallest layer roughly a
+    # 2/(L*(L-1)) share, so scale sos_nodes with layers^2.
+    sos_nodes = draw(st.integers(min_value=max(20, layers * layers), max_value=300))
+    # Keep the population an order of magnitude above the attack budgets the
+    # attack strategies draw (<= 8000 congestion), matching the paper's
+    # regime; at N_C ~= N the average-case formulas sit on a boundary where
+    # monotonicity can wobble by ~1e-6.
+    total = draw(st.integers(min_value=20_000, max_value=80_000))
+    filters = draw(st.integers(min_value=1, max_value=30))
+    try:
+        return SOSArchitecture(
+            layers=layers,
+            mapping=mapping,
+            distribution=distribution,
+            sos_nodes=sos_nodes,
+            total_overlay_nodes=max(total, sos_nodes),
+            filters=filters,
+        )
+    except ConfigurationError:
+        assume(False)
+
+
+@st.composite
+def one_burst_attacks(draw):
+    return OneBurstAttack(
+        break_in_budget=draw(st.integers(min_value=0, max_value=2000)),
+        congestion_budget=draw(st.integers(min_value=0, max_value=8000)),
+        break_in_success=draw(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        ),
+    )
+
+
+@st.composite
+def successive_attacks(draw):
+    return SuccessiveAttack(
+        break_in_budget=draw(st.integers(min_value=0, max_value=2000)),
+        congestion_budget=draw(st.integers(min_value=0, max_value=8000)),
+        break_in_success=draw(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        ),
+        rounds=draw(st.integers(min_value=1, max_value=8)),
+        prior_knowledge=draw(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        ),
+    )
+
+
+@settings(max_examples=150, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(architecture=architectures(), attack=one_burst_attacks())
+def test_one_burst_ps_is_probability(architecture, attack):
+    result = evaluate(architecture, attack)
+    assert 0.0 <= result.p_s <= 1.0
+    for p in result.hop_probabilities:
+        assert 0.0 <= p <= 1.0
+
+
+@settings(max_examples=150, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(architecture=architectures(), attack=successive_attacks())
+def test_successive_ps_is_probability(architecture, attack):
+    result = evaluate(architecture, attack)
+    assert 0.0 <= result.p_s <= 1.0
+    for p in result.hop_probabilities:
+        assert 0.0 <= p <= 1.0
+
+
+@settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(architecture=architectures(), attack=successive_attacks())
+def test_bad_sets_bounded_by_layer_sizes(architecture, attack):
+    result = evaluate(architecture, attack)
+    for layer in result.layers:
+        assert -1e-9 <= layer.bad <= layer.size + 1e-9
+        assert layer.broken_in >= -1e-9
+        assert layer.congested >= -1e-9
+
+
+@settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(architecture=architectures(), attack=successive_attacks())
+def test_ps_equals_product_of_hops(architecture, attack):
+    result = evaluate(architecture, attack)
+    product = 1.0
+    for p in result.hop_probabilities:
+        product *= p
+    assert result.p_s == pytest.approx(product, abs=1e-9)
+
+
+@settings(max_examples=75, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(
+    architecture=architectures(),
+    attack=one_burst_attacks(),
+    extra=st.integers(min_value=1, max_value=3000),
+)
+def test_more_congestion_never_helps(architecture, attack, extra):
+    stronger = OneBurstAttack(
+        break_in_budget=attack.break_in_budget,
+        congestion_budget=attack.congestion_budget + extra,
+        break_in_success=attack.break_in_success,
+    )
+    assert evaluate(architecture, stronger).p_s <= evaluate(
+        architecture, attack
+    ).p_s + 1e-9
+
+
+@settings(max_examples=75, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(
+    architecture=architectures(),
+    budget=st.integers(min_value=0, max_value=1500),
+    extra=st.integers(min_value=1, max_value=500),
+    p_b=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_more_break_in_never_helps_one_burst(architecture, budget, extra, p_b):
+    weak = OneBurstAttack(budget, 2000, p_b)
+    strong = OneBurstAttack(budget + extra, 2000, p_b)
+    assert evaluate(architecture, strong).p_s <= evaluate(architecture, weak).p_s + 1e-9
+
+
+@settings(max_examples=75, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(architecture=architectures(), attack=successive_attacks())
+def test_no_resources_means_no_damage(architecture, attack):
+    harmless = SuccessiveAttack(
+        break_in_budget=0,
+        congestion_budget=0,
+        break_in_success=attack.break_in_success,
+        rounds=attack.rounds,
+        prior_knowledge=attack.prior_knowledge,
+    )
+    result = evaluate(architecture, harmless)
+    assert result.p_s == 1.0

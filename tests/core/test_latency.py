@@ -1,0 +1,147 @@
+"""Tests for the timely-delivery (latency) analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import OneBurstAttack, SOSArchitecture, SuccessiveAttack, evaluate
+from repro.core.latency import (
+    LatencyEstimate,
+    estimate_latency,
+    expected_probes,
+    latency_availability_tradeoff,
+)
+from repro.errors import AnalysisError
+
+
+class TestExpectedProbes:
+    def test_clean_table_one_probe(self):
+        assert expected_probes(5, 0.0) == 1.0
+
+    def test_all_bad_limit_is_uniform_mean(self):
+        assert expected_probes(5, 1.0) == 3.0
+
+    def test_half_bad_two_entries(self):
+        # E = (1*0.5 + 2*0.5*0.5) / (1 - 0.25) = 0.75 / 0.75 = 1.0 ... no:
+        # k=1: 0.5; k=2: 0.5*0.5 = 0.25 -> (0.5 + 2*0.25)/(0.75) = 4/3.
+        assert expected_probes(2, 0.5) == pytest.approx(4 / 3)
+
+    def test_single_entry_table(self):
+        # Conditioned on success, the single entry was good: one probe.
+        assert expected_probes(1, 0.3) == pytest.approx(1.0)
+
+    def test_monotone_in_bad_fraction(self):
+        values = [expected_probes(8, q / 20) for q in range(20)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_table_size(self):
+        for m in (1, 2, 5, 33):
+            for q in (0.0, 0.3, 0.9, 0.99):
+                assert 1.0 <= expected_probes(m, q) <= m
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            expected_probes(0, 0.5)
+        with pytest.raises(AnalysisError):
+            expected_probes(5, 1.5)
+
+
+class TestEstimateLatency:
+    def arch(self, layers=3, mapping="one-to-half"):
+        return SOSArchitecture(layers=layers, mapping=mapping)
+
+    def test_healthy_system_baseline(self):
+        arch = self.arch()
+        performance = evaluate(arch, OneBurstAttack(0, 0))
+        estimate = estimate_latency(arch, performance, hop_latency=2.0)
+        assert estimate.hops == 4
+        assert estimate.expected_latency == pytest.approx(8.0)
+        assert estimate.expected_latency == estimate.baseline_latency
+
+    def test_damage_adds_probe_latency(self):
+        arch = self.arch()
+        performance = evaluate(arch, OneBurstAttack(0, 6000))
+        estimate = estimate_latency(arch, performance)
+        assert estimate.expected_latency > estimate.baseline_latency
+
+    def test_more_layers_longer_baseline(self):
+        for layers in (2, 4, 6):
+            arch = self.arch(layers=layers)
+            performance = evaluate(arch, OneBurstAttack(0, 0))
+            estimate = estimate_latency(arch, performance, hop_latency=1.0)
+            assert estimate.baseline_latency == layers + 1
+
+    def test_zero_probe_cost_ignores_damage(self):
+        arch = self.arch()
+        performance = evaluate(arch, OneBurstAttack(0, 6000))
+        estimate = estimate_latency(arch, performance, probe_cost=0.0)
+        assert estimate.expected_latency == estimate.baseline_latency
+
+    def test_mismatched_performance_rejected(self):
+        arch3 = self.arch(layers=3)
+        arch5 = self.arch(layers=5)
+        performance = evaluate(arch5, OneBurstAttack(0, 0))
+        with pytest.raises(AnalysisError):
+            estimate_latency(arch3, performance)
+
+    def test_bad_costs_rejected(self):
+        arch = self.arch()
+        performance = evaluate(arch, OneBurstAttack(0, 0))
+        with pytest.raises(AnalysisError):
+            estimate_latency(arch, performance, hop_latency=0.0)
+        with pytest.raises(AnalysisError):
+            estimate_latency(arch, performance, probe_cost=-1.0)
+
+
+class TestTradeoff:
+    def test_paper_section5_tradeoff_visible(self):
+        """§5: more layers -> more break-in resilience but more latency."""
+        designs = [
+            SOSArchitecture(layers=layers, mapping="one-to-two")
+            for layers in (2, 4, 6, 8)
+        ]
+        attack = SuccessiveAttack(break_in_budget=2000)
+        points = latency_availability_tradeoff(designs, attack)
+        latencies = [p.baseline_latency for p in points]
+        assert latencies == sorted(latencies)  # latency grows with L
+        # and the deepest design survives break-ins better than the shallowest
+        assert points[-1].p_s >= points[0].p_s
+
+    def test_higher_mapping_buys_availability_at_bounded_latency_cost(self):
+        """§5's mapping/latency interplay, under this model's metric.
+
+        Latency here is conditional on delivery, so one-to-one shows zero
+        retry overhead (it either succeeds first try or fails outright)
+        while one-to-half pays a small retry cost — but converts a 0.06
+        availability into certainty. The retry overhead must stay bounded
+        by the bad-fraction geometric mean (~1/(1-q) probes per hop).
+        """
+        attack = OneBurstAttack(break_in_budget=0, congestion_budget=6000)
+        one = latency_availability_tradeoff(
+            [SOSArchitecture(layers=3, mapping="one-to-one")], attack
+        )[0]
+        half = latency_availability_tradeoff(
+            [SOSArchitecture(layers=3, mapping="one-to-half")], attack
+        )[0]
+        assert one.expected_latency == pytest.approx(one.baseline_latency)
+        assert half.p_s > one.p_s + 0.9
+        # q = 0.6 bad fraction -> about 1/(1-q) = 2.5 probes per hop; with
+        # probe_cost 0.5 and 4 hops the overhead stays under 4 time units.
+        assert half.expected_latency - half.baseline_latency < 4.0
+
+    def test_labels(self):
+        points = latency_availability_tradeoff(
+            [SOSArchitecture(layers=3, mapping="one-to-two")],
+            SuccessiveAttack(),
+        )
+        assert points[0].label == "L=3 one-to-2"
+
+
+@given(
+    m=st.integers(min_value=1, max_value=40),
+    q=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_property_probes_in_range(m, q):
+    value = expected_probes(m, q)
+    assert 1.0 - 1e-12 <= value <= m + 1e-12

@@ -1,0 +1,100 @@
+"""Direct tests for LayerState / SystemPerformance containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.layer_state import LayerState, SystemPerformance, path_availability
+from repro.errors import AnalysisError
+
+
+def layer(index=1, size=20.0, degree=2, broken=1.0, congested=3.0):
+    return LayerState(
+        index=index,
+        size=size,
+        mapping_degree=degree,
+        broken_in=broken,
+        congested=congested,
+    )
+
+
+class TestLayerState:
+    def test_bad_is_sum_clamped(self):
+        assert layer(broken=1.0, congested=3.0).bad == 4.0
+        assert layer(broken=15.0, congested=15.0).bad == 20.0
+
+    def test_good_complements_bad(self):
+        state = layer()
+        assert state.good == pytest.approx(state.size - state.bad)
+
+    def test_hop_success_matches_kernel(self):
+        from repro.core.probability import hop_success_probability
+
+        state = layer()
+        assert state.hop_success == pytest.approx(
+            hop_success_probability(20.0, 4.0, 2)
+        )
+
+    def test_clean_layer_certain_hop(self):
+        assert layer(broken=0.0, congested=0.0).hop_success == 1.0
+
+    def test_dead_layer_certain_failure(self):
+        assert layer(broken=20.0, congested=0.0).hop_success == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            LayerState(index=1, size=0.0, mapping_degree=1,
+                       broken_in=0.0, congested=0.0)
+        with pytest.raises(AnalysisError):
+            LayerState(index=1, size=10.0, mapping_degree=0,
+                       broken_in=0.0, congested=0.0)
+        with pytest.raises(AnalysisError):
+            LayerState(index=1, size=10.0, mapping_degree=1,
+                       broken_in=-1.0, congested=0.0)
+
+
+class TestPathAvailability:
+    def test_product_of_hops(self):
+        layers = [layer(index=i) for i in (1, 2, 3)]
+        expected = 1.0
+        for state in layers:
+            expected *= state.hop_success
+        assert path_availability(layers) == pytest.approx(expected)
+
+    def test_empty_sequence_is_certain(self):
+        assert path_availability([]) == 1.0
+
+    def test_dead_hop_zeroes_everything(self):
+        layers = [layer(), layer(index=2, broken=20.0, congested=0.0)]
+        assert path_availability(layers) == 0.0
+
+
+class TestSystemPerformance:
+    def test_views(self):
+        layers = (layer(index=1), layer(index=2))
+        perf = SystemPerformance(
+            p_s=path_availability(layers),
+            layers=layers,
+            broken_in_total=2.0,
+            disclosed_total=5.0,
+        )
+        assert perf.hop_probabilities == tuple(
+            state.hop_success for state in layers
+        )
+        assert perf.bad_per_layer == (4.0, 4.0)
+        data = perf.as_dict()
+        assert data["n_b"] == 2.0
+        assert data["n_d"] == 5.0
+
+    def test_ps_clamped_and_validated(self):
+        layers = (layer(),)
+        perf = SystemPerformance(
+            p_s=1.0 + 5e-13, layers=layers,
+            broken_in_total=0.0, disclosed_total=0.0,
+        )
+        assert perf.p_s == 1.0
+        with pytest.raises(AnalysisError):
+            SystemPerformance(
+                p_s=1.5, layers=layers,
+                broken_in_total=0.0, disclosed_total=0.0,
+            )

@@ -1,0 +1,54 @@
+"""Tests for the unified evaluate() dispatcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AttackModel,
+    OneBurstAttack,
+    SOSArchitecture,
+    SuccessiveAttack,
+    evaluate,
+    path_availability_probability,
+)
+from repro.core.one_burst import analyze_one_burst
+from repro.core.successive import analyze_successive
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def architecture():
+    return SOSArchitecture(layers=3, mapping="one-to-half")
+
+
+class TestDispatch:
+    def test_one_burst_routes_to_one_burst(self, architecture):
+        attack = OneBurstAttack()
+        assert evaluate(architecture, attack).p_s == pytest.approx(
+            analyze_one_burst(architecture, attack).p_s
+        )
+
+    def test_successive_routes_to_successive(self, architecture):
+        attack = SuccessiveAttack()
+        assert evaluate(architecture, attack).p_s == pytest.approx(
+            analyze_successive(architecture, attack).p_s
+        )
+
+    def test_base_attack_treated_as_one_burst(self, architecture):
+        base = AttackModel(break_in_budget=200, congestion_budget=2000)
+        assert evaluate(architecture, base).p_s == pytest.approx(
+            analyze_one_burst(architecture, OneBurstAttack(200, 2000)).p_s
+        )
+
+    def test_unknown_attack_rejected(self, architecture):
+        with pytest.raises(ConfigurationError):
+            evaluate(architecture, "ddos")  # type: ignore[arg-type]
+
+
+class TestShorthand:
+    def test_probability_matches_full_result(self, architecture):
+        attack = SuccessiveAttack()
+        assert path_availability_probability(architecture, attack) == pytest.approx(
+            evaluate(architecture, attack).p_s
+        )

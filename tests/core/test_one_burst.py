@@ -1,0 +1,228 @@
+"""Tests for the one-burst analytical model (§3.1, Eqs. 1-9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OneBurstAttack, SOSArchitecture
+from repro.core.one_burst import analyze_one_burst, analyze_one_burst_breakdown
+from repro.errors import ConfigurationError
+
+
+def arch(layers=3, mapping="one-to-half", **kwargs):
+    return SOSArchitecture(layers=layers, mapping=mapping, **kwargs)
+
+
+class TestNoAttack:
+    def test_no_resources_perfect_availability(self):
+        result = analyze_one_burst(arch(), OneBurstAttack(0, 0))
+        assert result.p_s == 1.0
+        assert result.broken_in_total == 0.0
+        assert result.disclosed_total == 0.0
+
+    def test_all_layers_untouched(self):
+        result = analyze_one_burst(arch(), OneBurstAttack(0, 0))
+        for layer in result.layers:
+            assert layer.bad == 0.0
+            assert layer.hop_success == 1.0
+
+
+class TestBreakInPhase:
+    def test_attempts_proportional_to_layer_share(self):
+        breakdown = analyze_one_burst_breakdown(
+            arch(layers=4), OneBurstAttack(break_in_budget=400)
+        )
+        # Each layer holds 25 of 10000 nodes; 400 trials -> 1 per layer.
+        assert breakdown.attempted[:4] == pytest.approx((1.0,) * 4)
+
+    def test_success_scaled_by_p_b(self):
+        breakdown = analyze_one_burst_breakdown(
+            arch(), OneBurstAttack(break_in_budget=300, break_in_success=0.25)
+        )
+        for h, b in zip(breakdown.attempted[:3], breakdown.broken_in[:3]):
+            assert b == pytest.approx(0.25 * h)
+
+    def test_filters_never_attacked(self):
+        breakdown = analyze_one_burst_breakdown(
+            arch(), OneBurstAttack(break_in_budget=5000)
+        )
+        assert breakdown.attempted[-1] == 0.0
+        assert breakdown.broken_in[-1] == 0.0
+
+    def test_total_broken_in_matches_paper_formula(self):
+        # N_B = P_B * (n / N) * N_T
+        attack = OneBurstAttack(break_in_budget=2000, break_in_success=0.5)
+        breakdown = analyze_one_burst_breakdown(arch(), attack)
+        assert breakdown.broken_in_total == pytest.approx(0.5 * 100 / 10000 * 2000)
+
+    def test_budget_larger_than_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            analyze_one_burst(arch(), OneBurstAttack(break_in_budget=20_000))
+
+
+class TestDisclosurePhase:
+    def test_layer_one_never_disclosed(self):
+        breakdown = analyze_one_burst_breakdown(
+            arch(), OneBurstAttack(break_in_budget=2000)
+        )
+        assert breakdown.disclosed_unattacked[0] == 0.0
+        assert breakdown.disclosed_survived[0] == 0.0
+
+    def test_no_break_in_no_disclosure(self):
+        breakdown = analyze_one_burst_breakdown(
+            arch(), OneBurstAttack(break_in_budget=0, congestion_budget=3000)
+        )
+        assert breakdown.disclosed_total == 0.0
+
+    def test_one_to_all_discloses_whole_next_layer(self):
+        breakdown = analyze_one_burst_breakdown(
+            arch(mapping="one-to-all"), OneBurstAttack(break_in_budget=2000)
+        )
+        # With one break-in upstream and m = n, z_i = n_i; every node in
+        # layers 2.. is disclosed or attacked (d^A is a subset of the
+        # attempted set, so it is not added here).
+        sizes = arch(mapping="one-to-all").layer_sizes_with_filters
+        for i in (1, 2, 3):
+            disclosed_or_attacked = (
+                breakdown.disclosed_unattacked[i] + breakdown.attempted[i]
+            )
+            assert disclosed_or_attacked == pytest.approx(sizes[i], rel=1e-6)
+
+    def test_disclosure_grows_with_mapping_degree(self):
+        attack = OneBurstAttack(break_in_budget=1000)
+        small = analyze_one_burst_breakdown(arch(mapping="one-to-one"), attack)
+        large = analyze_one_burst_breakdown(arch(mapping="one-to-five"), attack)
+        assert large.disclosed_total > small.disclosed_total
+
+    def test_eq5_matches_hand_computation(self):
+        # L=2, even: n_i = 50, m_i = 5 (one-to-five), N_T = 1000, P_B = 0.5
+        a = arch(layers=2, mapping="one-to-five")
+        breakdown = analyze_one_burst_breakdown(a, OneBurstAttack(break_in_budget=1000))
+        h2 = 50 / 10000 * 1000  # 5.0
+        b1 = 0.5 * h2  # layer1 share equals layer2 share here
+        z2 = 50 * (1 - (1 - 5 / 50) ** b1 * (1 - h2 / 50))
+        assert breakdown.disclosed_or_attacked[1] == pytest.approx(z2)
+        assert breakdown.disclosed_unattacked[1] == pytest.approx(z2 - h2)
+        d_a2 = (h2 - b1) * (1 - (1 - 5 / 50) ** b1)
+        assert breakdown.disclosed_survived[1] == pytest.approx(d_a2)
+
+
+class TestCongestionPhase:
+    def test_pure_random_congestion_uniform(self):
+        # With no break-ins the budget spreads uniformly over the overlay.
+        breakdown = analyze_one_burst_breakdown(
+            arch(), OneBurstAttack(break_in_budget=0, congestion_budget=2000)
+        )
+        expected = 100 / 3 * 2000 / 10000
+        assert breakdown.congested[:3] == pytest.approx((expected,) * 3)
+
+    def test_filters_not_randomly_congested(self):
+        breakdown = analyze_one_burst_breakdown(
+            arch(), OneBurstAttack(break_in_budget=0, congestion_budget=9000)
+        )
+        assert breakdown.congested[-1] == 0.0
+
+    def test_scarce_budget_proportional_split(self):
+        # N_C far below N_D: congested_i = (N_C / N_D) * disclosed_i (Eq. 9).
+        attack = OneBurstAttack(break_in_budget=2000, congestion_budget=10)
+        breakdown = analyze_one_burst_breakdown(arch(mapping="one-to-five"), attack)
+        n_d = breakdown.disclosed_total
+        assert n_d > 10
+        for i in range(4):
+            disclosed = (
+                breakdown.disclosed_unattacked[i] + breakdown.disclosed_survived[i]
+            )
+            assert breakdown.congested[i] == pytest.approx(10 / n_d * disclosed)
+        assert sum(breakdown.congested) == pytest.approx(10.0)
+
+    def test_ample_budget_congests_all_disclosed(self):
+        attack = OneBurstAttack(break_in_budget=2000, congestion_budget=6000)
+        breakdown = analyze_one_burst_breakdown(arch(mapping="one-to-five"), attack)
+        for i in range(4):
+            disclosed = (
+                breakdown.disclosed_unattacked[i] + breakdown.disclosed_survived[i]
+            )
+            assert breakdown.congested[i] >= disclosed - 1e-9
+
+    def test_congestion_never_exceeds_layer(self):
+        attack = OneBurstAttack(break_in_budget=2000, congestion_budget=9999)
+        breakdown = analyze_one_burst_breakdown(arch(mapping="one-to-all"), attack)
+        sizes = arch(mapping="one-to-all").layer_sizes_with_filters
+        for c, size in zip(breakdown.congested, sizes):
+            assert 0.0 <= c <= size + 1e-9
+
+
+class TestPaperFig4Claims:
+    """Qualitative claims the paper makes about Fig. 4."""
+
+    def test_pure_congestion_ps_decreases_with_layers(self):
+        for mapping in ("one-to-one", "one-to-half"):
+            values = [
+                analyze_one_burst(
+                    arch(layers=layers, mapping=mapping),
+                    OneBurstAttack(break_in_budget=0, congestion_budget=6000),
+                ).p_s
+                for layers in range(1, 9)
+            ]
+            assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_pure_congestion_higher_mapping_is_better(self):
+        attack = OneBurstAttack(break_in_budget=0, congestion_budget=6000)
+        one = analyze_one_burst(arch(mapping="one-to-one"), attack).p_s
+        half = analyze_one_burst(arch(mapping="one-to-half"), attack).p_s
+        all_ = analyze_one_burst(arch(mapping="one-to-all"), attack).p_s
+        assert one < half <= all_
+
+    def test_one_to_all_collapses_under_break_in(self):
+        attack = OneBurstAttack(break_in_budget=200, congestion_budget=2000)
+        result = analyze_one_burst(arch(mapping="one-to-all"), attack)
+        assert result.p_s == pytest.approx(0.0, abs=1e-6)
+
+    def test_heavier_congestion_lowers_ps(self):
+        moderate = analyze_one_burst(
+            arch(mapping="one-to-one"),
+            OneBurstAttack(break_in_budget=0, congestion_budget=2000),
+        ).p_s
+        heavy = analyze_one_burst(
+            arch(mapping="one-to-one"),
+            OneBurstAttack(break_in_budget=0, congestion_budget=6000),
+        ).p_s
+        assert heavy < moderate
+
+    def test_heavier_break_in_lowers_ps(self):
+        light = analyze_one_burst(
+            arch(mapping="one-to-half"), OneBurstAttack(200, 2000)
+        ).p_s
+        heavy = analyze_one_burst(
+            arch(mapping="one-to-half"), OneBurstAttack(2000, 2000)
+        ).p_s
+        assert heavy < light
+
+    def test_single_layer_best_for_pure_congestion(self):
+        attack = OneBurstAttack(break_in_budget=0, congestion_budget=6000)
+        single = analyze_one_burst(arch(layers=1, mapping="one-to-one"), attack).p_s
+        for layers in range(2, 10):
+            multi = analyze_one_burst(
+                arch(layers=layers, mapping="one-to-one"), attack
+            ).p_s
+            assert single >= multi
+
+
+class TestResultStructure:
+    def test_layer_count_includes_filters(self):
+        result = analyze_one_burst(arch(layers=5), OneBurstAttack())
+        assert len(result.layers) == 6
+        assert result.layers[-1].size == 10.0
+
+    def test_ps_is_product_of_hops(self):
+        result = analyze_one_burst(arch(), OneBurstAttack())
+        product = 1.0
+        for p in result.hop_probabilities:
+            product *= p
+        assert result.p_s == pytest.approx(product)
+
+    def test_as_dict_round_trip(self):
+        result = analyze_one_burst(arch(), OneBurstAttack())
+        data = result.as_dict()
+        assert data["p_s"] == result.p_s
+        assert len(data["hop_probabilities"]) == 4

@@ -1,0 +1,190 @@
+"""Tests for the hypergeometric probability kernel (Eq. 1 machinery)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.probability import (
+    all_bad_probability,
+    clamp,
+    exact_all_bad_probability,
+    hop_success_probability,
+    no_fresh_disclosure_probability,
+)
+from repro.errors import AnalysisError
+
+
+class TestExactAgreement:
+    """The continuous extension must equal C(y,z)/C(x,z) at integers."""
+
+    @pytest.mark.parametrize("x", [1, 2, 5, 10, 33, 100])
+    def test_matches_exact_on_integer_grid(self, x):
+        for y in range(0, x + 1):
+            for z in range(0, min(x, 12) + 1):
+                expected = exact_all_bad_probability(x, y, z)
+                actual = all_bad_probability(x, y, z)
+                assert actual == pytest.approx(expected, abs=1e-12)
+
+    def test_known_values(self):
+        # Choosing 2 neighbors out of 4 nodes where 3 are bad:
+        # C(3,2)/C(4,2) = 3/6 = 0.5
+        assert all_bad_probability(4, 3, 2) == pytest.approx(0.5)
+        # All nodes bad -> every neighbor bad with certainty.
+        assert all_bad_probability(10, 10, 4) == pytest.approx(1.0)
+        # Fewer bad nodes than neighbors -> impossible.
+        assert all_bad_probability(10, 3, 4) == 0.0
+
+
+class TestContinuousExtension:
+    def test_fractional_between_integer_neighbors(self):
+        low = all_bad_probability(10, 5, 3)
+        mid = all_bad_probability(10, 5.5, 3)
+        high = all_bad_probability(10, 6, 3)
+        assert low < mid < high
+
+    def test_monotone_in_bad_count(self):
+        values = [all_bad_probability(33, s / 4, 5) for s in range(0, 133)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_clamps_bad_count_into_range(self):
+        assert all_bad_probability(10, -5, 3) == 0.0
+        assert all_bad_probability(10, 99, 3) == 1.0
+
+    def test_zero_sample_is_one(self):
+        assert all_bad_probability(10, 4, 0) == 1.0
+
+
+class TestValidation:
+    def test_rejects_non_integer_sample(self):
+        with pytest.raises(AnalysisError):
+            all_bad_probability(10, 4, 2.5)  # type: ignore[arg-type]
+
+    def test_rejects_bool_sample(self):
+        with pytest.raises(AnalysisError):
+            all_bad_probability(10, 4, True)  # type: ignore[arg-type]
+
+    def test_rejects_negative_sample(self):
+        with pytest.raises(AnalysisError):
+            all_bad_probability(10, 4, -1)
+
+    def test_rejects_oversized_sample(self):
+        with pytest.raises(AnalysisError):
+            all_bad_probability(10, 4, 11)
+
+    def test_rejects_nonpositive_population(self):
+        with pytest.raises(AnalysisError):
+            all_bad_probability(0, 0, 0)
+        with pytest.raises(AnalysisError):
+            all_bad_probability(-3, 0, 0)
+
+    def test_rejects_nan_population(self):
+        with pytest.raises(AnalysisError):
+            all_bad_probability(float("nan"), 1, 1)
+
+    def test_exact_rejects_non_integers(self):
+        with pytest.raises(AnalysisError):
+            exact_all_bad_probability(10.0, 4, 2)  # type: ignore[arg-type]
+
+
+class TestHopSuccess:
+    def test_complement(self):
+        assert hop_success_probability(10, 4, 2) == pytest.approx(
+            1.0 - all_bad_probability(10, 4, 2)
+        )
+
+    def test_no_bad_nodes_means_certain_success(self):
+        assert hop_success_probability(33, 0, 5) == 1.0
+
+    def test_all_bad_means_certain_failure(self):
+        assert hop_success_probability(33, 33, 5) == 0.0
+
+
+class TestNoFreshDisclosure:
+    def test_zero_breakins_survives(self):
+        assert no_fresh_disclosure_probability(5, 33, 0) == 1.0
+
+    def test_one_to_all_discloses_everything(self):
+        assert no_fresh_disclosure_probability(10, 10, 0.5) == 0.0
+
+    def test_matches_formula(self):
+        assert no_fresh_disclosure_probability(5, 33, 3) == pytest.approx(
+            (1 - 5 / 33) ** 3
+        )
+
+    def test_fractional_breakins(self):
+        assert no_fresh_disclosure_probability(5, 33, 2.5) == pytest.approx(
+            (1 - 5 / 33) ** 2.5
+        )
+
+    def test_negative_breakins_clamped(self):
+        assert no_fresh_disclosure_probability(5, 33, -1) == 1.0
+
+    def test_rejects_bad_mapping(self):
+        with pytest.raises(AnalysisError):
+            no_fresh_disclosure_probability(40, 33, 1)
+        with pytest.raises(AnalysisError):
+            no_fresh_disclosure_probability(-1, 33, 1)
+
+    def test_rejects_bad_layer_size(self):
+        with pytest.raises(AnalysisError):
+            no_fresh_disclosure_probability(1, 0, 1)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_edges(self):
+        assert clamp(-0.1, 0.0, 1.0) == 0.0
+        assert clamp(1.1, 0.0, 1.0) == 1.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(AnalysisError):
+            clamp(0.5, 1.0, 0.0)
+
+
+@given(
+    x=st.integers(min_value=1, max_value=200),
+    y=st.floats(min_value=-10, max_value=300, allow_nan=False),
+    z=st.integers(min_value=0, max_value=200),
+)
+def test_property_result_is_probability(x, y, z):
+    """For any valid input the result lies in [0, 1]."""
+    if z > x:
+        with pytest.raises(AnalysisError):
+            all_bad_probability(x, y, z)
+        return
+    value = all_bad_probability(x, y, z)
+    assert 0.0 <= value <= 1.0
+
+
+@given(
+    x=st.integers(min_value=2, max_value=100),
+    z=st.integers(min_value=1, max_value=20),
+    data=st.data(),
+)
+def test_property_monotone_in_y(x, z, data):
+    """More bad nodes never decreases the all-bad probability."""
+    if z > x:
+        z = x
+    y1 = data.draw(st.floats(min_value=0, max_value=x, allow_nan=False))
+    y2 = data.draw(st.floats(min_value=0, max_value=x, allow_nan=False))
+    lo, hi = sorted((y1, y2))
+    assert all_bad_probability(x, lo, z) <= all_bad_probability(x, hi, z) + 1e-12
+
+
+@given(
+    x=st.integers(min_value=2, max_value=60),
+    y=st.integers(min_value=0, max_value=60),
+    z=st.integers(min_value=0, max_value=12),
+)
+def test_property_continuous_equals_exact_at_integers(x, y, z):
+    if z > x:
+        return
+    y = min(y, x)
+    assert all_bad_probability(x, y, z) == pytest.approx(
+        exact_all_bad_probability(x, y, z), abs=1e-12
+    )

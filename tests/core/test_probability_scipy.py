@@ -1,0 +1,45 @@
+"""Cross-validate the probability kernel against scipy.stats.
+
+The continuous extension of ``P(x, y, z)`` must agree with scipy's exact
+hypergeometric distribution at integer arguments: the probability that all
+``z`` sampled neighbors are bad equals ``hypergeom.pmf(z, x, y, z)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+from scipy import stats
+
+from repro.core.probability import all_bad_probability
+
+
+@given(
+    x=st.integers(min_value=1, max_value=80),
+    y=st.integers(min_value=0, max_value=80),
+    z=st.integers(min_value=0, max_value=15),
+)
+def test_matches_scipy_hypergeom(x, y, z):
+    if z > x:
+        return
+    y = min(y, x)
+    expected = float(stats.hypergeom.pmf(z, x, y, z))
+    assert all_bad_probability(x, y, z) == pytest.approx(expected, abs=1e-10)
+
+
+@pytest.mark.parametrize(
+    "x,y,z",
+    [(33, 20, 5), (100, 60, 10), (10, 10, 3), (50, 0, 4)],
+)
+def test_paper_scale_points(x, y, z):
+    expected = float(stats.hypergeom.pmf(z, x, y, z))
+    assert all_bad_probability(x, y, z) == pytest.approx(expected, abs=1e-12)
+
+
+def test_survival_complement_matches_scipy():
+    # P(at least one good neighbor) via scipy's sf vs our hop success.
+    from repro.core.probability import hop_success_probability
+
+    x, y, z = 33, 25, 5
+    expected = 1.0 - float(stats.hypergeom.pmf(z, x, y, z))
+    assert hop_success_probability(x, y, z) == pytest.approx(expected)

@@ -1,0 +1,77 @@
+"""Tests for the local sensitivity profile."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OneBurstAttack, SOSArchitecture, SuccessiveAttack, evaluate
+from repro.core.sensitivity import sensitivity_profile
+from repro.errors import ConfigurationError
+
+
+def arch():
+    return SOSArchitecture(layers=4, mapping="one-to-two")
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return sensitivity_profile(arch(), SuccessiveAttack())
+
+
+class TestProfile:
+    def test_sorted_by_magnitude(self, profile):
+        magnitudes = [s.magnitude for s in profile]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_covers_attack_and_design_parameters(self, profile):
+        names = {s.parameter for s in profile}
+        assert any("N_C" in n for n in names)
+        assert any("N_T" in n for n in names)
+        assert any("R (rounds)" in n for n in names)
+        assert any("L (layers)" in n for n in names)
+        assert any("N (overlay" in n for n in names)
+
+    def test_deltas_match_direct_evaluation(self, profile):
+        base = evaluate(arch(), SuccessiveAttack()).p_s
+        nc = next(s for s in profile if s.parameter.startswith("N_C"))
+        direct = evaluate(
+            arch(), SuccessiveAttack(congestion_budget=nc.perturbed_value)
+        ).p_s
+        assert nc.base_p_s == pytest.approx(base)
+        assert nc.perturbed_p_s == pytest.approx(direct)
+        assert nc.delta == pytest.approx(direct - base)
+
+    def test_attack_resources_hurt(self, profile):
+        for prefix in ("N_C", "N_T", "P_B", "P_E", "R ("):
+            entry = next(s for s in profile if s.parameter.startswith(prefix))
+            assert entry.delta <= 1e-9, entry.parameter
+
+    def test_population_growth_helps(self, profile):
+        entry = next(s for s in profile if s.parameter.startswith("N (overlay"))
+        assert entry.delta > 0
+
+    def test_saturated_probability_skipped(self):
+        result = sensitivity_profile(
+            arch(), SuccessiveAttack(break_in_success=1.0)
+        )
+        assert not any(s.parameter.startswith("P_B") for s in result)
+
+    def test_zero_budget_perturbation_is_absolute(self):
+        result = sensitivity_profile(
+            arch(), SuccessiveAttack(break_in_budget=0)
+        )
+        nt = next(s for s in result if s.parameter.startswith("N_T"))
+        assert nt.base_value == 0.0
+        assert nt.perturbed_value > 0.0
+
+
+class TestValidation:
+    def test_requires_successive_attack(self):
+        with pytest.raises(ConfigurationError, match="SuccessiveAttack"):
+            sensitivity_profile(arch(), OneBurstAttack())  # type: ignore[arg-type]
+
+    def test_rel_step_bounds(self):
+        with pytest.raises(ConfigurationError):
+            sensitivity_profile(arch(), SuccessiveAttack(), rel_step=0.0)
+        with pytest.raises(ConfigurationError):
+            sensitivity_profile(arch(), SuccessiveAttack(), rel_step=1.5)

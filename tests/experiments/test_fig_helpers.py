@@ -1,0 +1,53 @@
+"""Unit tests for figure-module helpers and configuration constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import config
+from repro.experiments.fig8 import _plateau_width
+
+
+class TestPlateauWidth:
+    def test_flat_curve_full_width(self):
+        assert _plateau_width([0.9, 0.5, 0.5, 0.5, 0.5]) == 4
+
+    def test_drop_ends_plateau(self):
+        # Reference is values[1]; the slide starts at the 4th point.
+        assert _plateau_width([0.9, 0.5, 0.48, 0.45, 0.1]) == 3
+
+    def test_tolerance_is_relative(self):
+        values = [1.0, 0.5, 0.45, 0.40]
+        # 0.45 is within 15% of 0.5; 0.40 is not (0.1 > 0.075).
+        assert _plateau_width(values, tolerance=0.15) == 2
+        # At 25% all three post-N_T=0 points stay on the plateau.
+        assert _plateau_width(values, tolerance=0.25) == 3
+
+    def test_short_input(self):
+        assert _plateau_width([1.0]) == 0
+
+
+class TestPaperConstants:
+    """The §3 parameter points, pinned so config drift is loud."""
+
+    def test_system_defaults(self):
+        assert config.TOTAL_OVERLAY_NODES == 10_000
+        assert config.SOS_NODES == 100
+        assert config.FILTERS == 10
+        assert config.BREAK_IN_SUCCESS == 0.5
+
+    def test_successive_defaults(self):
+        assert config.BREAK_IN_BUDGET == 200
+        assert config.CONGESTION_BUDGET == 2_000
+        assert config.ROUNDS == 3
+        assert config.PRIOR_KNOWLEDGE == 0.2
+
+    def test_sweeps_cover_the_paper_axes(self):
+        assert config.LAYER_SWEEP[0] == 1
+        assert set(config.FIG4_MAPPINGS) == {
+            "one-to-one", "one-to-half", "one-to-all",
+        }
+        assert "one-to-two" in config.FIG6_MAPPINGS
+        assert "one-to-five" in config.FIG6_MAPPINGS
+        assert config.ROUND_SWEEP[0] == 1
+        assert 0 in config.BREAK_IN_SWEEP

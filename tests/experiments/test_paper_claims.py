@@ -1,0 +1,79 @@
+"""The headline reproduction tests: every figure regenerates and every
+machine-checked claim the paper makes about it holds.
+
+These are the tests that say "the reproduction reproduces the paper."
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.figures import PAPER_FIGURES, run_figure
+from repro.experiments.result import FigureResult
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {figure_id: run_figure(figure_id) for figure_id in PAPER_FIGURES}
+
+
+class TestEveryPaperFigure:
+    @pytest.mark.parametrize("figure_id", PAPER_FIGURES)
+    def test_figure_regenerates(self, results, figure_id):
+        result = results[figure_id]
+        assert isinstance(result, FigureResult)
+        assert result.figure_id == figure_id
+        assert result.series
+
+    @pytest.mark.parametrize("figure_id", PAPER_FIGURES)
+    def test_all_values_are_probabilities(self, results, figure_id):
+        for name, values in results[figure_id].series.items():
+            for value in values:
+                if isinstance(value, float) and math.isnan(value):
+                    continue  # infeasible grid point, rendered as gap
+                assert 0.0 <= value <= 1.0, f"{figure_id}/{name}: {value}"
+
+    @pytest.mark.parametrize("figure_id", PAPER_FIGURES)
+    def test_every_claim_holds(self, results, figure_id):
+        result = results[figure_id]
+        assert result.claims, f"{figure_id} encodes no claims"
+        failed = result.failed_claims()
+        assert not failed, (
+            f"{figure_id} failed claims: "
+            + "; ".join(c.description for c in failed)
+        )
+
+
+class TestSpecificNumbers:
+    """Pin a few representative values so regressions are loud.
+
+    These are *our* reproduced numbers (the paper prints curves, not
+    tables); the tolerance guards against accidental model changes.
+    """
+
+    def test_fig4a_one_to_one_moderate_congestion_l1(self, results):
+        # n=100 SOS nodes in one layer, N_C=2000 of N=10000 congested
+        # -> s_1 = 20, P_1 = 1 - 20/100 = 0.8.
+        value = results["fig4a"].series["one-to-one N_C=2000"][0]
+        assert value == pytest.approx(0.8, abs=1e-6)
+
+    def test_fig4a_one_to_one_heavy_congestion_l1(self, results):
+        value = results["fig4a"].series["one-to-one N_C=6000"][0]
+        assert value == pytest.approx(0.4, abs=1e-6)
+
+    def test_fig6a_headline_configuration(self, results):
+        value = results["fig6a"].series["one-to-two"][3]  # L = 4
+        assert value == pytest.approx(0.594, abs=0.01)
+
+    def test_fig7_r1_near_one(self, results):
+        # One-round successive attack at defaults barely dents L>=3 designs.
+        assert results["fig7"].series["L=4"][0] > 0.9
+
+    def test_fig8a_population_dilution(self, results):
+        small = results["fig8a"].series["one-to-one N=10000"]
+        large = results["fig8a"].series["one-to-one N=20000"]
+        # Doubling N lifts P_S by a visible margin at N_T=800.
+        index = results["fig8a"].x_values.index(800)
+        assert large[index] - small[index] > 0.1

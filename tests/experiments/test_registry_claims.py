@@ -1,0 +1,59 @@
+"""Every cheap (pure-analytic) registered experiment must pass its claims.
+
+The Monte Carlo experiments (val-mc, ext-repair, ext-monitoring,
+ext-priority, abl-variants, fig4a-mc, ext-underlay, ext-placement) take
+seconds to minutes and run in the benchmark suite; everything analytic is
+asserted here on every test run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import REGISTRY, run_figure
+
+ANALYTIC_FIGURES = [
+    "fig4a",
+    "fig4b",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "fig8a",
+    "fig8b",
+    "fig-nc",
+    "fig-nc-pure",
+    "base-n",
+    "abl-filters",
+    "abl-prior",
+    "abl-pb",
+    "abl-tradeoff",
+    "abl-shared",
+    "ext-latency",
+    "ext-game",
+    "ext-sensitivity",
+]
+
+MC_FIGURES = [
+    "val-mc",
+    "abl-variants",
+    "ext-repair",
+    "ext-monitoring",
+    "ext-underlay",
+    "ext-priority",
+    "ext-placement",
+    "fig4a-mc",
+]
+
+
+def test_every_registered_figure_is_classified():
+    assert set(ANALYTIC_FIGURES) | set(MC_FIGURES) == set(REGISTRY)
+    assert not set(ANALYTIC_FIGURES) & set(MC_FIGURES)
+
+
+@pytest.mark.parametrize("figure_id", ANALYTIC_FIGURES)
+def test_analytic_figure_claims_pass(figure_id):
+    result = run_figure(figure_id)
+    failed = result.failed_claims()
+    assert not failed, f"{figure_id}: " + "; ".join(
+        claim.description for claim in failed
+    )

@@ -1,0 +1,76 @@
+"""Direct tests for the validation experiment module (small trials)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.validation import (
+    ValidationPoint,
+    default_grid,
+    run_validation,
+    validation_figure,
+)
+from repro.repair import NO_REPAIR, RepairPolicy, repair_benefit
+from repro.core import SOSArchitecture, SuccessiveAttack
+
+
+class TestDefaultGrid:
+    def test_spans_both_attack_models(self):
+        grid = default_grid()
+        from repro.core import OneBurstAttack
+
+        kinds = {type(attack) for _, _, attack in grid}
+        assert OneBurstAttack in kinds
+        assert SuccessiveAttack in kinds
+        assert len(grid) >= 6
+
+    def test_names_unique(self):
+        names = [name for name, _, _ in default_grid()]
+        assert len(names) == len(set(names))
+
+
+class TestRunValidation:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_validation(trials=20, clients_per_trial=2, seed=5)
+
+    def test_one_point_per_grid_entry(self, points):
+        assert len(points) == len(default_grid())
+        assert all(isinstance(p, ValidationPoint) for p in points)
+
+    def test_errors_are_bounded(self, points):
+        # At 20 trials the CI is wide, but the absolute errors should
+        # already be small on this grid.
+        mean_error = sum(p.absolute_error for p in points) / len(points)
+        assert mean_error < 0.15
+
+    def test_figure_wrapper(self):
+        result = validation_figure(trials=20, clients_per_trial=2, seed=5)
+        assert result.figure_id == "val-mc"
+        assert set(result.series) == {
+            "analytical", "monte_carlo", "mc_ci_low", "mc_ci_high",
+        }
+
+
+class TestRepairBenefit:
+    def test_positive_for_a_real_defender(self):
+        arch = SOSArchitecture(
+            layers=3, mapping="one-to-two",
+            total_overlay_nodes=600, sos_nodes=45, filters=5,
+        )
+        attack = SuccessiveAttack(break_in_budget=60, congestion_budget=120)
+        benefit = repair_benefit(
+            arch, attack, RepairPolicy(detection_probability=0.9),
+            trials=25, seed=3,
+        )
+        assert benefit > 0.0
+
+    def test_exactly_zero_for_noop_defender(self):
+        arch = SOSArchitecture(
+            layers=3, mapping="one-to-two",
+            total_overlay_nodes=600, sos_nodes=45, filters=5,
+        )
+        attack = SuccessiveAttack(break_in_budget=60, congestion_budget=120)
+        # Same seed stream, same (absent) defender: identical trajectories.
+        benefit = repair_benefit(arch, attack, NO_REPAIR, trials=20, seed=3)
+        assert benefit == 0.0

@@ -1,0 +1,82 @@
+"""Tests for the average-case repair analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SOSArchitecture, SuccessiveAttack, evaluate
+from repro.errors import ConfigurationError
+from repro.repair import RepairPolicy, estimate_ps_with_repair
+from repro.repair.analysis import analyze_successive_with_repair
+
+
+def arch(mapping="one-to-two", layers=4):
+    return SOSArchitecture(layers=layers, mapping=mapping)
+
+
+class TestDegeneracy:
+    @pytest.mark.parametrize("mapping", ["one-to-one", "one-to-two", "one-to-five"])
+    @pytest.mark.parametrize("layers", [2, 4, 6])
+    def test_zero_detection_equals_base_model(self, mapping, layers):
+        attack = SuccessiveAttack()
+        base = evaluate(arch(mapping, layers), attack).p_s
+        repaired = analyze_successive_with_repair(
+            arch(mapping, layers), attack, 0.0, final_scan=False
+        ).p_s
+        assert repaired == pytest.approx(base, abs=1e-12)
+
+
+class TestShape:
+    def test_monotone_in_detection(self):
+        attack = SuccessiveAttack()
+        values = [
+            analyze_successive_with_repair(arch(), attack, rho).p_s
+            for rho in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_perfect_detection_full_availability(self):
+        result = analyze_successive_with_repair(arch(), SuccessiveAttack(), 1.0)
+        assert result.p_s == pytest.approx(1.0, abs=1e-9)
+
+    def test_final_scan_only_helps(self):
+        attack = SuccessiveAttack()
+        with_scan = analyze_successive_with_repair(
+            arch(), attack, 0.5, final_scan=True
+        ).p_s
+        without = analyze_successive_with_repair(
+            arch(), attack, 0.5, final_scan=False
+        ).p_s
+        assert with_scan >= without - 1e-12
+
+    def test_repair_reduces_bad_sets_everywhere(self):
+        attack = SuccessiveAttack()
+        base = evaluate(arch(), attack)
+        repaired = analyze_successive_with_repair(arch(), attack, 0.6)
+        for b_layer, r_layer in zip(base.layers, repaired.layers):
+            assert r_layer.bad <= b_layer.bad + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            analyze_successive_with_repair(arch(), SuccessiveAttack(), 1.5)
+        with pytest.raises(ConfigurationError):
+            analyze_successive_with_repair(
+                arch(), SuccessiveAttack(break_in_budget=20_000), 0.5
+            )
+
+
+class TestAgreementWithSimulation:
+    @pytest.mark.parametrize("rho", [0.3, 0.7])
+    def test_tracks_monte_carlo(self, rho):
+        attack = SuccessiveAttack()
+        analytical = analyze_successive_with_repair(arch(), attack, rho).p_s
+        simulated = estimate_ps_with_repair(
+            arch(),
+            attack,
+            RepairPolicy(detection_probability=rho),
+            trials=50,
+            seed=5,
+        )
+        assert simulated.agrees_with(analytical, tolerance=0.12), (
+            f"rho={rho}: analytic={analytical:.3f} mc={simulated.mean:.3f}"
+        )

@@ -1,0 +1,105 @@
+"""Tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.engine import EventScheduler
+
+
+class TestScheduling:
+    def test_events_execute_in_time_order(self):
+        scheduler = EventScheduler()
+        log = []
+        scheduler.schedule_at(3.0, lambda: log.append("c"))
+        scheduler.schedule_at(1.0, lambda: log.append("a"))
+        scheduler.schedule_at(2.0, lambda: log.append("b"))
+        scheduler.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_fifo(self):
+        scheduler = EventScheduler()
+        log = []
+        for i in range(5):
+            scheduler.schedule_at(1.0, lambda i=i: log.append(i))
+        scheduler.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_schedule_after_is_relative(self):
+        scheduler = EventScheduler()
+        times = []
+        scheduler.schedule_after(1.0, lambda: times.append(scheduler.now))
+        scheduler.run()
+        assert times == [1.0]
+
+    def test_nested_scheduling(self):
+        scheduler = EventScheduler()
+        log = []
+
+        def first():
+            log.append(("first", scheduler.now))
+            scheduler.schedule_after(0.5, second)
+
+        def second():
+            log.append(("second", scheduler.now))
+
+        scheduler.schedule_at(1.0, first)
+        scheduler.run()
+        assert log == [("first", 1.0), ("second", 1.5)]
+
+    def test_cannot_schedule_in_past(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(1.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(SimulationError):
+            scheduler.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventScheduler().schedule_after(-1.0, lambda: None)
+
+
+class TestRun:
+    def test_run_until_horizon(self):
+        scheduler = EventScheduler()
+        log = []
+        scheduler.schedule_at(1.0, lambda: log.append(1))
+        scheduler.schedule_at(5.0, lambda: log.append(5))
+        scheduler.run(until=2.0)
+        assert log == [1]
+        assert scheduler.now == 2.0
+        assert scheduler.pending == 1
+
+    def test_resume_after_horizon(self):
+        scheduler = EventScheduler()
+        log = []
+        scheduler.schedule_at(5.0, lambda: log.append(5))
+        scheduler.run(until=2.0)
+        scheduler.run()
+        assert log == [5]
+
+    def test_runaway_loop_detected(self):
+        scheduler = EventScheduler()
+
+        def forever():
+            scheduler.schedule_after(0.1, forever)
+
+        scheduler.schedule_after(0.0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            scheduler.run(max_events=100)
+
+    def test_step(self):
+        scheduler = EventScheduler()
+        log = []
+        scheduler.schedule_at(1.0, lambda: log.append(1))
+        assert scheduler.step() is True
+        assert scheduler.step() is False
+        assert log == [1]
+
+    def test_processed_counter(self):
+        scheduler = EventScheduler()
+        for i in range(3):
+            scheduler.schedule_at(float(i), lambda: None)
+        scheduler.run()
+        assert scheduler.processed == 3

@@ -1,0 +1,83 @@
+"""Per-layer validation: the analytical ``s_i`` must match the executed
+attacks' mean bad counts, not just the end-to-end ``P_S``.
+
+This is a sharper check than comparing ``P_S`` values — two wrong layer
+models could cancel in the product. Budgets follow the paper's ratios
+scaled to N=800 (so n/N and budget/N match §3's regime).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OneBurstAttack, SOSArchitecture, SuccessiveAttack, evaluate
+from repro.simulation.monte_carlo import estimate_ps
+
+
+def arch(mapping="one-to-half", layers=3):
+    return SOSArchitecture(
+        layers=layers,
+        mapping=mapping,
+        total_overlay_nodes=800,
+        sos_nodes=60,
+        filters=5,
+    )
+
+
+CASES = [
+    pytest.param(
+        arch("one-to-one"),
+        OneBurstAttack(break_in_budget=0, congestion_budget=480),
+        id="pure-congestion",
+    ),
+    pytest.param(
+        arch("one-to-half"),
+        OneBurstAttack(break_in_budget=160, congestion_budget=160),
+        id="one-burst-break-in",
+    ),
+    pytest.param(
+        arch("one-to-two"),
+        SuccessiveAttack(break_in_budget=16, congestion_budget=160),
+        id="successive-defaults",
+    ),
+    pytest.param(
+        arch("one-to-one", layers=5),
+        SuccessiveAttack(break_in_budget=64, congestion_budget=160,
+                         prior_knowledge=0.4),
+        id="successive-heavy-prior",
+    ),
+]
+
+
+@pytest.mark.parametrize("architecture,attack", CASES)
+def test_per_layer_bad_sets_agree(architecture, attack):
+    analytic = evaluate(architecture, attack)
+    estimate = estimate_ps(
+        architecture, attack, trials=150, clients_per_trial=2, seed=31
+    )
+    for layer_state in analytic.layers:
+        simulated = estimate.mean_bad_per_layer[layer_state.index]
+        layer_size = layer_state.size
+        # Average-case vs MC mean: within 15% of the layer size plus one
+        # node of slack (integerization of layer sizes and budgets).
+        tolerance = 0.15 * layer_size + 1.0
+        assert simulated == pytest.approx(layer_state.bad, abs=tolerance), (
+            f"layer {layer_state.index}: analytic s_i={layer_state.bad:.2f}, "
+            f"simulated {simulated:.2f}"
+        )
+
+
+def test_broken_in_totals_agree():
+    architecture = arch("one-to-half")
+    attack = OneBurstAttack(break_in_budget=160, congestion_budget=0)
+    analytic = evaluate(architecture, attack)
+    estimate = estimate_ps(
+        architecture, attack, trials=200, clients_per_trial=1, seed=32
+    )
+    simulated_total = sum(
+        estimate.mean_bad_per_layer[layer.index] for layer in analytic.layers
+    )
+    # With no congestion, all bad nodes are break-ins: N_B = P_B * n/N * N_T.
+    expected = 0.5 * 60 / 800 * 160
+    assert analytic.broken_in_total == pytest.approx(expected)
+    assert simulated_total == pytest.approx(expected, abs=1.5)

@@ -1,0 +1,135 @@
+"""Tests for the packet-level flooding simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SOSArchitecture
+from repro.errors import SimulationError
+from repro.simulation.packet_sim import (
+    PacketLevelSimulation,
+    PacketSimConfig,
+    flood_layer,
+)
+from repro.sos.deployment import SOSDeployment
+
+
+def deployment(seed=7, mapping="one-to-half"):
+    arch = SOSArchitecture(
+        layers=3,
+        mapping=mapping,
+        total_overlay_nodes=400,
+        sos_nodes=30,
+        filters=4,
+    )
+    return SOSDeployment.deploy(arch, rng=seed)
+
+
+CONFIG = PacketSimConfig(duration=20.0, warmup=2.0)
+
+
+class TestConfigValidation:
+    def test_duration_must_exceed_warmup(self):
+        with pytest.raises(SimulationError):
+            PacketSimConfig(duration=1.0, warmup=5.0)
+
+    def test_positive_rates_required(self):
+        with pytest.raises(SimulationError):
+            PacketSimConfig(client_rate=0)
+        with pytest.raises(SimulationError):
+            PacketSimConfig(clients=0)
+
+
+class TestBaseline:
+    def test_healthy_system_delivers_everything(self):
+        sim = PacketLevelSimulation(deployment(), CONFIG, rng=1)
+        report = sim.run()
+        assert report.sent > 50
+        assert report.delivery_ratio == 1.0
+
+    def test_latency_is_hop_count_times_hop_latency(self):
+        sim = PacketLevelSimulation(deployment(), CONFIG, rng=1)
+        report = sim.run()
+        # 4 hops (3 SOS layers + filter) at 0.05 each.
+        assert report.mean_latency == pytest.approx(0.2, abs=1e-6)
+
+    def test_deterministic_under_seed(self):
+        a = PacketLevelSimulation(deployment(), CONFIG, rng=5).run()
+        b = PacketLevelSimulation(deployment(), CONFIG, rng=5).run()
+        assert a.sent == b.sent
+        assert a.delivered == b.delivered
+
+
+class TestFlooding:
+    def test_flooding_whole_layer_kills_delivery(self):
+        dep = deployment()
+        sim = PacketLevelSimulation(dep, CONFIG, rng=1)
+        targets = flood_layer(dep, layer=2, fraction=1.0, rng=2)
+        report = sim.run(flood_targets=targets)
+        assert report.delivery_ratio < 0.05
+        assert set(report.congested_nodes) >= set(targets)
+
+    def test_partial_flood_degrades_gracefully(self):
+        dep = deployment()
+        sim = PacketLevelSimulation(dep, CONFIG, rng=1)
+        targets = flood_layer(dep, layer=2, fraction=0.5, rng=2)
+        report = sim.run(flood_targets=targets)
+        # Routing around congested neighbors keeps most traffic flowing.
+        assert report.delivery_ratio > 0.5
+
+    def test_flood_targets_must_be_sos_nodes(self):
+        dep = deployment()
+        sim = PacketLevelSimulation(dep, CONFIG, rng=1)
+        plain = dep.network.plain_nodes[0].node_id
+        with pytest.raises(SimulationError):
+            sim.run(flood_targets=[plain])
+
+    def test_flooded_nodes_show_drops(self):
+        dep = deployment()
+        sim = PacketLevelSimulation(dep, CONFIG, rng=1)
+        targets = flood_layer(dep, layer=1, fraction=1.0, rng=2)
+        report = sim.run(flood_targets=targets)
+        assert report.dropped_at_congested + report.dropped_no_neighbor > 0
+
+    def test_attack_traffic_accounted(self):
+        dep = deployment()
+        sim = PacketLevelSimulation(dep, CONFIG, rng=1)
+        targets = flood_layer(dep, layer=2, fraction=0.5, rng=2)
+        report = sim.run(flood_targets=targets)
+        # flood_rate=500/node over ~18 post-warmup time units.
+        assert report.attack_packets_absorbed > 1000
+
+    def test_bottleneck_layer_is_the_flooded_one(self):
+        dep = deployment()
+        sim = PacketLevelSimulation(dep, CONFIG, rng=1)
+        targets = flood_layer(dep, layer=2, fraction=1.0, rng=2)
+        report = sim.run(flood_targets=targets)
+        assert report.bottleneck_layer() == 2
+
+    def test_per_layer_arrivals_monotone_down_the_stack(self):
+        dep = deployment()
+        sim = PacketLevelSimulation(dep, CONFIG, rng=1)
+        report = sim.run()
+        arrivals = report.arrivals_per_layer
+        # Traffic can only shrink as it moves toward the target.
+        for layer in (1, 2, 3):
+            assert arrivals.get(layer, 0) >= arrivals.get(layer + 1, 0)
+
+    def test_healthy_run_has_no_bottleneck(self):
+        dep = deployment()
+        report = PacketLevelSimulation(dep, CONFIG, rng=1).run()
+        assert report.bottleneck_layer() is None
+        assert report.attack_packets_absorbed == 0
+
+
+class TestFloodLayerHelper:
+    def test_fraction_selects_subset(self):
+        dep = deployment()
+        targets = flood_layer(dep, layer=2, fraction=0.5, rng=1)
+        members = dep.layer_members(2)
+        assert len(targets) == max(1, round(0.5 * len(members)))
+        assert set(targets) <= set(members)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(SimulationError):
+            flood_layer(deployment(), layer=2, fraction=0.0)

@@ -1,0 +1,60 @@
+"""Tests for Monte Carlo result containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.results import PsEstimate, summarize_indicators
+
+
+class TestPsEstimate:
+    def test_std_error(self):
+        estimate = PsEstimate(mean=0.5, variance=0.25, trials=100)
+        assert estimate.std_error == pytest.approx(0.05)
+
+    def test_ci_clipped_to_unit_interval(self):
+        estimate = PsEstimate(mean=0.99, variance=0.25, trials=10)
+        lo, hi = estimate.ci95
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_agrees_within_ci(self):
+        estimate = PsEstimate(mean=0.5, variance=0.04, trials=100)
+        assert estimate.agrees_with(0.52, tolerance=0.0)
+        assert not estimate.agrees_with(0.9, tolerance=0.0)
+
+    def test_agrees_with_tolerance_margin(self):
+        estimate = PsEstimate(mean=0.5, variance=0.0, trials=100)
+        assert estimate.agrees_with(0.55, tolerance=0.06)
+        assert not estimate.agrees_with(0.57, tolerance=0.06)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(SimulationError):
+            PsEstimate(mean=1.5, variance=0.0, trials=10)
+        with pytest.raises(SimulationError):
+            PsEstimate(mean=0.5, variance=-1.0, trials=10)
+        with pytest.raises(SimulationError):
+            PsEstimate(mean=0.5, variance=0.0, trials=0)
+
+
+class TestSummarize:
+    def test_mean_and_variance(self):
+        estimate = summarize_indicators([0.0, 1.0, 1.0, 0.0])
+        assert estimate.mean == 0.5
+        assert estimate.variance == pytest.approx(1 / 3)
+        assert estimate.trials == 4
+
+    def test_single_trial_zero_variance(self):
+        estimate = summarize_indicators([1.0])
+        assert estimate.variance == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            summarize_indicators([])
+
+    def test_bad_counts_averaged(self):
+        estimate = summarize_indicators(
+            [1.0, 0.0],
+            bad_counts=[{1: 2, 2: 4}, {1: 4, 2: 0}],
+        )
+        assert estimate.mean_bad_per_layer == {1: 3.0, 2: 2.0}

@@ -1,0 +1,116 @@
+"""Tests for priority clients (guaranteed delivery for special clients)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import IntelligentAttacker
+from repro.core import SOSArchitecture, SuccessiveAttack
+from repro.errors import ConfigurationError
+from repro.sos import SOSDeployment
+from repro.sos.priority import PriorityProvisioner, priority_advantage
+
+
+def deploy(seed=3):
+    arch = SOSArchitecture(
+        layers=3,
+        mapping="one-to-two",
+        total_overlay_nodes=1000,
+        sos_nodes=45,
+        filters=5,
+    )
+    return SOSDeployment.deploy(arch, rng=seed)
+
+
+class TestRegistration:
+    def test_boosted_contacts(self):
+        deployment = deploy()
+        provisioner = PriorityProvisioner(deployment)
+        client = provisioner.register("vip", contact_multiplier=3, rng=1)
+        # base m_1 = 2, boosted to 6 (layer has 15 members).
+        assert len(client.contacts) == 6
+        assert set(client.contacts) <= set(deployment.layer_members(1))
+
+    def test_contact_boost_capped_at_layer_size(self):
+        deployment = deploy()
+        provisioner = PriorityProvisioner(deployment)
+        client = provisioner.register("vip", contact_multiplier=100, rng=1)
+        assert len(client.contacts) == len(deployment.layer_members(1))
+
+    def test_provisioned_paths_follow_neighbor_tables(self):
+        deployment = deploy()
+        provisioner = PriorityProvisioner(deployment)
+        client = provisioner.register("vip", provisioned_paths=2, rng=1)
+        for path in client.paths:
+            assert len(path.nodes) == 4  # 3 layers + filter
+            for a, b in zip(path.nodes, path.nodes[1:]):
+                assert b in deployment.resolve(a).neighbors
+
+    def test_paths_are_node_disjoint(self):
+        deployment = deploy()
+        provisioner = PriorityProvisioner(deployment)
+        client = provisioner.register("vip", provisioned_paths=3, rng=1)
+        seen = set()
+        for path in client.paths:
+            assert not (seen & set(path.nodes))
+            seen |= set(path.nodes)
+
+    def test_validation(self):
+        provisioner = PriorityProvisioner(deploy())
+        with pytest.raises(ConfigurationError):
+            provisioner.register("vip", contact_multiplier=0)
+        with pytest.raises(ConfigurationError):
+            provisioner.register("vip", provisioned_paths=-1)
+
+
+class TestDelivery:
+    def test_healthy_system_uses_provisioned_path(self):
+        deployment = deploy()
+        provisioner = PriorityProvisioner(deployment)
+        client = provisioner.register("vip", provisioned_paths=2, rng=1)
+        receipt = provisioner.send(client, "target", rng=2)
+        assert receipt.delivered
+        assert receipt.hop_trail == client.paths[0].nodes
+
+    def test_falls_back_when_path_damaged(self):
+        deployment = deploy()
+        provisioner = PriorityProvisioner(deployment)
+        client = provisioner.register("vip", provisioned_paths=1, rng=1)
+        for node_id in client.paths[0].nodes[:-1]:
+            deployment.resolve(node_id).congest()
+        receipt = provisioner.send(client, "target", rng=2)
+        # Fallback routing may or may not succeed, but it must not use the
+        # dead provisioned path.
+        if receipt.delivered:
+            assert receipt.hop_trail != client.paths[0].nodes
+
+    def test_no_paths_means_pure_fallback(self):
+        deployment = deploy()
+        provisioner = PriorityProvisioner(deployment)
+        client = provisioner.register("vip", provisioned_paths=0, rng=1)
+        receipt = provisioner.send(client, "target", rng=2)
+        assert receipt.delivered
+
+
+class TestAdvantage:
+    def test_priority_clients_survive_attacks_better(self):
+        deployment = deploy()
+        IntelligentAttacker().execute(
+            deployment,
+            SuccessiveAttack(
+                break_in_budget=80, congestion_budget=300, prior_knowledge=0.3
+            ),
+            rng=4,
+        )
+        regular, priority = priority_advantage(deployment, trials=200, seed=5)
+        assert priority >= regular
+
+    def test_no_attack_both_perfect(self):
+        regular, priority = priority_advantage(deploy(), trials=50, seed=5)
+        assert regular == 1.0
+        assert priority == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            priority_advantage(deploy(), trials=0)

@@ -1,0 +1,43 @@
+"""Tests for SOS role assignment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sos.roles import Role, role_for_layer
+
+
+class TestRoleForLayer:
+    def test_original_three_layer_mapping(self):
+        assert role_for_layer(1, 3) is Role.ACCESS_POINT
+        assert role_for_layer(2, 3) is Role.BEACON
+        assert role_for_layer(3, 3) is Role.SECRET_SERVLET
+        assert role_for_layer(4, 3) is Role.FILTER
+
+    def test_deep_hierarchy_has_many_beacons(self):
+        roles = [role_for_layer(i, 6) for i in range(1, 8)]
+        assert roles[0] is Role.ACCESS_POINT
+        assert roles[1:5] == [Role.BEACON] * 4
+        assert roles[5] is Role.SECRET_SERVLET
+        assert roles[6] is Role.FILTER
+
+    def test_single_layer_system(self):
+        assert role_for_layer(1, 1) is Role.ACCESS_POINT
+        assert role_for_layer(2, 1) is Role.FILTER
+
+    def test_two_layer_system_has_no_beacons(self):
+        assert role_for_layer(1, 2) is Role.ACCESS_POINT
+        assert role_for_layer(2, 2) is Role.SECRET_SERVLET
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            role_for_layer(0, 3)
+        with pytest.raises(ConfigurationError):
+            role_for_layer(5, 3)
+
+    def test_bad_types_rejected(self):
+        with pytest.raises(ConfigurationError):
+            role_for_layer(1.5, 3)  # type: ignore[arg-type]
+        with pytest.raises(ConfigurationError):
+            role_for_layer(1, 0)

@@ -1,0 +1,76 @@
+"""Tests for the DHT-backed target directory (beacon state)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SOSArchitecture
+from repro.errors import ProtocolError
+from repro.sos.deployment import SOSDeployment
+from repro.sos.protocol import SOSProtocol
+
+
+@pytest.fixture
+def protocol():
+    arch = SOSArchitecture(
+        layers=3,
+        mapping="one-to-half",
+        total_overlay_nodes=500,
+        sos_nodes=60,
+        filters=5,
+    )
+    return SOSProtocol(SOSDeployment.deploy(arch, rng=7))
+
+
+class TestPublishResolve:
+    def test_round_trip(self, protocol):
+        servlet = protocol.deployment.layer_members(3)[0]
+        holders = protocol.publish_target("hospital", servlet)
+        assert len(holders) == 3
+        assert protocol.resolve_servlet("hospital") == servlet
+
+    def test_holders_are_sos_members(self, protocol):
+        servlet = protocol.deployment.layer_members(3)[0]
+        holders = protocol.publish_target("hospital", servlet)
+        sos_ids = {n.node_id for n in protocol.deployment.network.sos_nodes}
+        assert set(holders) <= sos_ids
+
+    def test_only_servlets_publishable(self, protocol):
+        beacon = protocol.deployment.layer_members(2)[0]
+        with pytest.raises(ProtocolError, match="not a secret servlet"):
+            protocol.publish_target("hospital", beacon)
+
+    def test_unpublished_target_rejected(self, protocol):
+        with pytest.raises(ProtocolError, match="no servlet binding"):
+            protocol.resolve_servlet("ghost")
+
+    def test_rebinding_overwrites(self, protocol):
+        servlets = protocol.deployment.layer_members(3)
+        protocol.publish_target("t", servlets[0])
+        protocol.publish_target("t", servlets[1])
+        assert protocol.resolve_servlet("t") == servlets[1]
+
+    def test_resolution_from_any_start(self, protocol):
+        servlet = protocol.deployment.layer_members(3)[0]
+        protocol.publish_target("t", servlet)
+        for start in protocol.deployment.chord.live_node_ids[:6]:
+            assert protocol.resolve_servlet("t", start_id=start) == servlet
+
+
+class TestBeaconFailure:
+    def test_binding_survives_beacon_crash(self, protocol):
+        servlet = protocol.deployment.layer_members(3)[0]
+        protocol.publish_target("hospital", servlet)
+        beacon = protocol.beacon_for("hospital")
+        protocol.deployment.chord.fail(beacon)
+        assert protocol.resolve_servlet("hospital") == servlet
+
+    def test_re_replication_after_crash(self, protocol):
+        chord = protocol.deployment.chord
+        servlet = protocol.deployment.layer_members(3)[0]
+        protocol.publish_target("hospital", servlet)
+        key = chord.space.hash_key("target:hospital")
+        chord.fail(chord.find_successor(key))
+        chord.maintain_replicas(replicas=3)
+        assert chord.replica_count(key) == 3
+        assert protocol.resolve_servlet("hospital") == servlet

@@ -1,0 +1,58 @@
+"""Tests for the repro-design advisor CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import run
+
+
+class TestDesignAdvisor:
+    def test_default_run_recommends_paper_optimum(self, capsys):
+        assert run([]) == 0
+        out = capsys.readouterr().out
+        assert "Recommended: " in out
+        # The paper-default attack grid is won by one-to-two designs.
+        assert "one-to-2" in out
+
+    def test_break_in_heavy_prefers_thin_mappings(self, capsys):
+        assert run(["--break-in-budget", "4000"]) == 0
+        out = capsys.readouterr().out
+        recommended = out.split("Recommended: ")[1].splitlines()[0]
+        assert "one-to-1" in recommended or "one-to-2" in recommended
+
+    def test_congestion_only_prefers_dense_mappings(self, capsys):
+        assert run([
+            "--break-in-budget", "0",
+            "--prior-knowledge", "0.0",
+            "--congestion-budget", "6000",
+        ]) == 0
+        out = capsys.readouterr().out
+        recommended = out.split("Recommended: ")[1].splitlines()[0]
+        assert "one-to-all" in recommended or "one-to-half" in recommended
+
+    def test_top_limits_table(self, capsys):
+        assert run(["--top", "3"]) == 0
+        out = capsys.readouterr().out
+        table = out.split("Top 3 designs")[1]
+        rows = [line for line in table.splitlines() if line.startswith("| L=")]
+        assert len(rows) == 3
+
+    def test_invalid_top_rejected(self, capsys):
+        assert run(["--top", "0"]) == 2
+
+    def test_includes_latency_line(self, capsys):
+        run([])
+        out = capsys.readouterr().out
+        assert "expected latency" in out
+
+    def test_scenario_flag(self, capsys):
+        assert run(["--include-congestion-scenario"]) == 0
+        out = capsys.readouterr().out
+        assert "2 scenario(s)" in out
+
+    def test_sensitivity_flag(self, capsys):
+        assert run(["--sensitivity", "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Sensitivity of the recommended design" in out
+        assert "N_C (congestion budget)" in out

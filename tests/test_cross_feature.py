@@ -1,0 +1,113 @@
+"""Cross-feature integration: the smartest attacker vs the active defender.
+
+Combines the §5 extensions that normally live apart: the traffic-monitoring
+attacker (more disclosure per break-in) races the repairing defender
+(re-keying between rounds) on the same deployments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import IntelligentAttacker, MonitoringAttacker
+from repro.attacks.strategies import SuccessiveStrategy
+from repro.attacks.monitoring import upstream_observer
+from repro.core import SOSArchitecture, SuccessiveAttack
+from repro.repair import NO_REPAIR, RepairPolicy, RepairingDefender
+from repro.sos import SOSDeployment, SOSProtocol
+from repro.utils.seeding import SeedSequenceFactory
+
+
+def arch():
+    return SOSArchitecture(
+        layers=3,
+        mapping="one-to-two",
+        total_overlay_nodes=800,
+        sos_nodes=45,
+        filters=5,
+    )
+
+
+ATTACK = SuccessiveAttack(
+    break_in_budget=80, congestion_budget=240, rounds=3, prior_knowledge=0.3
+)
+
+
+def run_race(observation: float, detection: float, trials: int = 30, seed: int = 8):
+    """Mean client success with a monitoring attacker vs a repairing defender.
+
+    The defender scans after every break-in round (strategy hook) and once
+    more after the congestion phase.
+    """
+    factory = SeedSequenceFactory(seed)
+    strategy = SuccessiveStrategy(
+        disclosure_extension=(
+            upstream_observer(observation) if observation > 0 else None
+        )
+    )
+    policy = (
+        RepairPolicy(detection_probability=detection)
+        if detection > 0
+        else NO_REPAIR
+    )
+    hits = probes = 0
+    for _ in range(trials):
+        trial_rng = factory.generator()
+        deployment = SOSDeployment.deploy(arch(), rng=trial_rng)
+        defender = RepairingDefender(policy, rng=factory.generator())
+        outcome = strategy.execute(
+            deployment, ATTACK, rng=trial_rng, on_round_end=defender
+        )
+        defender.scan_and_repair(deployment, outcome.knowledge)
+        protocol = SOSProtocol(deployment)
+        for _ in range(4):
+            contacts = deployment.sample_client_contacts(trial_rng)
+            hits += int(
+                protocol.send("c", "t", contacts=contacts, rng=trial_rng).delivered
+            )
+            probes += 1
+    return hits / probes
+
+
+class TestMonitoringVsRepair:
+    @pytest.fixture(scope="class")
+    def rates(self):
+        return {
+            (obs, det): run_race(obs, det)
+            for obs in (0.0, 1.0)
+            for det in (0.0, 0.7)
+        }
+
+    def test_monitoring_hurts_undefended_systems(self, rates):
+        assert rates[(1.0, 0.0)] <= rates[(0.0, 0.0)] + 0.05
+
+    def test_repair_helps_against_both_attackers(self, rates):
+        assert rates[(0.0, 0.7)] > rates[(0.0, 0.0)]
+        assert rates[(1.0, 0.7)] > rates[(1.0, 0.0)]
+
+    def test_repair_blunts_the_monitoring_edge(self, rates):
+        undefended_gap = rates[(0.0, 0.0)] - rates[(1.0, 0.0)]
+        defended_gap = rates[(0.0, 0.7)] - rates[(1.0, 0.7)]
+        # Re-keying invalidates the extra intelligence, shrinking the
+        # monitoring attacker's advantage (allowing MC noise).
+        assert defended_gap <= undefended_gap + 0.08
+
+    def test_defended_monitored_system_beats_undefended_unmonitored(self, rates):
+        assert rates[(1.0, 0.7)] > rates[(0.0, 0.0)]
+
+
+class TestAttackerFacadeWithExtension:
+    def test_monitoring_attacker_supports_one_burst_too(self):
+        from repro.core import OneBurstAttack
+
+        deployment = SOSDeployment.deploy(arch(), rng=5)
+        outcome = MonitoringAttacker().execute(
+            deployment, OneBurstAttack(80, 100, 1.0), rng=6
+        )
+        baseline = IntelligentAttacker().execute(
+            SOSDeployment.deploy(arch(), rng=5), OneBurstAttack(80, 100, 1.0),
+            rng=6,
+        )
+        assert len(outcome.knowledge.disclosed) >= len(
+            baseline.knowledge.disclosed
+        )

@@ -1,0 +1,69 @@
+"""Packaging sanity: metadata, version consistency, entry points."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import repro
+
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def read_pyproject() -> str:
+    return (REPO_ROOT / "pyproject.toml").read_text()
+
+
+class TestVersion:
+    def test_package_exposes_version(self):
+        assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+    def test_pyproject_matches_package(self):
+        match = re.search(r'^version = "([^"]+)"', read_pyproject(), re.M)
+        assert match
+        assert match.group(1) == repro.__version__
+
+
+class TestEntryPoints:
+    def test_console_scripts_declared(self):
+        text = read_pyproject()
+        assert 'repro-experiments = "repro.experiments.runner:main"' in text
+        assert 'repro-design = "repro.cli:main"' in text
+
+    def test_entry_point_targets_importable(self):
+        from repro.cli import main as design_main
+        from repro.experiments.runner import main as experiments_main
+
+        assert callable(design_main)
+        assert callable(experiments_main)
+
+
+class TestRepositoryLayout:
+    def test_required_documents_exist(self):
+        for name in (
+            "README.md",
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "LICENSE",
+            "CITATION.cff",
+            "docs/MODEL.md",
+            "docs/API.md",
+            "docs/TUTORIAL.md",
+        ):
+            assert (REPO_ROOT / name).exists(), name
+
+    def test_dependencies_are_the_offline_set(self):
+        text = read_pyproject()
+        for dep in ("numpy", "scipy", "networkx"):
+            assert dep in text
+        # Nothing outside the preinstalled set may sneak in.
+        match = re.search(r"dependencies = \[(.*?)\]", text, re.S)
+        deps = set(re.findall(r'"(\w+)"', match.group(1)))
+        assert deps <= {"numpy", "scipy", "networkx"}
+
+    def test_every_package_has_init(self):
+        src = REPO_ROOT / "src" / "repro"
+        for directory in src.rglob("*"):
+            if directory.is_dir() and list(directory.glob("*.py")):
+                assert (directory / "__init__.py").exists(), directory

@@ -1,0 +1,94 @@
+"""Property tests over the full executable pipeline.
+
+Hypothesis draws deployment/attack configurations and checks the
+end-to-end invariants that no unit test pins individually: attacker
+budgets are respected on real node sets, outcome accounting matches the
+network census, every disclosed identity really is an SOS node, and the
+protocol's forwarding success never exceeds reachability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.attacks import IntelligentAttacker
+from repro.core import SOSArchitecture, SuccessiveAttack
+from repro.errors import ConfigurationError
+from repro.sos import SOSDeployment, SOSProtocol
+
+
+@st.composite
+def scenario(draw):
+    layers = draw(st.integers(min_value=1, max_value=5))
+    mapping = draw(
+        st.sampled_from(["one-to-one", "one-to-two", "one-to-five", "one-to-half"])
+    )
+    sos_nodes = draw(st.integers(min_value=max(12, 4 * layers), max_value=60))
+    total = draw(st.integers(min_value=200, max_value=800))
+    try:
+        architecture = SOSArchitecture(
+            layers=layers,
+            mapping=mapping,
+            total_overlay_nodes=max(total, sos_nodes * 4),
+            sos_nodes=sos_nodes,
+            filters=draw(st.integers(min_value=1, max_value=8)),
+        )
+    except ConfigurationError:
+        return None
+    attack = SuccessiveAttack(
+        break_in_budget=draw(st.integers(min_value=0, max_value=150)),
+        congestion_budget=draw(st.integers(min_value=0, max_value=300)),
+        break_in_success=draw(st.sampled_from([0.0, 0.25, 0.5, 1.0])),
+        rounds=draw(st.integers(min_value=1, max_value=4)),
+        prior_knowledge=draw(st.sampled_from([0.0, 0.2, 0.6])),
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return architecture, attack, seed
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(data=scenario())
+def test_executed_attack_invariants(data):
+    if data is None:
+        return
+    architecture, attack, seed = data
+    deployment = SOSDeployment.deploy(architecture, rng=seed)
+    outcome = IntelligentAttacker().execute(deployment, attack, rng=seed + 1)
+
+    # Budget discipline on real sets.
+    assert outcome.break_in_attempts <= round(attack.n_t)
+    assert outcome.congestion_spent <= round(attack.n_c)
+
+    # Outcome accounting equals the deployment's own census.
+    assert outcome.bad_per_layer() == deployment.bad_counts()
+
+    # Everything the attacker disclosed really is an SOS node or filter.
+    sos_ids = {node.node_id for node in deployment.network.sos_nodes}
+    assert outcome.knowledge.disclosed <= sos_ids
+    filter_ids = set(deployment.filters.filter_ids)
+    assert outcome.knowledge.disclosed_filters <= filter_ids
+
+    # Broken nodes never also counted congested.
+    for layer, broken in outcome.broken_per_layer.items():
+        members = deployment.layer_members(layer)
+        recount = sum(
+            1
+            for node_id in members
+            if deployment.resolve(node_id).health.value == "compromised"
+        )
+        assert recount == broken
+
+    # Forwarding success implies reachability on the damaged system.
+    protocol = SOSProtocol(deployment)
+    rng = np.random.default_rng(seed + 2)
+    for _ in range(5):
+        contacts = deployment.sample_client_contacts(rng)
+        delivered = protocol.send("c", "t", contacts=contacts, rng=rng).delivered
+        if delivered:
+            assert protocol.path_exists(contacts)

@@ -1,0 +1,92 @@
+"""Tests for ASCII table and plot rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.ascii_plot import ascii_plot
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "b"], [[1, 2.5], [3, 4.125]])
+        lines = text.splitlines()
+        assert lines[0].startswith("| a")
+        assert "2.5000" in text
+        assert "4.1250" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["long-name-here", 1], ["s", 2]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[0.123456]], float_format=".2f")
+        assert "0.12" in text
+        assert "0.1235" not in text
+
+    def test_bool_cells_render_as_bool(self):
+        assert "True" in format_table(["ok"], [[True]])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "| a" in text
+
+
+class TestAsciiPlot:
+    def test_contains_series_markers_and_legend(self):
+        text = ascii_plot([0, 1, 2], {"up": [0, 1, 2], "down": [2, 1, 0]})
+        assert "o = up" in text
+        assert "x = down" in text
+
+    def test_title_and_labels(self):
+        text = ascii_plot(
+            [0, 1], {"s": [0, 1]}, title="T", xlabel="L", ylabel="P_S"
+        )
+        assert text.startswith("T")
+        assert "P_S" in text
+        assert " L: 0 .. 1" in text
+
+    def test_explicit_y_bounds(self):
+        text = ascii_plot([0, 1], {"s": [0.2, 0.4]}, y_min=0.0, y_max=1.0)
+        assert "top=1.000" in text
+        assert "bottom=0.000" in text
+
+    def test_rejects_empty_x(self):
+        with pytest.raises(ValueError):
+            ascii_plot([], {"s": []})
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], {})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            ascii_plot([1, 2], {"s": [1]})
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_plot([0, 1, 2], {"flat": [0.5, 0.5, 0.5]})
+        assert "flat" in text
+
+    def test_nan_points_render_as_gaps(self):
+        text = ascii_plot(
+            [0, 1, 2], {"s": [0.2, float("nan"), 0.8]}, y_min=0.0, y_max=1.0
+        )
+        assert "s" in text
+        # Exactly two plotted markers survive in the grid (the legend's
+        # own 'o' sits below the axis line).
+        grid = text.split("+---", 1)[0].split("|", 1)[1]
+        assert grid.count("o") == 2
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ascii_plot([0, 1], {"s": [float("nan"), float("nan")]})

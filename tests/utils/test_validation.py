@@ -1,0 +1,89 @@
+"""Tests for argument-validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_accepts_positive(self):
+        assert check_non_negative("x", 3.5) == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError, match="x must be >= 0"):
+            check_non_negative("x", -1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            check_non_negative("x", float("nan"))
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            check_non_negative("x", float("inf"))
+
+    def test_rejects_string(self):
+        with pytest.raises(ConfigurationError, match="real number"):
+            check_non_negative("x", "5")  # type: ignore[arg-type]
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", True)  # type: ignore[arg-type]
+
+
+class TestPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.1) == 0.1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError, match="> 0"):
+            check_positive("x", 0)
+
+
+class TestPositiveInt:
+    def test_accepts_one(self):
+        assert check_positive_int("x", 1) == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int("x", 0)
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError, match="integer"):
+            check_positive_int("x", 2.0)  # type: ignore[arg-type]
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int("x", True)  # type: ignore[arg-type]
+
+
+class TestProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", value)
+
+
+class TestFraction:
+    def test_accepts_half_open(self):
+        assert check_fraction("f", 1.0) == 1.0
+        assert check_fraction("f", 0.001) == 0.001
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_fraction("f", 0.0)
