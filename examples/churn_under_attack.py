@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Benign churn under attack: P_S vs crash rate and detection timeout.
+
+Run:
+    python examples/churn_under_attack.py
+
+The paper's model assumes nodes fail only when attacked. Real overlays
+also churn: nodes crash and come back on their own, and a defender only
+learns a node is bad after a detection timeout. This example runs the
+successive attack over a sweep of benign crash rates, then over a sweep
+of detection timeouts, and shows how both erode the availability floor
+the analytical model predicts.
+"""
+
+from __future__ import annotations
+
+from repro.core import SOSArchitecture, SuccessiveAttack
+from repro.repair import NO_REPAIR, RepairPolicy
+from repro.resilience import DetectorConfig, FaultPlan, RetryPolicy
+from repro.simulation import run_campaign
+from repro.utils.ascii_plot import ascii_plot
+
+
+def main() -> None:
+    architecture = SOSArchitecture(
+        layers=3,
+        mapping="one-to-two",
+        total_overlay_nodes=1000,
+        sos_nodes=45,
+        filters=5,
+    )
+    attack = SuccessiveAttack(
+        break_in_budget=80, congestion_budget=300, rounds=3, prior_knowledge=0.3
+    )
+    retry = RetryPolicy(max_attempts_per_hop=3, backoff_base=0.05)
+
+    # Sweep 1: crash rate, no defender. Each crashed node is down for an
+    # exponential mean of 12 time units before it restores itself.
+    print("=== P_S(t) under increasing benign churn (no repair) ===\n")
+    series = {}
+    times = None
+    for rate in (0.0, 0.5, 1.5):
+        report = run_campaign(
+            architecture,
+            attack,
+            NO_REPAIR,
+            seed=11,
+            fault_plan=FaultPlan(crash_rate=rate, mean_downtime=12.0),
+            retry_policy=retry,
+        )
+        label = f"crash rate {rate}"
+        series[label] = list(report.p_s)
+        times = list(report.times)
+        print(
+            f"{label:16s} min={report.minimum:.2f} final={report.final:.2f} "
+            f"crashes={report.crashes_injected} "
+            f"recoveries={report.benign_recoveries}"
+        )
+    print()
+    print(
+        ascii_plot(
+            times,
+            series,
+            title="P_S over the engagement at three churn rates",
+            xlabel="time",
+            ylabel="P_S",
+            y_min=0.0,
+            y_max=1.0,
+            height=14,
+        )
+    )
+
+    # Sweep 2: detection timeout, churn fixed. The defender repairs every
+    # node it has *confirmed* bad; confirmation takes `timeout` time units.
+    print("\n=== Repair effectiveness vs detection timeout ===\n")
+    plan = FaultPlan(crash_rate=0.5, mean_downtime=12.0)
+    policy = RepairPolicy(detection_probability=1.0)
+    for timeout in (0.0, 8.0, 24.0):
+        report = run_campaign(
+            architecture,
+            attack,
+            policy,
+            seed=11,
+            fault_plan=plan,
+            detector_config=DetectorConfig(timeout=timeout),
+            retry_policy=retry,
+        )
+        print(
+            f"timeout {timeout:5.1f}  min={report.minimum:.2f} "
+            f"final={report.final:.2f} repairs={report.repairs_total} "
+            f"false_alarms={report.false_alarms}"
+        )
+    print(
+        "\nChurn deepens the availability dip even with retries; slower\n"
+        "detection holds repairs back, so the dip lasts longer — the two\n"
+        "knobs the res-churn and res-detect experiments sweep."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,10 @@ from repro.experiments.fig_nc import nc_sensitivity, nc_sensitivity_pure_congest
 from repro.experiments.fig6 import fig6a, fig6b
 from repro.experiments.fig7 import fig7
 from repro.experiments.fig8 import fig8a, fig8b
+from repro.experiments.resilience_figs import (
+    resilience_churn,
+    resilience_detection,
+)
 from repro.experiments.result import FigureResult
 from repro.experiments.validation import validation_figure
 
@@ -62,6 +66,8 @@ REGISTRY: Dict[str, FigureFn] = {
     "fig-nc-pure": nc_sensitivity_pure_congestion,
     "base-n": baseline_overlay_size,
     "fig4a-mc": fig4a_monte_carlo,
+    "res-churn": resilience_churn,
+    "res-detect": resilience_detection,
 }
 
 #: The figures that appear in the paper itself (vs added validation).

@@ -35,6 +35,10 @@ def render_text(result: FigureResult, plot: bool = True) -> str:
         for claim in result.claims:
             status = "PASS" if claim.holds else "FAIL"
             parts.append(f"  [{status}] {claim.description}")
+    if result.warnings:
+        parts.append("WARNING — degraded coverage:")
+        for warning in result.warnings:
+            parts.append(f"  ! {warning}")
     if result.notes:
         parts.append(f"Notes: {result.notes}")
     return "\n".join(parts) + "\n"
@@ -58,6 +62,11 @@ def render_markdown(result: FigureResult) -> str:
         for claim in result.claims:
             mark = "x" if claim.holds else " "
             lines.append(f"- [{mark}] {claim.description}")
+        lines.append("")
+    if result.warnings:
+        lines.append("> **Warning — degraded coverage:**")
+        for warning in result.warnings:
+            lines.append(f"> - {warning}")
         lines.append("")
     if result.notes:
         lines.append(f"*{result.notes}*")

@@ -34,6 +34,9 @@ class FigureResult:
     series: Dict[str, List[float]]
     claims: List[Claim] = dataclasses.field(default_factory=list)
     notes: str = ""
+    #: Degraded-coverage or data-quality warnings (e.g. isolated trial
+    #: failures); rendered prominently but not fatal like a failed claim.
+    warnings: List[str] = dataclasses.field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.x_values:

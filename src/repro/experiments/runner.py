@@ -18,7 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.errors import ExperimentError
+from repro.errors import ReproError
 from repro.experiments.figures import PAPER_FIGURES, available, run_figure
 from repro.experiments.report import render_markdown, render_text
 
@@ -82,6 +82,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     markdown_sections = []
     results = []
     failures = 0
+    errors = []
     overrides = {}
     if args.trials is not None:
         overrides["trials"] = args.trials
@@ -90,9 +91,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     for figure_id in targets:
         try:
             result = run_figure(figure_id, **overrides)
-        except ExperimentError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
+        except ReproError as exc:
+            # One broken figure must not abort the rest of the batch;
+            # record it and keep going, then fail loudly at the end.
+            print(f"ERROR [{figure_id}]: {exc}", file=sys.stderr)
+            errors.append((figure_id, str(exc)))
+            continue
         results.append(result)
         print(render_text(result, plot=not args.no_plot))
         markdown_sections.append(render_markdown(result))
@@ -110,6 +114,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             handle.write("\n".join(markdown_sections))
         print(f"wrote markdown to {args.markdown}")
 
+    if errors:
+        print(
+            f"{len(errors)} figure(s) errored "
+            f"({len(results)} of {len(targets)} completed):",
+            file=sys.stderr,
+        )
+        for figure_id, message in errors:
+            print(f"  {figure_id}: {message}", file=sys.stderr)
+        return 2
     if failures:
         print(f"{failures} claim(s) FAILED", file=sys.stderr)
         return 1

@@ -19,17 +19,22 @@ from repro.errors import ConfigurationError
 
 
 class NodeHealth(str, enum.Enum):
-    """Health of an overlay node under attack.
+    """Health of an overlay node under attack and benign churn.
 
     ``GOOD`` nodes route normally. ``COMPROMISED`` nodes were broken into
     (the attacker read their neighbor table; they no longer route).
     ``CONGESTED`` nodes are flooded and drop everything. Both compromised
     and congested nodes are *bad* in the paper's terminology.
+    ``CRASHED`` nodes suffered a benign failure (process crash, host
+    reboot, partition) independent of the attack; they drop traffic like
+    congested nodes but disclose nothing, and benign recovery restores
+    them without re-keying.
     """
 
     GOOD = "good"
     COMPROMISED = "compromised"
     CONGESTED = "congested"
+    CRASHED = "crashed"
 
     @property
     def is_bad(self) -> bool:
@@ -96,12 +101,41 @@ class OverlayNode:
         self.health = NodeHealth.COMPROMISED
         return frozenset(self.neighbors)
 
+    @property
+    def is_crashed(self) -> bool:
+        """True when the node is down due to benign failure, not attack."""
+        return self.health is NodeHealth.CRASHED
+
     def congest(self) -> None:
         """Flood the node. Compromised nodes stay compromised (the paper's
         attacker never wastes congestion resources on nodes it owns)."""
         if self.health is NodeHealth.COMPROMISED:
             return
         self.health = NodeHealth.CONGESTED
+
+    def crash(self) -> bool:
+        """Benign failure: a GOOD node goes down without disclosing anything.
+
+        Compromised and congested nodes are already unroutable, so a crash
+        on them is absorbed (returns False); the fault injector uses the
+        return value to decide whether a recovery needs scheduling.
+        """
+        if self.health is not NodeHealth.GOOD:
+            return False
+        self.health = NodeHealth.CRASHED
+        return True
+
+    def restore(self) -> bool:
+        """Benign recovery: undo a crash, never attack damage.
+
+        Returns True when the node actually came back; repairing
+        compromised or congested nodes is the defender's job
+        (:meth:`recover`), because it implies re-keying.
+        """
+        if self.health is not NodeHealth.CRASHED:
+            return False
+        self.health = NodeHealth.GOOD
+        return True
 
     def recover(self) -> None:
         """Restore the node to good health (used by repair experiments)."""

@@ -8,20 +8,37 @@ racing the attacker's disclosure cascade.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.attacks.knowledge import AttackerKnowledge
 from repro.repair.policy import RepairPolicy
 from repro.sos.deployment import SOSDeployment
 from repro.utils.seeding import SeedLike, make_rng
 
+if TYPE_CHECKING:  # runtime import would cycle through repro.simulation
+    from repro.resilience.detector import FailureDetector
+
 
 class RepairingDefender:
-    """Scans for bad SOS nodes after each attack round and repairs them."""
+    """Scans for bad SOS nodes after each attack round and repairs them.
 
-    def __init__(self, policy: RepairPolicy, rng: SeedLike = None) -> None:
+    With a :class:`~repro.resilience.detector.FailureDetector` installed,
+    detection is heartbeat-based: repair acts on nodes whose failure has
+    been *observed* for long enough (plus the detector's false alarms)
+    instead of the omniscient per-node coin the policy's
+    ``detection_probability`` describes. The policy's capacity limit and
+    rewire behavior apply either way.
+    """
+
+    def __init__(
+        self,
+        policy: RepairPolicy,
+        rng: SeedLike = None,
+        detector: "Optional[FailureDetector]" = None,
+    ) -> None:
         self.policy = policy
         self._rng = make_rng(rng)
+        self.detector = detector
         self.repairs_per_round: Dict[int, int] = {}
         self.total_repaired = 0
 
@@ -32,23 +49,33 @@ class RepairingDefender:
         knowledge: AttackerKnowledge,
         round_index: int,
     ) -> None:
-        repaired = self.scan_and_repair(deployment, knowledge)
+        # Round-hooked usage has no wall clock; one round = one time unit,
+        # so a detector timeout of k means "k rounds of missed heartbeats".
+        repaired = self.scan_and_repair(
+            deployment, knowledge, now=float(round_index)
+        )
         self.repairs_per_round[round_index] = repaired
 
     def scan_and_repair(
-        self, deployment: SOSDeployment, knowledge: AttackerKnowledge
+        self,
+        deployment: SOSDeployment,
+        knowledge: AttackerKnowledge,
+        now: float = 0.0,
     ) -> int:
         """One scan: detect, repair, re-key. Returns the repair count."""
         if self.policy.is_noop:
             return 0
-        detected: List[int] = []
-        for layer in range(1, deployment.architecture.layers + 2):
-            for node_id in deployment.layer_members(layer):
-                node = deployment.resolve(node_id)
-                if node.is_bad and (
-                    self._rng.random() < self.policy.detection_probability
-                ):
-                    detected.append(node_id)
+        if self.detector is not None:
+            detected = self.detector.scan(deployment, now)
+        else:
+            detected = []
+            for layer in range(1, deployment.architecture.layers + 2):
+                for node_id in deployment.layer_members(layer):
+                    node = deployment.resolve(node_id)
+                    if node.is_bad and (
+                        self._rng.random() < self.policy.detection_probability
+                    ):
+                        detected.append(node_id)
         if self.policy.capacity_per_round is not None:
             self._rng.shuffle(detected)
             detected = detected[: self.policy.capacity_per_round]
@@ -65,6 +92,8 @@ class RepairingDefender:
     ) -> None:
         node = deployment.resolve(node_id)
         node.recover()
+        if self.detector is not None:
+            self.detector.forget(node_id)
         # Re-keying invalidates everything the attacker knew about the node.
         knowledge.broken.discard(node_id)
         knowledge.disclosed.discard(node_id)

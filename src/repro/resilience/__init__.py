@@ -1,0 +1,51 @@
+"""Benign-failure modeling: churn, failure detection, retry, checkpoints.
+
+The paper's model only ever marks nodes *bad* through attacker action.
+Real overlay deployments also lose nodes to benign causes — process
+crashes, host reboots, network partitions — and detect those losses with
+latency, not omnisciently. This package adds that missing resilience
+layer:
+
+* :mod:`repro.resilience.faults` — :class:`FaultPlan` /
+  :class:`FaultInjector` schedule crash, recover, and layer-partition
+  events on the campaign clock, independent of the attack;
+* :mod:`repro.resilience.detector` — a heartbeat-style
+  :class:`FailureDetector` with a configurable detection timeout and
+  false-positive rate, feeding the repairing defender *detected* (rather
+  than omnisciently known) bad nodes;
+* :mod:`repro.resilience.retry` — :class:`RetryPolicy`, bounded per-hop
+  retry with deterministic seeded backoff for
+  :meth:`~repro.sos.protocol.SOSProtocol.send`;
+* :mod:`repro.resilience.checkpoint` — JSON checkpoint/resume state for
+  crash-tolerant Monte-Carlo campaigns.
+
+Everything here is strictly opt-in: with a zero-churn plan, no detector,
+and no retry policy, every simulation reproduces the seed behavior
+bit-for-bit.
+"""
+
+from repro.resilience.checkpoint import CampaignCheckpoint
+from repro.resilience.detector import DetectorConfig, FailureDetector
+from repro.resilience.faults import (
+    ZERO_CHURN,
+    FaultInjector,
+    FaultPlan,
+    PartitionEvent,
+    RoundChurn,
+    compose_round_hooks,
+)
+from repro.resilience.retry import DEFAULT_RETRY, RetryPolicy
+
+__all__ = [
+    "CampaignCheckpoint",
+    "DetectorConfig",
+    "FailureDetector",
+    "FaultInjector",
+    "FaultPlan",
+    "PartitionEvent",
+    "RetryPolicy",
+    "RoundChurn",
+    "DEFAULT_RETRY",
+    "ZERO_CHURN",
+    "compose_round_hooks",
+]

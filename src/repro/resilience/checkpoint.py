@@ -1,0 +1,121 @@
+"""Crash-tolerant campaign state: JSON checkpoint and resume.
+
+A long Monte-Carlo campaign should survive both a failing trial and a
+dying process. :class:`CampaignCheckpoint` persists per-trial outcomes
+(success fraction + per-layer bad counts, or the error that killed the
+trial) keyed by trial index, plus a fingerprint of the experiment
+configuration so a checkpoint can never be resumed against different
+parameters.
+
+Because every trial draws from its own
+:class:`~repro.utils.seeding.SeedSequenceFactory` stream, a resumed run
+replays the *exact* streams of the trials it skips or retries — resuming
+an interrupted campaign yields bit-identical aggregates to an
+uninterrupted run with the same seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.errors import SimulationError
+
+_FORMAT_VERSION = 1
+
+
+def fingerprint(payload: Dict[str, Any]) -> str:
+    """Stable hash of an experiment configuration dictionary."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+class CampaignCheckpoint:
+    """Per-trial campaign state persisted as one JSON file.
+
+    Trial records are either ``{"p": float, "bad": {layer: count}}`` for a
+    completed trial or ``{"error": str}`` for a failed one; failed trials
+    are retried on resume (their RNG streams are reproducible, so a
+    transient failure heals without skewing the estimate).
+    """
+
+    def __init__(self, path: str, config_fingerprint: str) -> None:
+        self.path = path
+        self.config_fingerprint = config_fingerprint
+        self.trials: Dict[int, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load_or_create(
+        cls, path: str, config_fingerprint: str
+    ) -> "CampaignCheckpoint":
+        """Resume from ``path`` when compatible, else start fresh.
+
+        A checkpoint written under a *different* configuration raises
+        :class:`SimulationError` rather than silently mixing results.
+        """
+        checkpoint = cls(path, config_fingerprint)
+        if not os.path.exists(path):
+            return checkpoint
+        with open(path, "r", encoding="utf-8") as handle:
+            state = json.load(handle)
+        if state.get("fingerprint") != config_fingerprint:
+            raise SimulationError(
+                f"checkpoint {path} was written by a different experiment "
+                f"configuration (fingerprint {state.get('fingerprint')!r} != "
+                f"{config_fingerprint!r}); delete it or change the path"
+            )
+        checkpoint.trials = {
+            int(index): record for index, record in state["trials"].items()
+        }
+        return checkpoint
+
+    def save(self) -> None:
+        """Atomically persist current state (write temp file, then rename)."""
+        state = {
+            "version": _FORMAT_VERSION,
+            "fingerprint": self.config_fingerprint,
+            "trials": {
+                str(index): record for index, record in sorted(self.trials.items())
+            },
+        }
+        temp_path = f"{self.path}.tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(state, handle)
+        os.replace(temp_path, self.path)
+
+    # ------------------------------------------------------------------
+    # Trial bookkeeping
+    # ------------------------------------------------------------------
+    def record_success(
+        self, trial: int, p: float, bad_counts: Dict[int, int]
+    ) -> None:
+        self.trials[trial] = {
+            "p": p,
+            "bad": {str(layer): count for layer, count in bad_counts.items()},
+        }
+
+    def record_failure(self, trial: int, error: str) -> None:
+        self.trials[trial] = {"error": error}
+
+    def completed(self, trial: int) -> Optional[Dict[str, Any]]:
+        """The stored success record for ``trial``, or None.
+
+        Failed trials return None so the estimator retries them.
+        """
+        record = self.trials.get(trial)
+        if record is None or "error" in record:
+            return None
+        return record
+
+    @property
+    def failed_trials(self) -> Dict[int, str]:
+        return {
+            trial: record["error"]
+            for trial, record in sorted(self.trials.items())
+            if "error" in record
+        }

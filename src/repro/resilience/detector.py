@@ -1,0 +1,106 @@
+"""Heartbeat-style failure detection with latency and false alarms.
+
+The seed's :class:`~repro.repair.defender.RepairingDefender` detects bad
+nodes omnisciently (an i.i.d. coin per bad node per scan). Real monitors
+observe missed heartbeats: a node must be continuously unresponsive for a
+*detection timeout* before it is flagged, and healthy nodes are
+occasionally flagged by mistake. :class:`FailureDetector` models exactly
+that and plugs into the defender, so repair acts on *detected* rather
+than known-bad nodes.
+
+With ``timeout=0`` and ``false_positive_rate=0`` the detector flags every
+currently-bad node at every scan — identical to an omniscient scan with
+detection probability 1, which is what keeps resilience-enabled runs
+bit-compatible with the seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.errors import SimulationError
+from repro.sos.deployment import SOSDeployment
+from repro.utils.seeding import SeedLike, make_rng
+from repro.utils.validation import check_probability
+
+
+@dataclasses.dataclass(frozen=True)
+class DetectorConfig:
+    """Tuning of the heartbeat monitor.
+
+    Attributes
+    ----------
+    timeout:
+        How long a node must be continuously unresponsive (bad) before
+        the detector confirms the failure. ``0`` = instantaneous.
+    false_positive_rate:
+        Per-scan probability that a healthy node is flagged anyway
+        (spurious repair work that eats defender capacity).
+    """
+
+    timeout: float = 0.0
+    false_positive_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.timeout < 0:
+            raise SimulationError(f"timeout must be >= 0, got {self.timeout}")
+        check_probability("false_positive_rate", self.false_positive_rate)
+
+
+#: Perfect monitoring: every bad node flagged immediately, no false alarms.
+INSTANT_DETECTION = DetectorConfig()
+
+
+class FailureDetector:
+    """Tracks when each SOS member was first seen unresponsive.
+
+    The detector owns its RNG stream (for false positives), so installing
+    one never perturbs defender, attacker, or probe randomness.
+    """
+
+    def __init__(
+        self, config: DetectorConfig = INSTANT_DETECTION, rng: SeedLike = None
+    ) -> None:
+        self.config = config
+        self._rng = make_rng(rng)
+        self._suspected_since: Dict[int, float] = {}
+        self.false_alarms = 0
+        self.scans = 0
+
+    def scan(self, deployment: SOSDeployment, now: float) -> List[int]:
+        """One heartbeat sweep at time ``now``; returns detected node ids.
+
+        Detected = bad for at least ``timeout`` time units, in
+        layer-membership order (the same order the omniscient scan uses),
+        plus any false-positive healthy nodes.
+        """
+        self.scans += 1
+        detected: List[int] = []
+        seen_bad = set()
+        for layer in range(1, deployment.architecture.layers + 2):
+            for node_id in deployment.layer_members(layer):
+                node = deployment.resolve(node_id)
+                if node.is_bad:
+                    seen_bad.add(node_id)
+                    since = self._suspected_since.setdefault(node_id, now)
+                    if now - since >= self.config.timeout:
+                        detected.append(node_id)
+                else:
+                    self._suspected_since.pop(node_id, None)
+                    if (
+                        self.config.false_positive_rate > 0
+                        and self._rng.random() < self.config.false_positive_rate
+                    ):
+                        self.false_alarms += 1
+                        detected.append(node_id)
+        # Drop suspicion timestamps for nodes that disappeared from the
+        # membership (re-enrollment via reassign_membership).
+        for node_id in list(self._suspected_since):
+            if node_id not in seen_bad:
+                self._suspected_since.pop(node_id, None)
+        return detected
+
+    def forget(self, node_id: int) -> None:
+        """Clear suspicion state after a node was repaired or restored."""
+        self._suspected_since.pop(node_id, None)

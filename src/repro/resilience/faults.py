@@ -1,0 +1,273 @@
+"""Fault injection: benign crash, recover, and partition events.
+
+A :class:`FaultPlan` describes churn declaratively; a
+:class:`FaultInjector` compiles it onto an
+:class:`~repro.simulation.engine.EventScheduler`, so benign failures
+interleave with attack rounds, repair scans, and probes on the same
+deterministic clock. Crashes only ever hit GOOD nodes (a node that is
+already compromised or congested is down regardless), and benign recovery
+never undoes attack damage — that separation is what keeps ``P_S``
+monotone in the churn rate.
+
+For the un-clocked executable attacks (:mod:`repro.attacks.strategies`),
+:class:`RoundChurn` provides the same churn semantics as an
+``on_round_end`` hook, composable with the repairing defender via
+:func:`compose_round_hooks`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sos.deployment import SOSDeployment
+from repro.utils.seeding import SeedLike, make_rng
+from repro.utils.validation import check_probability
+
+if TYPE_CHECKING:  # runtime import would cycle: simulation -> resilience
+    from repro.simulation.engine import EventScheduler, _ScheduledEvent
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionEvent:
+    """A correlated outage: a fraction of one layer crashes together.
+
+    At ``time`` the injector crashes ``ceil(fraction * layer_size)``
+    currently-good members of ``layer``; at ``time + duration`` exactly
+    those nodes are restored (nodes the defender repaired in between are
+    left alone).
+    """
+
+    time: float
+    layer: int
+    fraction: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise SimulationError(f"partition time must be >= 0, got {self.time}")
+        if self.layer < 1:
+            raise SimulationError(f"partition layer must be >= 1, got {self.layer}")
+        check_probability("fraction", self.fraction)
+        if self.duration <= 0:
+            raise SimulationError(
+                f"partition duration must be > 0, got {self.duration}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """Declarative churn model for one engagement.
+
+    Attributes
+    ----------
+    crash_rate:
+        Expected benign crashes per unit of simulation time across the
+        whole SOS membership (a Poisson process; 0 disables churn).
+    mean_downtime:
+        Mean of the exponential downtime after a crash; ``math.inf``
+        makes crashes permanent.
+    partitions:
+        Scheduled correlated layer outages.
+    """
+
+    crash_rate: float = 0.0
+    mean_downtime: float = 10.0
+    partitions: Tuple[PartitionEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.crash_rate < 0:
+            raise SimulationError(
+                f"crash_rate must be >= 0, got {self.crash_rate}"
+            )
+        if not self.mean_downtime > 0:
+            raise SimulationError(
+                f"mean_downtime must be > 0 (math.inf = permanent), "
+                f"got {self.mean_downtime}"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan can never inject a fault."""
+        return self.crash_rate == 0.0 and not self.partitions
+
+
+#: The default plan: no benign failures, seed behavior exactly.
+ZERO_CHURN = FaultPlan()
+
+
+class FaultInjector:
+    """Compiles a :class:`FaultPlan` onto a scheduler for one deployment.
+
+    The injector owns a dedicated RNG stream, so enabling churn never
+    perturbs the attack, probe, or defender streams — a zero-churn plan
+    schedules nothing and the engagement is bit-identical to a run
+    without an injector.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        deployment: SOSDeployment,
+        scheduler: EventScheduler,
+        rng: SeedLike = None,
+    ) -> None:
+        self.plan = plan
+        self.deployment = deployment
+        self.scheduler = scheduler
+        self._rng = make_rng(rng)
+        self.crashes_injected = 0
+        self.recoveries = 0
+        self._pending_recover: Dict[int, _ScheduledEvent] = {}
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install(self, horizon: float) -> int:
+        """Schedule every fault event up to ``horizon``; returns the count."""
+        if self.plan.is_noop:
+            return 0
+        scheduled = 0
+        if self.plan.crash_rate > 0:
+            time = self.scheduler.now
+            while True:
+                time += float(self._rng.exponential(1.0 / self.plan.crash_rate))
+                if time > horizon:
+                    break
+                self.scheduler.schedule_at(time, self._crash_random_node)
+                scheduled += 1
+        for partition in self.plan.partitions:
+            if partition.time > horizon:
+                continue
+            self.scheduler.schedule_at(
+                partition.time,
+                lambda p=partition: self._partition_start(p),
+            )
+            scheduled += 1
+        return scheduled
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _crash_random_node(self) -> None:
+        members = self.deployment.sos_member_ids()
+        victim = members[int(self._rng.integers(0, len(members)))]
+        self._crash(victim)
+
+    def _crash(self, node_id: int) -> None:
+        node = self.deployment.resolve(node_id)
+        if not node.crash():
+            return
+        self.crashes_injected += 1
+        # A stale recover (left over from an earlier crash whose node the
+        # defender repaired in the meantime) must not resurrect this crash
+        # early: cancel it before scheduling the fresh recovery.
+        stale = self._pending_recover.pop(node_id, None)
+        if stale is not None:
+            self.scheduler.cancel(stale)
+        if math.isinf(self.plan.mean_downtime):
+            return
+        downtime = float(self._rng.exponential(self.plan.mean_downtime))
+        self._pending_recover[node_id] = self.scheduler.schedule_after(
+            downtime, lambda: self._recover(node_id)
+        )
+
+    def _recover(self, node_id: int) -> None:
+        self._pending_recover.pop(node_id, None)
+        if self.deployment.resolve(node_id).restore():
+            self.recoveries += 1
+
+    def _partition_start(self, partition: PartitionEvent) -> None:
+        members = [
+            node_id
+            for node_id in self.deployment.layer_members(partition.layer)
+            if self.deployment.resolve(node_id).is_good
+        ]
+        count = min(
+            len(members), int(math.ceil(partition.fraction * len(members)))
+        )
+        if count == 0:
+            return
+        chosen = self._rng.choice(len(members), size=count, replace=False)
+        victims: List[int] = []
+        for index in chosen:
+            node_id = members[int(index)]
+            if self.deployment.resolve(node_id).crash():
+                self.crashes_injected += 1
+                victims.append(node_id)
+                stale = self._pending_recover.pop(node_id, None)
+                if stale is not None:
+                    self.scheduler.cancel(stale)
+        self.scheduler.schedule_after(
+            partition.duration, lambda: self._partition_end(victims)
+        )
+
+    def _partition_end(self, victims: List[int]) -> None:
+        for node_id in victims:
+            if self.deployment.resolve(node_id).restore():
+                self.recoveries += 1
+
+
+class RoundChurn:
+    """Per-round churn for the un-clocked attack strategies.
+
+    Matches the ``on_round_end(deployment, knowledge, round_index)``
+    signature of :class:`~repro.attacks.strategies.SuccessiveStrategy`:
+    after every break-in round each good SOS member crashes with
+    ``crash_probability``, and each crashed member recovers with
+    ``recover_probability``.
+    """
+
+    def __init__(
+        self,
+        crash_probability: float,
+        recover_probability: float = 0.0,
+        rng: SeedLike = None,
+    ) -> None:
+        check_probability("crash_probability", crash_probability)
+        check_probability("recover_probability", recover_probability)
+        self.crash_probability = crash_probability
+        self.recover_probability = recover_probability
+        self._rng = make_rng(rng)
+        self.crashes_injected = 0
+        self.recoveries = 0
+
+    def __call__(self, deployment: SOSDeployment, knowledge, round_index: int) -> None:
+        for node_id in deployment.sos_member_ids():
+            node = deployment.resolve(node_id)
+            if node.is_crashed:
+                if (
+                    self.recover_probability > 0
+                    and self._rng.random() < self.recover_probability
+                    and node.restore()
+                ):
+                    self.recoveries += 1
+            elif node.is_good:
+                if (
+                    self.crash_probability > 0
+                    and self._rng.random() < self.crash_probability
+                    and node.crash()
+                ):
+                    self.crashes_injected += 1
+
+
+def compose_round_hooks(*hooks) -> Optional[object]:
+    """Chain several ``on_round_end`` hooks into one callable.
+
+    ``None`` entries are skipped; with no live hooks the result is
+    ``None`` (so callers can pass it straight through to
+    ``SuccessiveStrategy.execute``).
+    """
+    live = [hook for hook in hooks if hook is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+
+    def chained(deployment, knowledge, round_index):
+        for hook in live:
+            hook(deployment, knowledge, round_index)
+
+    return chained

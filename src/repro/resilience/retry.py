@@ -1,0 +1,82 @@
+"""Bounded retry with deterministic seeded backoff for SOS forwarding.
+
+The seed's forwarder picks uniformly among the *good* nodes of a
+neighbor table — an omniscient shortcut. Under churn a node does not
+know which neighbors are up; it tries one, times out, backs off, and
+tries another. :class:`RetryPolicy` bounds that loop (per-hop attempt
+budget, exponential backoff with optional seeded jitter) and
+:meth:`~repro.sos.protocol.SOSProtocol.send` uses it to produce
+receipts that record attempts, retries, accumulated backoff, and a
+failure-cause taxonomy. All randomness flows through the caller's
+generator, so a fixed seed yields an identical ``hop_trail`` and retry
+count every run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How hard one hop tries before declaring the next layer unreachable.
+
+    Attributes
+    ----------
+    max_attempts_per_hop:
+        Total neighbor picks per hop, first try included. The effective
+        budget never exceeds the table size (each neighbor is tried at
+        most once).
+    backoff_base:
+        Delay charged before the first retry.
+    backoff_factor:
+        Multiplier applied to the delay on each further retry.
+    jitter:
+        Width of the uniform jitter added to every retry delay, drawn
+        from the send RNG (deterministic under a fixed seed).
+    failover_all_contacts:
+        When True, the access layer ignores the per-hop budget and fails
+        over across the client's *entire* ``m_1`` contact list.
+    """
+
+    max_attempts_per_hop: int = 3
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    jitter: float = 0.0
+    failover_all_contacts: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts_per_hop < 1:
+            raise ConfigurationError(
+                f"max_attempts_per_hop must be >= 1, "
+                f"got {self.max_attempts_per_hop}"
+            )
+        if self.backoff_base < 0:
+            raise ConfigurationError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {self.jitter}")
+
+    def delay(self, retry_index: int, generator) -> float:
+        """Backoff before retry number ``retry_index`` (0-based)."""
+        delay = self.backoff_base * (self.backoff_factor**retry_index)
+        if self.jitter > 0:
+            delay += self.jitter * float(generator.random())
+        return delay
+
+    def budget_for(self, table_size: int, access_layer: bool) -> int:
+        """Attempt budget for one hop over a table of ``table_size``."""
+        if access_layer and self.failover_all_contacts:
+            return table_size
+        return min(self.max_attempts_per_hop, table_size)
+
+
+#: A sane default: three tries per hop, full access-point failover.
+DEFAULT_RETRY = RetryPolicy()

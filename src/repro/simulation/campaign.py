@@ -30,6 +30,9 @@ from repro.core.attack_models import SuccessiveAttack
 from repro.errors import SimulationError
 from repro.repair.defender import RepairingDefender
 from repro.repair.policy import NO_REPAIR, RepairPolicy
+from repro.resilience.detector import DetectorConfig, FailureDetector
+from repro.resilience.faults import ZERO_CHURN, FaultInjector, FaultPlan
+from repro.resilience.retry import RetryPolicy
 from repro.simulation.engine import EventScheduler
 from repro.sos.deployment import SOSDeployment
 from repro.sos.protocol import SOSProtocol
@@ -58,13 +61,21 @@ class CampaignConfig:
 
 @dataclasses.dataclass(frozen=True)
 class CampaignReport:
-    """Time series produced by one campaign run."""
+    """Time series produced by one campaign run.
+
+    ``crashes_injected`` / ``benign_recoveries`` count fault-injector
+    activity (0 without churn); ``false_alarms`` counts healthy nodes the
+    failure detector flagged (0 without a detector).
+    """
 
     times: Tuple[float, ...]
     p_s: Tuple[float, ...]
     round_times: Tuple[float, ...]
     congestion_time: float
     repairs_total: int
+    crashes_injected: int = 0
+    benign_recoveries: int = 0
+    false_alarms: int = 0
 
     def p_s_at(self, time: float) -> float:
         """The last measured ``P_S`` at or before ``time``."""
@@ -94,6 +105,9 @@ class CampaignSimulation:
         repair_policy: RepairPolicy = NO_REPAIR,
         config: CampaignConfig = CampaignConfig(),
         seed: SeedLike = None,
+        fault_plan: FaultPlan = ZERO_CHURN,
+        detector_config: Optional[DetectorConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.architecture = architecture
         self.attack = attack
@@ -102,9 +116,23 @@ class CampaignSimulation:
         self._rng = factory.generator()
         self.deployment = SOSDeployment.deploy(architecture, rng=factory.generator())
         self.protocol = SOSProtocol(self.deployment)
-        self.defender = RepairingDefender(repair_policy, rng=factory.generator())
-        self.knowledge = AttackerKnowledge()
+        defender_rng = factory.generator()
         self.scheduler = EventScheduler()
+        # Resilience streams are spawned after the seed's three, so runs
+        # without churn/detector stay bit-identical to the seed.
+        self.injector = FaultInjector(
+            fault_plan, self.deployment, self.scheduler, rng=factory.generator()
+        )
+        self.detector = (
+            FailureDetector(detector_config, rng=factory.generator())
+            if detector_config is not None
+            else None
+        )
+        self.retry_policy = retry_policy
+        self.defender = RepairingDefender(
+            repair_policy, rng=defender_rng, detector=self.detector
+        )
+        self.knowledge = AttackerKnowledge()
 
         self._budget = int(round(attack.n_t))
         self._quotas = [
@@ -195,7 +223,9 @@ class CampaignSimulation:
     # Defender and measurement processes
     # ------------------------------------------------------------------
     def _repair_scan(self, horizon: float) -> None:
-        self.defender.scan_and_repair(self.deployment, self.knowledge)
+        self.defender.scan_and_repair(
+            self.deployment, self.knowledge, now=self.scheduler.now
+        )
         if self.scheduler.now + self.config.repair_interval <= horizon:
             self.scheduler.schedule_after(
                 self.config.repair_interval, lambda: self._repair_scan(horizon)
@@ -206,7 +236,11 @@ class CampaignSimulation:
         for _ in range(self.config.probes_per_sample):
             contacts = self.deployment.sample_client_contacts(self._rng)
             receipt = self.protocol.send(
-                "probe", "target", contacts=contacts, rng=self._rng
+                "probe",
+                "target",
+                contacts=contacts,
+                rng=self._rng,
+                retry_policy=self.retry_policy,
             )
             hits += int(receipt.delivered)
         self._times.append(self.scheduler.now)
@@ -232,6 +266,7 @@ class CampaignSimulation:
             self.scheduler.schedule_after(
                 self.config.repair_interval, lambda: self._repair_scan(horizon)
             )
+        self.injector.install(horizon)
         self.scheduler.run(until=horizon)
         return CampaignReport(
             times=tuple(self._times),
@@ -239,6 +274,11 @@ class CampaignSimulation:
             round_times=tuple(self._round_times),
             congestion_time=self._congestion_time,
             repairs_total=self.defender.total_repaired,
+            crashes_injected=self.injector.crashes_injected,
+            benign_recoveries=self.injector.recoveries,
+            false_alarms=(
+                self.detector.false_alarms if self.detector is not None else 0
+            ),
         )
 
 
@@ -248,8 +288,18 @@ def run_campaign(
     repair_policy: RepairPolicy = NO_REPAIR,
     config: CampaignConfig = CampaignConfig(),
     seed: Optional[int] = None,
+    fault_plan: FaultPlan = ZERO_CHURN,
+    detector_config: Optional[DetectorConfig] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> CampaignReport:
     """Convenience wrapper: build and run one :class:`CampaignSimulation`."""
     return CampaignSimulation(
-        architecture, attack, repair_policy, config, seed
+        architecture,
+        attack,
+        repair_policy,
+        config,
+        seed,
+        fault_plan=fault_plan,
+        detector_config=detector_config,
+        retry_policy=retry_policy,
     ).run()

@@ -28,6 +28,14 @@ class _ScheduledEvent:
     action: Action = dataclasses.field(compare=False)
     cancelled: bool = dataclasses.field(compare=False, default=False)
 
+    def cancel(self) -> None:
+        """Tombstone the event; the loop skips it without executing.
+
+        The dataclass is frozen so heap ordering stays immutable; the
+        tombstone is the one field the loop is allowed to flip.
+        """
+        object.__setattr__(self, "cancelled", True)
+
 
 class EventScheduler:
     """Priority-queue event loop with a monotonically advancing clock.
@@ -56,8 +64,8 @@ class EventScheduler:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
 
     @property
     def processed(self) -> int:
@@ -80,13 +88,28 @@ class EventScheduler:
             raise SimulationError(f"delay must be >= 0, got {delay}")
         return self.schedule_at(self._now + delay, action)
 
+    def cancel(self, event: _ScheduledEvent) -> None:
+        """Cancel a scheduled event; the loop will skip it.
+
+        Cancelling an already-executed or already-cancelled event is a
+        no-op, so races between a cancel and the event firing are benign
+        (the fault injector cancels pending recover events when a node
+        crashes again before its scheduled recovery).
+        """
+        event.cancel()
+
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
         """Drain the queue, stopping at time ``until`` if given.
 
         ``max_events`` guards against runaway self-rescheduling loops.
+        Cancelled events are discarded without executing and without
+        advancing the clock.
         """
         executed = 0
         while self._queue:
+            if self._queue[0].cancelled:
+                heapq.heappop(self._queue)
+                continue
             if until is not None and self._queue[0].time > until:
                 break
             event = heapq.heappop(self._queue)
@@ -102,7 +125,13 @@ class EventScheduler:
             self._now = until
 
     def step(self) -> bool:
-        """Execute exactly one event; returns False when the queue is empty."""
+        """Execute exactly one event; returns False when the queue is empty.
+
+        Cancelled events are silently discarded on the way to the next
+        live event.
+        """
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
         if not self._queue:
             return False
         event = heapq.heappop(self._queue)

@@ -16,13 +16,14 @@ Two success metrics are supported (see :mod:`repro.sos.protocol`):
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.attacks.attacker import IntelligentAttacker
 from repro.core.architecture import SOSArchitecture
 from repro.core.attack_models import OneBurstAttack, SuccessiveAttack
 from repro.errors import SimulationError
 from repro.overlay.network import OverlayNetwork
+from repro.resilience.checkpoint import CampaignCheckpoint, fingerprint
 from repro.simulation.results import PsEstimate, summarize_indicators
 from repro.sos.deployment import SOSDeployment
 from repro.sos.protocol import SOSProtocol
@@ -33,12 +34,25 @@ Attack = Union[OneBurstAttack, SuccessiveAttack]
 
 @dataclasses.dataclass(frozen=True)
 class MonteCarloConfig:
-    """Tuning knobs for the estimator."""
+    """Tuning knobs for the estimator.
+
+    ``churn_fraction`` crashes that fraction of the SOS membership
+    (benignly, before the attack) in every trial; the crash sets are
+    *nested* across churn levels under a fixed seed, so per-trial
+    reachability is monotone in the fraction. ``error_isolation`` records
+    a failing trial instead of aborting the whole campaign;
+    ``checkpoint_path`` persists per-trial results as JSON so an
+    interrupted campaign resumes — with per-trial RNG streams, resumption
+    is bit-identical to an uninterrupted run with the same seed.
+    """
 
     trials: int = 200
     clients_per_trial: int = 5
     metric: str = "forward"  # or "reachability"
     seed: Optional[int] = None
+    churn_fraction: float = 0.0
+    error_isolation: bool = True
+    checkpoint_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -49,6 +63,10 @@ class MonteCarloConfig:
             raise SimulationError(
                 f"metric must be 'forward' or 'reachability', got {self.metric!r}"
             )
+        if not 0.0 <= self.churn_fraction <= 1.0:
+            raise SimulationError(
+                f"churn_fraction must be in [0, 1], got {self.churn_fraction}"
+            )
 
 
 class MonteCarloEstimator:
@@ -57,11 +75,37 @@ class MonteCarloEstimator:
     def __init__(self, config: MonteCarloConfig = MonteCarloConfig()) -> None:
         self.config = config
         self._attacker = IntelligentAttacker()
+        #: ``(trial_index, error)`` pairs isolated during the last estimate.
+        self.last_failures: List[Tuple[int, str]] = []
+
+    def _checkpoint_for(
+        self, architecture: SOSArchitecture, attack: Attack
+    ) -> Optional[CampaignCheckpoint]:
+        if self.config.checkpoint_path is None:
+            return None
+        payload = {
+            "architecture": repr(architecture),
+            "attack": repr(attack),
+            "trials": self.config.trials,
+            "clients_per_trial": self.config.clients_per_trial,
+            "metric": self.config.metric,
+            "seed": self.config.seed,
+            "churn_fraction": self.config.churn_fraction,
+        }
+        return CampaignCheckpoint.load_or_create(
+            self.config.checkpoint_path, fingerprint(payload)
+        )
 
     def estimate(
         self, architecture: SOSArchitecture, attack: Attack
     ) -> PsEstimate:
-        """Run the configured number of trials and summarize."""
+        """Run the configured number of trials and summarize.
+
+        Failing trials are isolated (recorded, excluded from aggregates)
+        rather than fatal; with a checkpoint, completed trials are loaded
+        instead of re-run and previously *failed* trials are retried on
+        their original RNG streams.
+        """
         factory = SeedSequenceFactory(self.config.seed)
         # One overlay population reused across trials; deploy() rewires
         # roles and neighbor tables per trial, so trials stay independent
@@ -69,17 +113,68 @@ class MonteCarloEstimator:
         network = OverlayNetwork(
             architecture.total_overlay_nodes, rng=factory.generator()
         )
-        successes = []
-        bad_counts = []
-        for _ in range(self.config.trials):
+        checkpoint = self._checkpoint_for(architecture, attack)
+        successes: List[float] = []
+        bad_counts: List[Dict[int, int]] = []
+        self.last_failures = []
+        for trial in range(self.config.trials):
+            # Spawned unconditionally so that skipping a checkpointed
+            # trial leaves every later trial's stream unchanged.
             trial_rng = factory.generator()
-            deployment = SOSDeployment.deploy(
-                architecture, network=network, rng=trial_rng
+            if checkpoint is not None:
+                record = checkpoint.completed(trial)
+                if record is not None:
+                    successes.append(float(record["p"]))
+                    bad_counts.append(
+                        {int(layer): count for layer, count in record["bad"].items()}
+                    )
+                    continue
+            try:
+                deployment = SOSDeployment.deploy(
+                    architecture, network=network, rng=trial_rng
+                )
+                self._inject_churn(deployment, trial_rng)
+                self._attacker.execute(deployment, attack, rng=trial_rng)
+                success = self._client_success(deployment, trial_rng)
+                per_layer_bad = deployment.bad_counts()
+            except Exception as exc:  # noqa: BLE001 — per-trial isolation
+                if not self.config.error_isolation:
+                    raise
+                error = f"{type(exc).__name__}: {exc}"
+                self.last_failures.append((trial, error))
+                if checkpoint is not None:
+                    checkpoint.record_failure(trial, error)
+                    checkpoint.save()
+                continue
+            successes.append(success)
+            bad_counts.append(per_layer_bad)
+            if checkpoint is not None:
+                checkpoint.record_success(trial, success, per_layer_bad)
+                checkpoint.save()
+        if not successes:
+            raise SimulationError(
+                f"all {self.config.trials} trials failed; first error: "
+                f"{self.last_failures[0][1]}"
             )
-            self._attacker.execute(deployment, attack, rng=trial_rng)
-            successes.append(self._client_success(deployment, trial_rng))
-            bad_counts.append(deployment.bad_counts())
-        return summarize_indicators(successes, bad_counts)
+        return summarize_indicators(
+            successes, bad_counts, failed_trials=len(self.last_failures)
+        )
+
+    def _inject_churn(self, deployment: SOSDeployment, rng) -> None:
+        """Benignly crash a nested fraction of the SOS membership.
+
+        A full permutation is drawn whenever churn is enabled, so runs
+        differing only in ``churn_fraction`` consume identical RNG draws
+        and crash *nested* node sets — that is what makes ``P_S``
+        monotone in the churn level under a fixed seed.
+        """
+        if self.config.churn_fraction == 0.0:
+            return
+        members = deployment.sos_member_ids()
+        order = rng.permutation(len(members))
+        count = int(round(self.config.churn_fraction * len(members)))
+        for index in order[:count]:
+            deployment.resolve(members[int(index)]).crash()
 
     def _client_success(self, deployment: SOSDeployment, rng) -> float:
         """Fraction of sampled clients that reach the target this trial."""
@@ -104,6 +199,8 @@ def estimate_ps(
     clients_per_trial: int = 5,
     metric: str = "forward",
     seed: Optional[int] = None,
+    churn_fraction: float = 0.0,
+    checkpoint_path: Optional[str] = None,
 ) -> PsEstimate:
     """Convenience wrapper around :class:`MonteCarloEstimator`.
 
@@ -123,5 +220,7 @@ def estimate_ps(
         clients_per_trial=clients_per_trial,
         metric=metric,
         seed=seed,
+        churn_fraction=churn_fraction,
+        checkpoint_path=checkpoint_path,
     )
     return MonteCarloEstimator(config).estimate(architecture, attack)

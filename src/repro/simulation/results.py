@@ -20,16 +20,21 @@ class PsEstimate:
     variance:
         Sample variance (unbiased) of the per-trial values.
     trials:
-        Number of independent trials.
+        Number of independent trials that completed.
     mean_bad_per_layer:
         Average bad-node count per layer across trials, comparable to the
         analytical ``s_i``.
+    failed_trials:
+        Trials that raised and were isolated rather than aborting the
+        campaign; they contribute nothing to the aggregates, so a nonzero
+        count means degraded coverage.
     """
 
     mean: float
     variance: float
     trials: int
     mean_bad_per_layer: Dict[int, float] = dataclasses.field(default_factory=dict)
+    failed_trials: int = 0
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -38,6 +43,15 @@ class PsEstimate:
             raise SimulationError(f"P_S estimate out of range: {self.mean}")
         if self.variance < 0:
             raise SimulationError(f"negative variance: {self.variance}")
+        if self.failed_trials < 0:
+            raise SimulationError(
+                f"negative failed_trials: {self.failed_trials}"
+            )
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of attempted trials that completed."""
+        return self.trials / (self.trials + self.failed_trials)
 
     @property
     def std_error(self) -> float:
@@ -61,12 +75,13 @@ class PsEstimate:
         return lo - tolerance <= analytical <= hi + tolerance
 
 
-def summarize_indicators(values, bad_counts=None) -> PsEstimate:
+def summarize_indicators(values, bad_counts=None, failed_trials=0) -> PsEstimate:
     """Build a :class:`PsEstimate` from per-trial success values.
 
     ``values`` are per-trial success fractions in ``[0, 1]``;
     ``bad_counts`` is an optional iterable of per-trial ``{layer: bad}``
-    dictionaries averaged into ``mean_bad_per_layer``.
+    dictionaries averaged into ``mean_bad_per_layer``; ``failed_trials``
+    counts trials that errored and were excluded.
     """
     values = list(values)
     if not values:
@@ -88,5 +103,9 @@ def summarize_indicators(values, bad_counts=None) -> PsEstimate:
         if count:
             mean_bad = {layer: total / count for layer, total in totals.items()}
     return PsEstimate(
-        mean=mean, variance=variance, trials=n, mean_bad_per_layer=mean_bad
+        mean=mean,
+        variance=variance,
+        trials=n,
+        mean_bad_per_layer=mean_bad,
+        failed_trials=failed_trials,
     )

@@ -182,13 +182,34 @@ class SOSDeployment:
         ]
 
     def bad_counts(self) -> Dict[int, int]:
-        """Per-layer count of bad (compromised or congested) members."""
+        """Per-layer count of bad (compromised, congested, or crashed)."""
         return {
             layer: sum(
                 1 for node_id in members if self.resolve(node_id).is_bad
             )
             for layer, members in self._layer_membership.items()
         }
+
+    def crashed_counts(self) -> Dict[int, int]:
+        """Per-layer count of benignly crashed members (churn, not attack)."""
+        return {
+            layer: sum(
+                1 for node_id in members if self.resolve(node_id).is_crashed
+            )
+            for layer, members in self._layer_membership.items()
+        }
+
+    def sos_member_ids(self) -> List[int]:
+        """All enrolled overlay members (layers 1..L, filters excluded).
+
+        The churn population: filters are ISP routers outside the overlay
+        and do not participate in benign node churn.
+        """
+        return [
+            node_id
+            for layer in range(1, self.architecture.layers + 1)
+            for node_id in self._layer_membership[layer]
+        ]
 
     def reset_attack_state(self) -> None:
         """Clear all health damage (fresh attack trial on the same wiring)."""

@@ -9,10 +9,21 @@ integration tests assert on (one node per layer, strictly ascending).
 from __future__ import annotations
 
 import dataclasses
+import enum
 import itertools
 from typing import List, Optional, Tuple
 
 _SEQUENCE = itertools.count(1)
+
+
+class FailureCause(str, enum.Enum):
+    """Taxonomy of delivery failures, machine-matchable unlike the
+    human-readable ``failure_reason`` strings."""
+
+    ACCESS_POINTS_EXHAUSTED = "access-points-exhausted"
+    NEIGHBORS_EXHAUSTED = "neighbors-exhausted"
+    AUTH_FAILED = "auth-failed"
+    FILTER_REJECTED = "filter-rejected"
 
 
 @dataclasses.dataclass
@@ -43,12 +54,24 @@ class Packet:
 
 @dataclasses.dataclass(frozen=True)
 class DeliveryReceipt:
-    """Outcome of attempting to deliver a packet to the target."""
+    """Outcome of attempting to deliver a packet to the target.
+
+    ``attempts`` counts every neighbor pick made along the way (one per
+    hop when nothing fails); ``retries`` counts picks that hit a bad node
+    and were retried under a :class:`~repro.resilience.retry.RetryPolicy`;
+    ``backoff_total`` is the simulated time spent waiting between
+    retries. ``failure_cause`` classifies failures machine-readably;
+    ``failure_reason`` stays the human-readable message.
+    """
 
     packet_id: int
     delivered: bool
     hop_trail: Tuple[int, ...]
     failure_reason: Optional[str] = None
+    failure_cause: Optional[FailureCause] = None
+    attempts: int = 0
+    retries: int = 0
+    backoff_total: float = 0.0
 
     @property
     def path_length(self) -> int:

@@ -19,12 +19,15 @@ Two reachability notions are exposed:
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.errors import ProtocolError
 from repro.sos.deployment import SOSDeployment
-from repro.sos.packets import DeliveryReceipt, Packet
+from repro.sos.packets import DeliveryReceipt, FailureCause, Packet
 from repro.utils.seeding import SeedLike, make_rng
+
+if TYPE_CHECKING:  # avoid an sos <-> resilience import cycle at runtime
+    from repro.resilience.retry import RetryPolicy
 
 
 class SOSProtocol:
@@ -50,27 +53,60 @@ class SOSProtocol:
         contacts: Optional[Sequence[int]] = None,
         payload: bytes = b"",
         rng: SeedLike = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> DeliveryReceipt:
         """Forward one packet from ``source`` toward ``target``.
 
         ``contacts`` is the client's access-point list; omitted, a fresh one
         is sampled (a first-time client). Returns a receipt whose
         ``hop_trail`` contains one node per traversed layer.
+
+        Without a ``retry_policy`` each hop picks uniformly among the
+        *good* entries of its table (the seed's omniscient shortcut, the
+        semantics Eq. (1) prices). With one, nodes cannot see neighbor
+        health: each hop blindly picks untried neighbors under a bounded
+        attempt budget with deterministic seeded backoff, and the access
+        layer fails over across the client's full ``m_1`` contact list.
+        Same seed, same deployment ⇒ identical ``hop_trail`` and retry
+        counts.
         """
         generator = make_rng(rng)
         deployment = self.deployment
         arch = deployment.architecture
         packet = Packet(source=source, target=target, payload=payload)
+        attempts = 0
+        retries = 0
+        backoff = 0.0
+
+        def receipt(
+            delivered: bool,
+            reason: Optional[str] = None,
+            cause: Optional[FailureCause] = None,
+        ) -> DeliveryReceipt:
+            return DeliveryReceipt(
+                packet.packet_id,
+                delivered=delivered,
+                hop_trail=packet.hops,
+                failure_reason=reason,
+                failure_cause=cause,
+                attempts=attempts,
+                retries=retries,
+                backoff_total=backoff,
+            )
 
         if contacts is None:
             contacts = deployment.sample_client_contacts(generator)
-        current_id = self._pick_good(contacts, generator)
+        current_id, stats = self._next_hop(
+            contacts, generator, retry_policy, access_layer=True
+        )
+        attempts += stats[0]
+        retries += stats[1]
+        backoff += stats[2]
         if current_id is None:
-            return DeliveryReceipt(
-                packet.packet_id,
-                delivered=False,
-                hop_trail=packet.hops,
-                failure_reason="all access points bad",
+            return receipt(
+                False,
+                reason="all access points bad",
+                cause=FailureCause.ACCESS_POINTS_EXHAUSTED,
             )
         # Clients are admitted at pseudo-layer 0.
         packet.stamp(
@@ -89,22 +125,25 @@ class SOSProtocol:
             # Stamp on behalf of this layer, then pick a live next hop.
             mac = deployment.authenticator.issue(layer, current_id, packet.packet_id)
             packet.stamp(issuer=current_id, mac=mac)
-            next_id = self._pick_good(node.neighbors, generator)
+            next_id, stats = self._next_hop(
+                node.neighbors, generator, retry_policy, access_layer=False
+            )
+            attempts += stats[0]
+            retries += stats[1]
+            backoff += stats[2]
             if next_id is None:
-                return DeliveryReceipt(
-                    packet.packet_id,
-                    delivered=False,
-                    hop_trail=packet.hops,
-                    failure_reason=f"all layer-{layer + 1} neighbors bad",
+                return receipt(
+                    False,
+                    reason=f"all layer-{layer + 1} neighbors bad",
+                    cause=FailureCause.NEIGHBORS_EXHAUSTED,
                 )
             if not deployment.authenticator.verify(
                 layer, current_id, packet.packet_id, packet.mac
             ):
-                return DeliveryReceipt(
-                    packet.packet_id,
-                    delivered=False,
-                    hop_trail=packet.hops,
-                    failure_reason=f"hop verification failed at layer {layer}",
+                return receipt(
+                    False,
+                    reason=f"hop verification failed at layer {layer}",
+                    cause=FailureCause.AUTH_FAILED,
                 )
             packet.record_hop(next_id)
             current_id = next_id
@@ -112,14 +151,26 @@ class SOSProtocol:
         # current_id is now a filter; it admits only whitelisted servlets.
         servlet_id = packet.hop_trail[-2] if len(packet.hop_trail) >= 2 else None
         if servlet_id is None or not deployment.filters.admits(servlet_id):
-            return DeliveryReceipt(
-                packet.packet_id,
-                delivered=False,
-                hop_trail=packet.hops,
-                failure_reason="filter rejected non-servlet traffic",
+            return receipt(
+                False,
+                reason="filter rejected non-servlet traffic",
+                cause=FailureCause.FILTER_REJECTED,
             )
-        return DeliveryReceipt(
-            packet.packet_id, delivered=True, hop_trail=packet.hops
+        return receipt(True)
+
+    def _next_hop(
+        self,
+        candidates: Sequence[int],
+        generator,
+        retry_policy: Optional[RetryPolicy],
+        access_layer: bool,
+    ) -> "Tuple[Optional[int], Tuple[int, int, float]]":
+        """Select the next hop; returns ``(node_id, (attempts, retries, backoff))``."""
+        if retry_policy is None:
+            chosen = self._pick_good(candidates, generator)
+            return chosen, (1 if chosen is not None else 0, 0, 0.0)
+        return self._pick_with_retry(
+            candidates, generator, retry_policy, access_layer
         )
 
     def _pick_good(
@@ -134,6 +185,35 @@ class SOSProtocol:
         if not good:
             return None
         return good[int(generator.integers(0, len(good)))]
+
+    def _pick_with_retry(
+        self,
+        candidates: Sequence[int],
+        generator,
+        policy: RetryPolicy,
+        access_layer: bool,
+    ) -> "Tuple[Optional[int], Tuple[int, int, float]]":
+        """Health-blind selection: try untried entries under a retry budget.
+
+        Each attempt picks uniformly among not-yet-tried candidates; a bad
+        pick costs one backoff delay before the next attempt. Returns the
+        chosen good node (or None) plus ``(attempts, retries, backoff)``.
+        """
+        remaining = list(candidates)
+        budget = policy.budget_for(len(remaining), access_layer)
+        attempts = 0
+        retries = 0
+        backoff = 0.0
+        while remaining and attempts < budget:
+            index = int(generator.integers(0, len(remaining)))
+            chosen = remaining.pop(index)
+            attempts += 1
+            if self.deployment.resolve(chosen).is_good:
+                return chosen, (attempts, retries, backoff)
+            if remaining and attempts < budget:
+                backoff += policy.delay(retries, generator)
+                retries += 1
+        return None, (attempts, retries, backoff)
 
     # ------------------------------------------------------------------
     # Global reachability

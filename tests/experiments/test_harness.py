@@ -144,3 +144,51 @@ class TestExtensionFigures:
     def test_underlay_extension_runs_and_passes(self):
         result = run_figure("ext-underlay")
         assert result.all_claims_hold
+
+
+class TestRunnerErrorIsolation:
+    def test_bad_figure_does_not_abort_batch(self, capsys):
+        # fig99 errors, fig4a still runs; the batch exits 2 with a summary.
+        assert main(["fig99", "fig4a", "--no-plot"]) == 2
+        captured = capsys.readouterr()
+        assert "ERROR [fig99]:" in captured.err
+        assert "1 figure(s) errored (1 of 2 completed):" in captured.err
+        assert "Fig. 4(a)" in captured.out  # the good figure rendered anyway
+
+    def test_error_summary_lists_every_failure(self, capsys):
+        assert main(["fig98", "fig99", "--no-plot"]) == 2
+        err = capsys.readouterr().err
+        assert "2 figure(s) errored (0 of 2 completed):" in err
+        assert "fig98:" in err
+        assert "fig99:" in err
+
+    def test_clean_batch_still_exits_zero(self, capsys):
+        assert main(["fig4a", "fig4b", "--no-plot"]) == 0
+        assert "all claims PASS" in capsys.readouterr().out
+
+
+class TestDegradedCoverageWarnings:
+    @pytest.fixture
+    def degraded_result(self):
+        return FigureResult(
+            figure_id="figW",
+            title="Warned",
+            x_label="L",
+            x_values=[1],
+            series={"s": [0.5]},
+            warnings=["3 of 30 trials failed at churn=0.2"],
+        )
+
+    def test_render_text_shows_warning_block(self, degraded_result):
+        text = render_text(degraded_result, plot=False)
+        assert "WARNING — degraded coverage:" in text
+        assert "! 3 of 30 trials failed at churn=0.2" in text
+
+    def test_render_markdown_shows_warning_block(self, degraded_result):
+        md = render_markdown(degraded_result)
+        assert "> **Warning — degraded coverage:**" in md
+        assert "> - 3 of 30 trials failed at churn=0.2" in md
+
+    def test_clean_result_has_no_warning_block(self, sample_result):
+        assert "WARNING" not in render_text(sample_result, plot=False)
+        assert "Warning" not in render_markdown(sample_result)

@@ -42,6 +42,8 @@ MC_FIGURES = [
     "ext-priority",
     "ext-placement",
     "fig4a-mc",
+    "res-churn",
+    "res-detect",
 ]
 
 

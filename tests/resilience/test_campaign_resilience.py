@@ -1,0 +1,169 @@
+"""Resilience hooks in campaigns and Monte Carlo: seed-compat and churn."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OneBurstAttack, SOSArchitecture, SuccessiveAttack
+from repro.repair import NO_REPAIR, RepairPolicy
+from repro.resilience import DetectorConfig, FaultPlan, RetryPolicy, ZERO_CHURN
+from repro.simulation.campaign import run_campaign
+from repro.simulation.monte_carlo import estimate_ps
+
+
+def arch():
+    return SOSArchitecture(
+        layers=3,
+        mapping="one-to-two",
+        total_overlay_nodes=1000,
+        sos_nodes=45,
+        filters=5,
+    )
+
+
+ATTACK = SuccessiveAttack(
+    break_in_budget=80, congestion_budget=300, rounds=3, prior_knowledge=0.3
+)
+
+
+class TestSeedCompatibility:
+    """Acceptance: churn 0 + instantaneous detection == the seed's numbers."""
+
+    def test_zero_churn_reproduces_seed_trajectory(self):
+        baseline = run_campaign(arch(), ATTACK, NO_REPAIR, seed=11)
+        resilient = run_campaign(
+            arch(), ATTACK, NO_REPAIR, seed=11, fault_plan=ZERO_CHURN
+        )
+        assert resilient.p_s == baseline.p_s
+        assert resilient.times == baseline.times
+        assert resilient.round_times == baseline.round_times
+        assert resilient.crashes_injected == 0
+        assert resilient.benign_recoveries == 0
+
+    def test_instantaneous_detector_matches_omniscient_repair(self):
+        """timeout=0, detection 1.0 == the seed's omniscient scan.
+
+        ``rewire=False`` keeps the defender's RNG consumption identical on
+        both paths; with rewiring each repair draws a fresh table and the
+        trajectories legitimately diverge after the first repair.
+        """
+        policy = RepairPolicy(detection_probability=1.0, rewire=False)
+        baseline = run_campaign(arch(), ATTACK, policy, seed=11)
+        resilient = run_campaign(
+            arch(),
+            ATTACK,
+            policy,
+            seed=11,
+            detector_config=DetectorConfig(timeout=0.0),
+        )
+        assert resilient.p_s == baseline.p_s
+        assert resilient.repairs_total == baseline.repairs_total
+
+    def test_detection_timeout_delays_repairs(self):
+        policy = RepairPolicy(detection_probability=1.0, rewire=False)
+        instant = run_campaign(
+            arch(),
+            ATTACK,
+            policy,
+            seed=11,
+            detector_config=DetectorConfig(timeout=0.0),
+        )
+        slow = run_campaign(
+            arch(),
+            ATTACK,
+            policy,
+            seed=11,
+            detector_config=DetectorConfig(timeout=12.0),
+        )
+        assert slow.repairs_total <= instant.repairs_total
+        assert slow.minimum <= instant.minimum
+
+
+class TestChurnCampaign:
+    def test_churn_injects_and_recovers(self):
+        report = run_campaign(
+            arch(),
+            ATTACK,
+            NO_REPAIR,
+            seed=11,
+            fault_plan=FaultPlan(crash_rate=0.5, mean_downtime=8.0),
+        )
+        assert report.crashes_injected > 0
+        assert report.benign_recoveries > 0
+
+    def test_churn_hurts_availability(self):
+        calm = run_campaign(arch(), ATTACK, NO_REPAIR, seed=11)
+        churned = run_campaign(
+            arch(),
+            ATTACK,
+            NO_REPAIR,
+            seed=11,
+            fault_plan=FaultPlan(crash_rate=2.0, mean_downtime=20.0),
+        )
+        assert churned.minimum <= calm.minimum
+
+    def test_retry_policy_accepted_by_campaign(self):
+        report = run_campaign(
+            arch(),
+            ATTACK,
+            NO_REPAIR,
+            seed=11,
+            fault_plan=FaultPlan(crash_rate=0.5, mean_downtime=8.0),
+            retry_policy=RetryPolicy(max_attempts_per_hop=3),
+        )
+        assert 0.0 <= report.minimum <= 1.0
+
+
+class TestChurnMonteCarlo:
+    ATTACK = OneBurstAttack(break_in_budget=30, congestion_budget=120)
+
+    def test_zero_churn_reproduces_seed_estimate(self):
+        baseline = estimate_ps(
+            arch(), self.ATTACK, trials=20, seed=9, metric="reachability"
+        )
+        explicit = estimate_ps(
+            arch(),
+            self.ATTACK,
+            trials=20,
+            seed=9,
+            metric="reachability",
+            churn_fraction=0.0,
+        )
+        assert explicit.mean == baseline.mean
+        assert explicit.variance == baseline.variance
+
+    def test_ps_monotone_non_increasing_in_churn(self):
+        """Nested crash sets make P_S monotone per-trial, not just on average."""
+        means = [
+            estimate_ps(
+                arch(),
+                self.ATTACK,
+                trials=20,
+                seed=9,
+                metric="reachability",
+                churn_fraction=fraction,
+            ).mean
+            for fraction in (0.1, 0.3, 0.5)
+        ]
+        assert means[0] >= means[1] >= means[2]
+
+    def test_churn_never_beats_no_churn(self):
+        calm = estimate_ps(arch(), self.ATTACK, trials=20, seed=9, metric="reachability")
+        churned = estimate_ps(
+            arch(),
+            self.ATTACK,
+            trials=20,
+            seed=9,
+            metric="reachability",
+            churn_fraction=0.4,
+        )
+        assert churned.mean <= calm.mean
+
+    def test_churn_fraction_validation(self):
+        from repro.errors import SimulationError
+        from repro.simulation.monte_carlo import MonteCarloConfig
+
+        with pytest.raises(SimulationError):
+            MonteCarloConfig(trials=5, churn_fraction=1.5)
+        with pytest.raises(SimulationError):
+            MonteCarloConfig(trials=5, churn_fraction=-0.1)

@@ -1,0 +1,168 @@
+"""Crash-tolerant Monte Carlo: trial isolation, checkpoint, resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.attacks.attacker import IntelligentAttacker
+from repro.core import OneBurstAttack, SOSArchitecture
+from repro.errors import SimulationError
+from repro.resilience.checkpoint import CampaignCheckpoint, fingerprint
+from repro.simulation.monte_carlo import MonteCarloConfig, MonteCarloEstimator
+
+ARCH = SOSArchitecture(
+    layers=2,
+    mapping="one-to-two",
+    total_overlay_nodes=300,
+    sos_nodes=30,
+    filters=3,
+)
+ATTACK = OneBurstAttack(break_in_budget=20, congestion_budget=60)
+
+
+class FlakyAttacker:
+    """Delegates to the real attacker, raising on chosen executions."""
+
+    def __init__(self, fail_on=(), exception=RuntimeError("injected fault")):
+        self._inner = IntelligentAttacker()
+        self._fail_on = set(fail_on)
+        self._exception = exception
+        self.calls = 0
+
+    def execute(self, deployment, attack, rng=None):
+        call = self.calls
+        self.calls += 1
+        if call in self._fail_on:
+            raise self._exception
+        return self._inner.execute(deployment, attack, rng=rng)
+
+
+def estimator(**overrides):
+    config = MonteCarloConfig(
+        trials=overrides.pop("trials", 8),
+        clients_per_trial=3,
+        seed=overrides.pop("seed", 5),
+        **overrides,
+    )
+    return MonteCarloEstimator(config)
+
+
+class TestErrorIsolation:
+    def test_failing_trial_is_recorded_not_fatal(self):
+        est = estimator()
+        est._attacker = FlakyAttacker(fail_on={3})
+        result = est.estimate(ARCH, ATTACK)
+        assert result.failed_trials == 1
+        assert result.trials == 7
+        assert result.coverage == pytest.approx(7 / 8)
+        assert est.last_failures == [(3, "RuntimeError: injected fault")]
+
+    def test_isolation_can_be_disabled(self):
+        est = estimator(error_isolation=False)
+        est._attacker = FlakyAttacker(fail_on={3})
+        with pytest.raises(RuntimeError, match="injected fault"):
+            est.estimate(ARCH, ATTACK)
+
+    def test_all_trials_failing_raises(self):
+        est = estimator(trials=3)
+        est._attacker = FlakyAttacker(fail_on={0, 1, 2})
+        with pytest.raises(SimulationError, match="all 3 trials failed"):
+            est.estimate(ARCH, ATTACK)
+
+    def test_later_trials_unaffected_by_earlier_failure(self):
+        """Per-trial RNG streams: a failure never skews surviving trials."""
+        clean = estimator().estimate(ARCH, ATTACK)
+        est = estimator()
+        est._attacker = FlakyAttacker(fail_on={0})
+        partial = est.estimate(ARCH, ATTACK)
+        # The 7 surviving trials are the same 7 the clean run produced.
+        assert partial.trials == clean.trials - 1
+
+
+class TestCheckpointResume:
+    def test_resume_after_failure_is_bit_identical(self, tmp_path):
+        """Interrupted + resumed == uninterrupted, exactly."""
+        path = str(tmp_path / "campaign.json")
+        uninterrupted = estimator().estimate(ARCH, ATTACK)
+
+        # Run 1: trial 3 dies mid-campaign; the campaign completes anyway
+        # and reports the failure.
+        first = estimator(checkpoint_path=path)
+        first._attacker = FlakyAttacker(fail_on={3})
+        partial = first.estimate(ARCH, ATTACK)
+        assert partial.failed_trials == 1
+
+        # Run 2: resume. Completed trials load from the checkpoint; the
+        # failed trial is retried on its original RNG stream.
+        resumed = estimator(checkpoint_path=path).estimate(ARCH, ATTACK)
+        assert resumed.failed_trials == 0
+        assert resumed.mean == uninterrupted.mean
+        assert resumed.variance == uninterrupted.variance
+        assert resumed.trials == uninterrupted.trials
+        assert resumed.mean_bad_per_layer == uninterrupted.mean_bad_per_layer
+
+    def test_resume_after_interrupt_is_bit_identical(self, tmp_path):
+        """A hard interrupt (not caught by isolation) also resumes cleanly."""
+        path = str(tmp_path / "campaign.json")
+        uninterrupted = estimator().estimate(ARCH, ATTACK)
+
+        interrupted = estimator(checkpoint_path=path)
+        interrupted._attacker = FlakyAttacker(
+            fail_on={5}, exception=KeyboardInterrupt()
+        )
+        with pytest.raises(KeyboardInterrupt):
+            interrupted.estimate(ARCH, ATTACK)
+
+        resumed = estimator(checkpoint_path=path).estimate(ARCH, ATTACK)
+        assert resumed.mean == uninterrupted.mean
+        assert resumed.variance == uninterrupted.variance
+        assert resumed.mean_bad_per_layer == uninterrupted.mean_bad_per_layer
+
+    def test_completed_trials_are_not_rerun(self, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        estimator(checkpoint_path=path).estimate(ARCH, ATTACK)
+        resumed = estimator(checkpoint_path=path)
+        resumed._attacker = FlakyAttacker(fail_on=set(range(100)))
+        # Every trial is checkpointed, so the flaky attacker never runs.
+        result = resumed.estimate(ARCH, ATTACK)
+        assert resumed._attacker.calls == 0
+        assert result.failed_trials == 0
+
+    def test_mismatched_configuration_is_rejected(self, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        estimator(checkpoint_path=path).estimate(ARCH, ATTACK)
+        with pytest.raises(SimulationError, match="different experiment"):
+            estimator(checkpoint_path=path, seed=6).estimate(ARCH, ATTACK)
+
+    def test_checkpoint_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        est = estimator(checkpoint_path=str(path))
+        est._attacker = FlakyAttacker(fail_on={2})
+        est.estimate(ARCH, ATTACK)
+        state = json.loads(path.read_text())
+        assert state["trials"]["2"] == {"error": "RuntimeError: injected fault"}
+        assert "p" in state["trials"]["0"]
+
+
+class TestCheckpointUnit:
+    def test_failed_trials_view(self, tmp_path):
+        checkpoint = CampaignCheckpoint(str(tmp_path / "c.json"), "abc")
+        checkpoint.record_success(0, 0.5, {1: 2})
+        checkpoint.record_failure(1, "boom")
+        assert checkpoint.completed(0) == {"p": 0.5, "bad": {"1": 2}}
+        assert checkpoint.completed(1) is None
+        assert checkpoint.failed_trials == {1: "boom"}
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        checkpoint = CampaignCheckpoint(path, "abc")
+        checkpoint.record_success(0, 0.25, {1: 1, 2: 0})
+        checkpoint.save()
+        loaded = CampaignCheckpoint.load_or_create(path, "abc")
+        assert loaded.completed(0) == {"p": 0.25, "bad": {"1": 1, "2": 0}}
+
+    def test_fingerprint_is_order_insensitive(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})

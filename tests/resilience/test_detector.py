@@ -1,0 +1,148 @@
+"""Tests for the heartbeat failure detector and its defender hookup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.knowledge import AttackerKnowledge
+from repro.core import SOSArchitecture
+from repro.errors import ConfigurationError, SimulationError
+from repro.repair.defender import RepairingDefender
+from repro.repair.policy import RepairPolicy
+from repro.resilience.detector import DetectorConfig, FailureDetector
+from repro.sos.deployment import SOSDeployment
+
+
+def deployment(seed=3):
+    arch = SOSArchitecture(
+        layers=2,
+        mapping="one-to-two",
+        total_overlay_nodes=200,
+        sos_nodes=20,
+        filters=2,
+    )
+    return SOSDeployment.deploy(arch, rng=seed)
+
+
+class TestDetectorConfig:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            DetectorConfig(timeout=-1.0)
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(false_positive_rate=1.5)
+
+
+class TestDetectionTimeout:
+    def test_instantaneous_detection_flags_all_bad(self):
+        dep = deployment()
+        bad = dep.sos_member_ids()[:4]
+        for node_id in bad:
+            dep.resolve(node_id).congest()
+        detector = FailureDetector(DetectorConfig(timeout=0.0), rng=1)
+        assert set(detector.scan(dep, now=0.0)) == set(bad)
+
+    def test_timeout_delays_detection(self):
+        dep = deployment()
+        victim = dep.sos_member_ids()[0]
+        dep.resolve(victim).congest()
+        detector = FailureDetector(DetectorConfig(timeout=5.0), rng=1)
+        assert detector.scan(dep, now=0.0) == []  # first seen now
+        assert detector.scan(dep, now=4.9) == []  # not bad long enough
+        assert detector.scan(dep, now=5.0) == [victim]
+
+    def test_recovered_node_resets_suspicion(self):
+        dep = deployment()
+        victim = dep.sos_member_ids()[0]
+        node = dep.resolve(victim)
+        node.congest()
+        detector = FailureDetector(DetectorConfig(timeout=5.0), rng=1)
+        detector.scan(dep, now=0.0)
+        node.recover()
+        detector.scan(dep, now=3.0)  # healthy again: suspicion cleared
+        node.congest()
+        detector.scan(dep, now=4.0)  # the clock restarts here
+        assert detector.scan(dep, now=8.0) == []
+        assert detector.scan(dep, now=9.0) == [victim]
+
+    def test_detection_order_matches_layer_membership(self):
+        dep = deployment()
+        bad = sorted(dep.sos_member_ids(), reverse=True)[:5]
+        for node_id in bad:
+            dep.resolve(node_id).congest()
+        detector = FailureDetector(DetectorConfig(), rng=1)
+        detected = detector.scan(dep, now=0.0)
+        expected = [
+            node_id
+            for layer in range(1, dep.architecture.layers + 2)
+            for node_id in dep.layer_members(layer)
+            if node_id in set(bad)
+        ]
+        assert detected == expected
+
+
+class TestFalsePositives:
+    def test_false_positives_flag_healthy_nodes(self):
+        dep = deployment()
+        detector = FailureDetector(
+            DetectorConfig(false_positive_rate=1.0), rng=1
+        )
+        detected = detector.scan(dep, now=0.0)
+        members = sum(
+            len(dep.layer_members(layer))
+            for layer in range(1, dep.architecture.layers + 2)
+        )
+        assert len(detected) == members
+        assert detector.false_alarms == members
+
+    def test_zero_rate_never_false_alarms(self):
+        dep = deployment()
+        detector = FailureDetector(DetectorConfig(), rng=1)
+        for now in range(5):
+            detector.scan(dep, now=float(now))
+        assert detector.false_alarms == 0
+
+
+class TestDefenderIntegration:
+    def test_repair_waits_for_detection_timeout(self):
+        dep = deployment()
+        victim = dep.sos_member_ids()[0]
+        dep.resolve(victim).congest()
+        detector = FailureDetector(DetectorConfig(timeout=10.0), rng=1)
+        defender = RepairingDefender(
+            RepairPolicy(detection_probability=1.0),
+            rng=2,
+            detector=detector,
+        )
+        knowledge = AttackerKnowledge()
+        assert defender.scan_and_repair(dep, knowledge, now=0.0) == 0
+        assert defender.scan_and_repair(dep, knowledge, now=5.0) == 0
+        assert defender.scan_and_repair(dep, knowledge, now=10.0) == 1
+        assert dep.resolve(victim).is_good
+
+    def test_repair_clears_detector_memory(self):
+        dep = deployment()
+        victim = dep.sos_member_ids()[0]
+        node = dep.resolve(victim)
+        node.congest()
+        detector = FailureDetector(DetectorConfig(timeout=2.0), rng=1)
+        defender = RepairingDefender(
+            RepairPolicy(detection_probability=1.0), rng=2, detector=detector
+        )
+        knowledge = AttackerKnowledge()
+        defender.scan_and_repair(dep, knowledge, now=0.0)
+        assert defender.scan_and_repair(dep, knowledge, now=2.0) == 1
+        # A fresh failure must re-earn the timeout, not inherit suspicion.
+        node.congest()
+        assert defender.scan_and_repair(dep, knowledge, now=3.0) == 0
+        assert defender.scan_and_repair(dep, knowledge, now=5.0) == 1
+
+    def test_capacity_limits_detector_driven_repairs(self):
+        dep = deployment()
+        for node_id in dep.sos_member_ids()[:6]:
+            dep.resolve(node_id).congest()
+        defender = RepairingDefender(
+            RepairPolicy(detection_probability=1.0, capacity_per_round=2),
+            rng=2,
+            detector=FailureDetector(DetectorConfig(), rng=1),
+        )
+        assert defender.scan_and_repair(dep, AttackerKnowledge(), now=0.0) == 2

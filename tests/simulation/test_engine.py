@@ -103,3 +103,71 @@ class TestRun:
             scheduler.schedule_at(float(i), lambda: None)
         scheduler.run()
         assert scheduler.processed == 3
+
+
+class TestCancellation:
+    def test_cancelled_event_never_fires(self):
+        scheduler = EventScheduler()
+        log = []
+        event = scheduler.schedule_at(1.0, lambda: log.append("a"))
+        scheduler.schedule_at(2.0, lambda: log.append("b"))
+        scheduler.cancel(event)
+        scheduler.run()
+        assert log == ["b"]
+
+    def test_cancel_updates_pending_count(self):
+        scheduler = EventScheduler()
+        first = scheduler.schedule_at(1.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        assert scheduler.pending == 2
+        scheduler.cancel(first)
+        assert scheduler.pending == 1
+
+    def test_cancelled_event_does_not_advance_clock(self):
+        scheduler = EventScheduler()
+        event = scheduler.schedule_at(5.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        scheduler.cancel(event)
+        scheduler.run()
+        assert scheduler.now == 2.0
+
+    def test_cancelled_event_not_counted_as_processed(self):
+        scheduler = EventScheduler()
+        event = scheduler.schedule_at(1.0, lambda: None)
+        scheduler.schedule_at(2.0, lambda: None)
+        scheduler.cancel(event)
+        scheduler.run()
+        assert scheduler.processed == 1
+
+    def test_cancel_is_idempotent(self):
+        scheduler = EventScheduler()
+        event = scheduler.schedule_at(1.0, lambda: None)
+        scheduler.cancel(event)
+        scheduler.cancel(event)
+        scheduler.run()
+        assert scheduler.processed == 0
+
+    def test_cancel_after_execution_is_noop(self):
+        scheduler = EventScheduler()
+        event = scheduler.schedule_at(1.0, lambda: None)
+        scheduler.run()
+        scheduler.cancel(event)  # must not raise
+        assert scheduler.processed == 1
+
+    def test_cancel_from_within_a_running_event(self):
+        scheduler = EventScheduler()
+        log = []
+        victim = scheduler.schedule_at(2.0, lambda: log.append("victim"))
+        scheduler.schedule_at(1.0, lambda: scheduler.cancel(victim))
+        scheduler.run()
+        assert log == []
+
+    def test_step_skips_cancelled_events(self):
+        scheduler = EventScheduler()
+        log = []
+        event = scheduler.schedule_at(1.0, lambda: log.append("a"))
+        scheduler.schedule_at(2.0, lambda: log.append("b"))
+        scheduler.cancel(event)
+        assert scheduler.step() is True
+        assert log == ["b"]
+        assert scheduler.step() is False

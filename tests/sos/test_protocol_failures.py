@@ -1,0 +1,189 @@
+"""Failure-path and retry/backoff tests for :meth:`SOSProtocol.send`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SOSArchitecture
+from repro.resilience.retry import RetryPolicy
+from repro.sos.deployment import SOSDeployment
+from repro.sos.packets import FailureCause
+from repro.sos.protocol import SOSProtocol
+
+
+def deploy(mapping="one-to-half", layers=3, seed=7):
+    arch = SOSArchitecture(
+        layers=layers,
+        mapping=mapping,
+        total_overlay_nodes=400,
+        sos_nodes=60,
+        filters=5,
+    )
+    return SOSDeployment.deploy(arch, rng=seed)
+
+
+@pytest.fixture
+def protocol():
+    return SOSProtocol(deploy())
+
+
+def crash_layer(deployment, layer):
+    for node_id in deployment.layer_members(layer):
+        deployment.resolve(node_id).crash()
+
+
+class TestAccessPointExhaustion:
+    def test_all_access_points_bad(self, protocol):
+        contacts = protocol.register_client(rng=3)
+        for node_id in contacts:
+            protocol.deployment.resolve(node_id).congest()
+        receipt = protocol.send("c", "t", contacts=contacts, rng=1)
+        assert not receipt.delivered
+        assert receipt.failure_cause is FailureCause.ACCESS_POINTS_EXHAUSTED
+        assert len(receipt.hop_trail) == 0
+
+    def test_all_access_points_bad_with_retry(self, protocol):
+        """Retry mode burns the whole contact list, then gives up."""
+        contacts = protocol.register_client(rng=3)
+        for node_id in contacts:
+            protocol.deployment.resolve(node_id).crash()
+        receipt = protocol.send(
+            "c",
+            "t",
+            contacts=contacts,
+            rng=1,
+            retry_policy=RetryPolicy(max_attempts_per_hop=2),
+        )
+        assert not receipt.delivered
+        assert receipt.failure_cause is FailureCause.ACCESS_POINTS_EXHAUSTED
+        # Failover covers every contact despite the 2-attempt hop budget.
+        assert receipt.attempts == len(contacts)
+        assert receipt.retries == len(contacts) - 1
+        assert receipt.backoff_total > 0.0
+
+    def test_failover_disabled_respects_hop_budget(self, protocol):
+        contacts = protocol.register_client(rng=3)
+        for node_id in contacts:
+            protocol.deployment.resolve(node_id).crash()
+        receipt = protocol.send(
+            "c",
+            "t",
+            contacts=contacts,
+            rng=1,
+            retry_policy=RetryPolicy(
+                max_attempts_per_hop=2, failover_all_contacts=False
+            ),
+        )
+        assert not receipt.delivered
+        assert receipt.attempts == 2
+
+
+class TestMidPathExhaustion:
+    def test_neighbors_exhausted_at_inner_layer(self, protocol):
+        crash_layer(protocol.deployment, 2)
+        contacts = protocol.register_client(rng=3)
+        receipt = protocol.send("c", "t", contacts=contacts, rng=1)
+        assert not receipt.delivered
+        assert receipt.failure_cause is FailureCause.NEIGHBORS_EXHAUSTED
+        assert "layer-2" in receipt.failure_reason
+        # The packet made it through the access layer before dying.
+        assert len(receipt.hop_trail) == 1
+
+    def test_neighbors_exhausted_with_retry_counts_attempts(self, protocol):
+        crash_layer(protocol.deployment, 2)
+        contacts = protocol.register_client(rng=3)
+        receipt = protocol.send(
+            "c",
+            "t",
+            contacts=contacts,
+            rng=1,
+            retry_policy=RetryPolicy(max_attempts_per_hop=3),
+        )
+        assert not receipt.delivered
+        assert receipt.failure_cause is FailureCause.NEIGHBORS_EXHAUSTED
+        # One good access pick plus a full inner-hop budget of misses.
+        assert receipt.attempts >= 1 + 3
+        assert receipt.retries >= 2
+
+    def test_exhaustion_at_filter_layer(self, protocol):
+        crash_layer(protocol.deployment, protocol.deployment.architecture.layers + 1)
+        contacts = protocol.register_client(rng=3)
+        receipt = protocol.send("c", "t", contacts=contacts, rng=1)
+        assert not receipt.delivered
+        assert receipt.failure_cause is FailureCause.NEIGHBORS_EXHAUSTED
+
+
+class TestRetryDeterminism:
+    POLICY = RetryPolicy(
+        max_attempts_per_hop=3,
+        backoff_base=0.05,
+        backoff_factor=2.0,
+        jitter=0.01,
+    )
+
+    def test_same_seed_same_trail_and_retries(self, protocol):
+        # Crash a slice of every layer so retries actually happen.
+        for layer in range(1, protocol.deployment.architecture.layers + 2):
+            for node_id in protocol.deployment.layer_members(layer)[::3]:
+                protocol.deployment.resolve(node_id).crash()
+        contacts = protocol.register_client(rng=3)
+        receipts = [
+            protocol.send(
+                "c", "t", contacts=contacts, rng=42, retry_policy=self.POLICY
+            )
+            for _ in range(2)
+        ]
+        first, second = receipts
+        assert first.hop_trail == second.hop_trail
+        assert first.attempts == second.attempts
+        assert first.retries == second.retries
+        assert first.backoff_total == second.backoff_total
+
+    def test_different_seeds_can_diverge(self, protocol):
+        contacts = protocol.register_client(rng=3)
+        trails = {
+            tuple(
+                protocol.send(
+                    "c", "t", contacts=contacts, rng=seed, retry_policy=self.POLICY
+                ).hop_trail
+            )
+            for seed in range(8)
+        }
+        assert len(trails) > 1
+
+    def test_healthy_overlay_needs_no_retries(self, protocol):
+        contacts = protocol.register_client(rng=3)
+        receipt = protocol.send(
+            "c", "t", contacts=contacts, rng=1, retry_policy=self.POLICY
+        )
+        assert receipt.delivered
+        assert receipt.retries == 0
+        assert receipt.backoff_total == 0.0
+        # One attempt per traversed layer.
+        assert receipt.attempts == len(receipt.hop_trail)
+
+    def test_retry_finds_good_node_blindly(self, protocol):
+        """With some bad nodes, blind retry still delivers, at a cost."""
+        deployment = protocol.deployment
+        for layer in range(1, deployment.architecture.layers + 2):
+            members = deployment.layer_members(layer)
+            for node_id in members[: len(members) // 2]:
+                deployment.resolve(node_id).crash()
+        contacts = protocol.register_client(rng=3)
+        delivered = retried = 0
+        for seed in range(30):
+            receipt = protocol.send(
+                "c", "t", contacts=contacts, rng=seed, retry_policy=self.POLICY
+            )
+            delivered += receipt.delivered
+            retried += receipt.retries > 0
+        assert delivered > 0
+        assert retried > 0
+
+    def test_backoff_grows_with_retry_index(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, jitter=0.0)
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        delays = [policy.delay(i, rng) for i in range(4)]
+        assert delays == [0.1, 0.2, 0.4, 0.8]
