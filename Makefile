@@ -2,7 +2,34 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments paper examples docs-check all
+.PHONY: install test bench experiments paper examples docs-check all \
+	lint typecheck contracts-test verify
+
+# --- correctness tooling (docs/STATIC_ANALYSIS.md) ---------------------
+# `lint` always runs the in-repo repro-lint AST engine; ruff and mypy are
+# optional locally (this container does not ship them) and mandatory in
+# the CI lint job.
+
+lint:
+	PYTHONPATH=tools $(PYTHON) -m repro_lint src benchmarks examples
+	@if $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tools; \
+	else \
+		echo "ruff not installed locally; skipped (CI runs it)"; \
+	fi
+
+typecheck:
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy -p repro.core -p repro.utils -p repro.contracts; \
+	else \
+		echo "mypy not installed locally; skipped (CI runs it)"; \
+	fi
+
+contracts-test:
+	$(PYTHON) -m pytest tests/test_contracts.py tests/utils/test_validation.py tests/tools -q
+	REPRO_CONTRACTS=0 $(PYTHON) -m pytest tests/test_contracts.py -q
+
+verify: lint typecheck test
 
 install:
 	$(PYTHON) setup.py develop

@@ -35,10 +35,12 @@ from repro.core import (
     original_sos_architecture,
     path_availability_probability,
 )
+from repro.contracts import contracts_enabled
 from repro.planner import DefensePlan, plan_defense, required_detection
 from repro.errors import (
     AnalysisError,
     ConfigurationError,
+    ContractViolationError,
     ExperimentError,
     ProtocolError,
     ReproError,
@@ -60,8 +62,10 @@ __all__ = [
     "DefensePlan",
     "plan_defense",
     "required_detection",
+    "contracts_enabled",
     "AnalysisError",
     "ConfigurationError",
+    "ContractViolationError",
     "ExperimentError",
     "ProtocolError",
     "ReproError",

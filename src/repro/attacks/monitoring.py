@@ -44,7 +44,7 @@ def upstream_observer(observation_probability: float = 1.0):
     check_probability("observation_probability", observation_probability)
 
     def observe(deployment: SOSDeployment, node_id: int, rng) -> List[int]:
-        if observation_probability == 0.0:
+        if observation_probability <= 0.0:
             # Observe nothing AND consume no randomness, so a zero-probability
             # monitoring attacker is trajectory-identical to the baseline
             # under the same seed.

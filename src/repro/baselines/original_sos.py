@@ -23,12 +23,14 @@ import itertools
 import math
 from typing import Sequence
 
+from repro.contracts import returns_probability
 from repro.core.architecture import original_sos_architecture
 from repro.core.attack_models import OneBurstAttack
 from repro.core.model import evaluate
 from repro.errors import ConfigurationError
 
 
+@returns_probability
 def _fully_congested_probability(
     total: int, congested: int, subset_size: int
 ) -> float:

@@ -1,0 +1,182 @@
+"""Runtime probability contracts for the analytical core.
+
+The model's guarantees (Eq. 1's ``P(x, y, z)`` and every derived ``P_S``)
+hold only while values stay in ``[0, 1]``. These decorators turn that
+docstring discipline into checked contracts:
+
+>>> from repro.contracts import returns_probability
+>>> @returns_probability
+... def coin() -> float:
+...     return 0.5
+>>> coin()
+0.5
+
+Contracts are **zero-cost when disabled**: with ``REPRO_CONTRACTS=0`` in
+the environment every decorator returns the original function object
+unchanged — no wrapper frame, no signature binding, nothing on the hot
+path. Enablement is decided once, at import/decoration time; the
+experiment harness and Monte Carlo campaigns therefore pay nothing in
+production sweeps while CI runs fully contracted.
+
+Violations raise :class:`repro.errors.ContractViolationError`, whose
+message names the function, the offending argument or result, and the
+expected range — a contract failure is a bug report, not a user error.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import math
+import os
+from typing import Any, Callable, Tuple, TypeVar
+
+from repro.errors import ContractViolationError
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_FALSY = frozenset({"0", "false", "off", "no"})
+
+
+def _env_enabled() -> bool:
+    """Read ``REPRO_CONTRACTS`` (default: enabled)."""
+    return os.environ.get("REPRO_CONTRACTS", "1").strip().lower() not in _FALSY
+
+
+#: Snapshot taken at import time; decorators consult it at decoration time,
+#: so flipping it later only affects functions decorated afterwards.
+_ENABLED = _env_enabled()
+
+
+def contracts_enabled() -> bool:
+    """True when decorators applied from now on will install checks."""
+    return _ENABLED
+
+
+def _is_real(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_probability(value: Any) -> bool:
+    # NaN fails both comparisons; +/-inf fail one of them.
+    return _is_real(value) and 0.0 <= value <= 1.0
+
+
+def _is_fraction(value: Any) -> bool:
+    return _is_real(value) and 0.0 < value <= 1.0
+
+
+def _is_non_negative(value: Any) -> bool:
+    return _is_real(value) and math.isfinite(value) and value >= 0.0
+
+
+def returns_probability(func: F) -> F:
+    """Post-condition: the return value must lie in ``[0, 1]``.
+
+    Rejects NaN, infinities, and non-numeric results. Returns ``func``
+    itself when contracts are disabled.
+    """
+    if not _ENABLED:
+        return func
+
+    @functools.wraps(func)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        result = func(*args, **kwargs)
+        if not _is_probability(result):
+            raise ContractViolationError(
+                f"{func.__qualname__} returned {result!r}, which is not a "
+                f"probability in [0, 1] — this is a bug in the model, not "
+                f"a configuration error"
+            )
+        return result
+
+    return wrapper  # type: ignore[return-value]
+
+
+def ensures(
+    predicate: Callable[[Any], bool], description: str
+) -> Callable[[F], F]:
+    """Generic post-condition: ``predicate(result)`` must hold.
+
+    ``description`` is embedded in the violation message, e.g.
+    ``@ensures(lambda r: 0.0 <= r.p_s <= 1.0, "P_S must lie in [0, 1]")``.
+    """
+
+    def decorator(func: F) -> F:
+        if not _ENABLED:
+            return func
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            result = func(*args, **kwargs)
+            if not predicate(result):
+                raise ContractViolationError(
+                    f"{func.__qualname__} violated its post-condition "
+                    f"({description}); returned {result!r}"
+                )
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorator
+
+
+def _requires(
+    names: Tuple[str, ...],
+    predicate: Callable[[Any], bool],
+    description: str,
+) -> Callable[[F], F]:
+    """Shared machinery for argument pre-conditions."""
+
+    def decorator(func: F) -> F:
+        if not _ENABLED:
+            return func
+        signature = inspect.signature(func)
+        for name in names:
+            if name not in signature.parameters:
+                raise ContractViolationError(
+                    f"{func.__qualname__} has no parameter {name!r} to "
+                    f"contract (known: {list(signature.parameters)})"
+                )
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            bound = signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            for name in names:
+                value = bound.arguments[name]
+                if not predicate(value):
+                    raise ContractViolationError(
+                        f"{func.__qualname__}: argument {name}={value!r} "
+                        f"must be {description}"
+                    )
+            return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorator
+
+
+def requires_probability(*names: str) -> Callable[[F], F]:
+    """Pre-condition: each named argument must lie in ``[0, 1]``."""
+    return _requires(names, _is_probability, "a probability in [0, 1]")
+
+
+def requires_fraction(*names: str) -> Callable[[F], F]:
+    """Pre-condition: each named argument must lie in ``(0, 1]``."""
+    return _requires(names, _is_fraction, "a fraction in (0, 1]")
+
+
+def requires_non_negative(*names: str) -> Callable[[F], F]:
+    """Pre-condition: each named argument must be finite and ``>= 0``."""
+    return _requires(names, _is_non_negative, "finite and >= 0")
+
+
+__all__ = [
+    "contracts_enabled",
+    "ensures",
+    "requires_fraction",
+    "requires_non_negative",
+    "requires_probability",
+    "returns_probability",
+]

@@ -68,7 +68,7 @@ class CongestionCostModel:
         """``N_C`` an attacker with ``bandwidth`` pps can sustain."""
         check_non_negative("bandwidth", bandwidth)
         rate = self.required_flood_rate
-        if rate == 0.0:
+        if rate <= 0.0:
             raise ConfigurationError(
                 "nodes are congested by legitimate load alone; "
                 "increase node_capacity or lower legitimate_rate"

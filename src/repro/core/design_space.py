@@ -17,7 +17,7 @@ on the anticipated attack mix. This module operationalizes that:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.architecture import SOSArchitecture
 from repro.core.attack_models import OneBurstAttack, SuccessiveAttack
@@ -135,7 +135,7 @@ def best_design(
     mappings: Sequence[str] = DEFAULT_MAPPINGS,
     distributions: Sequence[Union[str, NodeDistribution]] = ("even",),
     aggregate: str = "min",
-    **grid_kwargs,
+    **grid_kwargs: Any,
 ) -> DesignScore:
     """Best design on the grid for the given scenarios.
 

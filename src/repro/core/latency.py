@@ -51,9 +51,9 @@ def expected_probes(table_size: int, bad_fraction: float) -> float:
     if not 0.0 <= bad_fraction <= 1.0:
         raise AnalysisError(f"bad_fraction must be in [0, 1], got {bad_fraction}")
     q = bad_fraction
-    if q == 0.0:
+    if q <= 0.0:
         return 1.0
-    if q == 1.0:
+    if q >= 1.0:
         # Conditioning event has probability zero; the limit as q -> 1 is
         # the mean of a uniform draw over 1..m.
         return (table_size + 1) / 2.0

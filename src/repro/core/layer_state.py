@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Sequence, Tuple
 
+from repro.contracts import ensures, returns_probability
 from repro.core.probability import clamp, hop_success_probability
 from repro.errors import AnalysisError
 
@@ -103,6 +104,10 @@ class SystemPerformance:
         object.__setattr__(self, "p_s", clamp(self.p_s, 0.0, 1.0))
 
     @property
+    @ensures(
+        lambda hops: all(0.0 <= p <= 1.0 for p in hops),
+        "every per-hop probability must lie in [0, 1]",
+    )
     def hop_probabilities(self) -> Tuple[float, ...]:
         """``(P_1, ..., P_{L+1})`` per-hop success probabilities."""
         return tuple(layer.hop_success for layer in self.layers)
@@ -123,6 +128,7 @@ class SystemPerformance:
         }
 
 
+@returns_probability
 def path_availability(layers: Sequence[LayerState]) -> float:
     """``P_S = prod_i P_i`` over every hop, including the filter hop (Eq. 1)."""
     probability = 1.0

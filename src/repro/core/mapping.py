@@ -20,6 +20,7 @@ import dataclasses
 import math
 from typing import List, Sequence, Union
 
+from repro.contracts import requires_fraction
 from repro.errors import ConfigurationError
 from repro.utils.validation import check_fraction, check_positive_int
 
@@ -82,15 +83,29 @@ class FractionMapping(MappingPolicy):
         check_fraction("fraction", self.fraction)
 
     def degree_for(self, next_layer_size: float) -> int:
-        return self._clamp(round(self.fraction * next_layer_size), next_layer_size)
+        return self._clamp(
+            fraction_degree(self.fraction, next_layer_size), next_layer_size
+        )
 
     @property
     def label(self) -> str:
-        if self.fraction == 1.0:
+        # Named policies are constructed from the exact literals 1.0 / 0.5,
+        # so equality against those sentinels is exact by construction.
+        if self.fraction == 1.0:  # repro-lint: disable=float-equality -- exact sentinel
             return "one-to-all"
-        if self.fraction == 0.5:
+        if self.fraction == 0.5:  # repro-lint: disable=float-equality -- exact sentinel
             return "one-to-half"
         return f"one-to-{self.fraction:g}frac"
+
+
+@requires_fraction("fraction")
+def fraction_degree(fraction: float, next_layer_size: float) -> int:
+    """Unclamped fractional mapping degree ``round(fraction * n_{i+1})``.
+
+    The contract rejects ``fraction`` outside ``(0, 1]`` — a zero or
+    negative fraction would silently produce a disconnected overlay.
+    """
+    return int(round(fraction * next_layer_size))
 
 
 ONE_TO_ONE = FixedMapping(1)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Union
 
+from repro.contracts import ensures, returns_probability
 from repro.core.architecture import SOSArchitecture
 from repro.core.attack_models import AttackModel, OneBurstAttack, SuccessiveAttack
 from repro.core.layer_state import SystemPerformance
@@ -24,6 +25,7 @@ from repro.errors import ConfigurationError
 Attack = Union[OneBurstAttack, SuccessiveAttack]
 
 
+@ensures(lambda result: 0.0 <= result.p_s <= 1.0, "P_S must lie in [0, 1]")
 def evaluate(architecture: SOSArchitecture, attack: Attack) -> SystemPerformance:
     """Compute :class:`SystemPerformance` for any supported attack model."""
     if isinstance(attack, SuccessiveAttack):
@@ -43,6 +45,7 @@ def evaluate(architecture: SOSArchitecture, attack: Attack) -> SystemPerformance
     raise ConfigurationError(f"unsupported attack model: {attack!r}")
 
 
+@returns_probability
 def path_availability_probability(
     architecture: SOSArchitecture, attack: Attack
 ) -> float:

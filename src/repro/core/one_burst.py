@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Tuple
 
+from repro.contracts import ensures, requires_non_negative, requires_probability
 from repro.core.architecture import SOSArchitecture
 from repro.core.attack_models import OneBurstAttack
 from repro.core.layer_state import LayerState, SystemPerformance, path_availability
@@ -142,6 +143,8 @@ def _congestion_phase(
     return congested, n_d, n_b
 
 
+@requires_probability("fraction")
+@requires_non_negative("remaining")
 def surplus_share(fraction: float, remaining: float) -> float:
     """Random-congestion share of a layer's remaining good nodes."""
     return fraction * remaining
@@ -168,6 +171,7 @@ def analyze_one_burst_breakdown(
     )
 
 
+@ensures(lambda result: 0.0 <= result.p_s <= 1.0, "P_S must lie in [0, 1]")
 def analyze_one_burst(
     architecture: SOSArchitecture, attack: OneBurstAttack
 ) -> SystemPerformance:

@@ -28,11 +28,13 @@ from __future__ import annotations
 import math
 from typing import Union
 
+from repro.contracts import returns_probability
 from repro.errors import AnalysisError
 
 Number = Union[int, float]
 
 
+@returns_probability
 def all_bad_probability(x: Number, y: Number, z: int) -> float:
     """Continuous extension of ``P(x, y, z) = C(y, z) / C(x, z)``.
 
@@ -83,11 +85,13 @@ def all_bad_probability(x: Number, y: Number, z: int) -> float:
     return min(1.0, max(0.0, probability))
 
 
+@returns_probability
 def hop_success_probability(n: Number, s: Number, m: int) -> float:
     """Per-hop success probability ``P_i = 1 - P(n_i, s_i, m_i)`` (Eq. 1)."""
     return 1.0 - all_bad_probability(n, s, m)
 
 
+@returns_probability
 def exact_all_bad_probability(x: int, y: int, z: int) -> float:
     """Exact integer-argument ``C(y, z) / C(x, z)`` for cross-validation.
 
@@ -105,6 +109,7 @@ def exact_all_bad_probability(x: int, y: int, z: int) -> float:
     return math.comb(y, z) / math.comb(x, z)
 
 
+@returns_probability
 def no_fresh_disclosure_probability(m: Number, n: Number, breakins: Number) -> float:
     """Probability a given node is *not* disclosed by any of ``breakins``
     broken-in previous-layer nodes, ``(1 - m/n)^b`` (Eq. 3).
@@ -121,9 +126,11 @@ def no_fresh_disclosure_probability(m: Number, n: Number, breakins: Number) -> f
     if m < 0 or m > n:
         raise AnalysisError(f"mapping degree m={m} out of range [0, {n}]")
     base = min(1.0, max(0.0, 1.0 - m / n))
-    if breakins == 0.0:
+    # Sentinel compares: both values were clamped to exactly 0.0 above, so
+    # equality is exact by construction, not a drifting-float comparison.
+    if breakins == 0.0:  # repro-lint: disable=float-equality -- clamped via max(0.0, .)
         return 1.0
-    if base == 0.0:
+    if base == 0.0:  # repro-lint: disable=float-equality -- clamped via max(0.0, .)
         return 0.0
     return base**breakins
 

@@ -12,7 +12,7 @@ most *where the system currently stands*.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.core.architecture import SOSArchitecture
 from repro.core.attack_models import SuccessiveAttack
@@ -43,7 +43,7 @@ class Sensitivity:
 
 
 def _perturb_architecture(
-    architecture: SOSArchitecture, **changes
+    architecture: SOSArchitecture, **changes: Any
 ) -> Optional[SOSArchitecture]:
     try:
         return SOSArchitecture(
@@ -92,7 +92,9 @@ def sensitivity_profile(
     base_p_s = evaluate(architecture, attack).p_s
     results: List[Sensitivity] = []
 
-    def record(parameter: str, base, perturbed, p_s: Optional[float]) -> None:
+    def record(
+        parameter: str, base: float, perturbed: float, p_s: Optional[float]
+    ) -> None:
         if p_s is None:
             return
         results.append(
@@ -105,7 +107,7 @@ def sensitivity_profile(
             )
         )
 
-    def try_attack(**changes) -> Optional[float]:
+    def try_attack(**changes: Any) -> Optional[float]:
         try:
             perturbed = dataclasses.replace(attack, **changes)
             return evaluate(architecture, perturbed).p_s
@@ -131,7 +133,7 @@ def sensitivity_profile(
            try_attack(rounds=attack.rounds + 1))
 
     # --- design-side parameters ---------------------------------------
-    def try_design(**changes) -> Optional[float]:
+    def try_design(**changes: Any) -> Optional[float]:
         perturbed = _perturb_architecture(architecture, **changes)
         if perturbed is None:
             return None

@@ -40,6 +40,7 @@ import dataclasses
 import enum
 from typing import List, Tuple
 
+from repro.contracts import ensures, requires_non_negative
 from repro.core.architecture import SOSArchitecture
 from repro.core.attack_models import SuccessiveAttack
 from repro.core.layer_state import LayerState, SystemPerformance, path_availability
@@ -124,6 +125,7 @@ class _Accumulator:
         self.cum_filter_disclosed = 0.0  # sum_k d_{L+1,k}^N
 
 
+@requires_non_negative("known", "quota", "budget")
 def _classify(known: float, quota: float, budget: float) -> RoundCase:
     """Map (X_j, alpha, beta) onto Algorithm 1's four cases."""
     if known >= budget:
@@ -351,6 +353,7 @@ def analyze_successive_breakdown(
     )
 
 
+@ensures(lambda result: 0.0 <= result.p_s <= 1.0, "P_S must lie in [0, 1]")
 def analyze_successive(
     architecture: SOSArchitecture, attack: SuccessiveAttack
 ) -> SystemPerformance:

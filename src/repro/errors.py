@@ -30,6 +30,18 @@ class AnalysisError(ReproError, ArithmeticError):
     """
 
 
+class ContractViolationError(AnalysisError):
+    """A runtime contract from :mod:`repro.contracts` was violated.
+
+    A probability-valued function returned something outside ``[0, 1]``, or
+    a contracted argument was out of range. Like its parent
+    :class:`AnalysisError`, this signals a bug in the model code — never an
+    expected condition — so it carries the full function name and offending
+    value for diagnosis. Contracts (and these errors) disappear entirely
+    when ``REPRO_CONTRACTS=0``.
+    """
+
+
 class RoutingError(ReproError, RuntimeError):
     """An overlay or Chord routing operation could not complete."""
 

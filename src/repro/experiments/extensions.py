@@ -10,6 +10,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List
 
 from repro.attacks.monitoring import monitoring_damage_comparison
@@ -193,7 +194,10 @@ def extension_underlay(trials: int = 8, seed: int = 23) -> FigureResult:
     routes = series["underlay-connected routes"]
     latencies = series["mean path latency (connected)"]
     claims = [
-        Claim("with an intact underlay every route connects", routes[0] == 1.0),
+        Claim(
+            "with an intact underlay every route connects",
+            math.isclose(routes[0], 1.0),
+        ),
         Claim(
             "link cuts monotonically (within noise 0.05) reduce route availability",
             all(b <= a + 0.05 for a, b in zip(routes, routes[1:])),
@@ -361,7 +365,8 @@ def extension_placement(probes: int = 150, seed: int = 11) -> FigureResult:
     claims = [
         Claim(
             "with no outage both placements are fully connected",
-            random_rates[0] == 1.0 and diverse_rates[0] == 1.0,
+            math.isclose(random_rates[0], 1.0)
+            and math.isclose(diverse_rates[0], 1.0),
         ),
         Claim(
             "diverse placement dominates random at every outage level",

@@ -135,7 +135,7 @@ class UnderlayTopology:
         if concentration < 0:
             raise ConfigurationError("concentration must be >= 0")
         router_list = list(self.graph.nodes)
-        if concentration == 0.0:
+        if concentration <= 0.0:
             weights = None
         else:
             order = self._rng.permutation(len(router_list))

@@ -53,7 +53,7 @@ class RepairPolicy:
     @property
     def is_noop(self) -> bool:
         """True when the policy can never repair anything."""
-        return self.detection_probability == 0.0 or self.capacity_per_round == 0
+        return self.detection_probability <= 0.0 or self.capacity_per_round == 0
 
 
 #: A defender that never repairs — reduces everything to the paper's model.

@@ -91,7 +91,7 @@ class FaultPlan:
     @property
     def is_noop(self) -> bool:
         """True when the plan can never inject a fault."""
-        return self.crash_rate == 0.0 and not self.partitions
+        return self.crash_rate <= 0.0 and not self.partitions
 
 
 #: The default plan: no benign failures, seed behavior exactly.

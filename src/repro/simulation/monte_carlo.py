@@ -168,7 +168,7 @@ class MonteCarloEstimator:
         and crash *nested* node sets — that is what makes ``P_S``
         monotone in the churn level under a fixed seed.
         """
-        if self.config.churn_fraction == 0.0:
+        if self.config.churn_fraction <= 0.0:
             return
         members = deployment.sos_member_ids()
         order = rng.permutation(len(members))

@@ -14,6 +14,8 @@ from typing import Iterator, Optional, Union
 
 import numpy as np
 
+from repro.errors import SimulationError
+
 SeedLike = Union[int, np.random.SeedSequence, np.random.Generator, None]
 
 
@@ -50,6 +52,10 @@ class SeedSequenceFactory:
         entropy = self._root.entropy
         if isinstance(entropy, (list, tuple)):
             return int(entropy[0])
+        # SeedSequence always auto-generates entropy when seeded with None,
+        # so a None here would be a numpy API change, not a valid state.
+        if entropy is None:
+            raise SimulationError("SeedSequence has no entropy to record")
         return int(entropy)
 
     @property

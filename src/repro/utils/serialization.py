@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, List, Sequence, Union
 
 from repro.errors import ExperimentError
 from repro.experiments.result import Claim, FigureResult
@@ -89,13 +89,13 @@ def ps_estimate_from_dict(data: Dict[str, Any]) -> PsEstimate:
     )
 
 
-def save_results(results, path: PathLike) -> None:
+def save_results(results: Sequence[FigureResult], path: PathLike) -> None:
     """Write a list of FigureResults to ``path`` as a JSON document."""
     payload = [figure_result_to_dict(result) for result in results]
     Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
 
-def load_results(path: PathLike):
+def load_results(path: PathLike) -> List[FigureResult]:
     """Read FigureResults back from :func:`save_results` output."""
     try:
         payload = json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,241 @@
+"""Tests for the runtime probability contracts (:mod:`repro.contracts`).
+
+Covers the decorator behavior on pathological floats (NaN, infinities,
+negative zero), the disabled-contracts fast path (provably zero overhead:
+the decorator must return the *same function object*), and error-message
+quality (function name, argument name, offending value all present).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import contracts
+from repro.contracts import (
+    contracts_enabled,
+    ensures,
+    requires_fraction,
+    requires_non_negative,
+    requires_probability,
+    returns_probability,
+)
+from repro.errors import AnalysisError, ContractViolationError, ReproError
+
+
+def identity(value):
+    return value
+
+
+@pytest.fixture
+def enabled(monkeypatch):
+    """Force contracts on, regardless of the REPRO_CONTRACTS this run has.
+
+    All decoration in these tests happens inside the test bodies, after the
+    monkeypatch, so the decoration-time snapshot sees the forced value.
+    """
+    monkeypatch.setattr(contracts, "_ENABLED", True)
+
+
+@pytest.mark.usefixtures("enabled")
+class TestReturnsProbability:
+    @pytest.mark.parametrize("value", [0.0, 1.0, 0.5, 1e-300, 0, 1, -0.0])
+    def test_accepts_valid_probabilities(self, value):
+        assert returns_probability(identity)(value) == value
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            -0.1,
+            1.0000000001,
+            float("nan"),
+            float("inf"),
+            float("-inf"),
+            None,
+            "0.5",
+            True,  # bools are not probabilities even though True == 1
+        ],
+    )
+    def test_rejects_invalid_results(self, value):
+        with pytest.raises(ContractViolationError):
+            returns_probability(identity)(value)
+
+    def test_error_message_names_function_and_value(self):
+        @returns_probability
+        def broken_probability():
+            return 1.5
+
+        with pytest.raises(ContractViolationError, match="broken_probability") as info:
+            broken_probability()
+        assert "1.5" in str(info.value)
+        assert "[0, 1]" in str(info.value)
+
+    def test_negative_zero_passes(self):
+        # -0.0 == 0.0: a clamp that produces the negative-zero float is fine.
+        assert returns_probability(identity)(-0.0) == 0.0
+
+
+@pytest.mark.usefixtures("enabled")
+class TestEnsures:
+    def test_passing_predicate(self):
+        wrapped = ensures(lambda r: r > 0, "must be positive")(identity)
+        assert wrapped(3) == 3
+
+    def test_failing_predicate_includes_description_and_result(self):
+        wrapped = ensures(lambda r: r > 0, "must be positive")(identity)
+        with pytest.raises(ContractViolationError, match="must be positive") as info:
+            wrapped(-2)
+        assert "-2" in str(info.value)
+
+
+@pytest.mark.usefixtures("enabled")
+class TestRequiresDecorators:
+    def test_requires_probability_accepts_boundaries(self):
+        @requires_probability("p")
+        def f(p):
+            return p
+
+        assert f(0.0) == 0.0
+        assert f(p=1.0) == 1.0
+
+    def test_requires_probability_rejects_nan(self):
+        @requires_probability("p")
+        def f(p):
+            return p
+
+        with pytest.raises(ContractViolationError, match="p="):
+            f(float("nan"))
+
+    def test_requires_fraction_excludes_zero(self):
+        @requires_fraction("share")
+        def f(share):
+            return share
+
+        assert f(1.0) == 1.0
+        with pytest.raises(ContractViolationError, match="share=0.0"):
+            f(0.0)
+        with pytest.raises(ContractViolationError):
+            f(-0.0)  # negative zero is still zero: not a valid fraction
+
+    def test_requires_non_negative_rejects_infinity(self):
+        @requires_non_negative("count")
+        def f(count):
+            return count
+
+        assert f(0.0) == 0.0
+        with pytest.raises(ContractViolationError):
+            f(float("inf"))
+        with pytest.raises(ContractViolationError):
+            f(-1e-12)
+
+    def test_checks_defaults_too(self):
+        @requires_probability("p")
+        def f(p=2.0):
+            return p
+
+        with pytest.raises(ContractViolationError):
+            f()
+
+    def test_multiple_names_report_the_offender(self):
+        @requires_probability("a", "b")
+        def f(a, b):
+            return a + b
+
+        with pytest.raises(ContractViolationError, match="b=7"):
+            f(0.5, 7)
+
+    def test_unknown_parameter_fails_at_decoration_time(self):
+        with pytest.raises(ContractViolationError, match="no parameter"):
+
+            @requires_probability("nope")
+            def f(p):
+                return p
+
+
+class TestDisabledMode:
+    """REPRO_CONTRACTS=0 must make every decorator the identity function."""
+
+    @pytest.fixture
+    def disabled(self, monkeypatch):
+        monkeypatch.setattr(contracts, "_ENABLED", False)
+
+    def test_returns_probability_is_identity(self, disabled):
+        assert returns_probability(identity) is identity
+
+    def test_ensures_is_identity(self, disabled):
+        assert ensures(lambda r: False, "never holds")(identity) is identity
+
+    def test_requires_decorators_are_identity(self, disabled):
+        def f(p):
+            return p
+
+        assert requires_probability("p")(f) is f
+        assert requires_fraction("p")(f) is f
+        assert requires_non_negative("p")(f) is f
+
+    def test_no_checking_when_disabled(self, disabled):
+        wrapped = returns_probability(identity)
+        assert math.isnan(wrapped(float("nan")))  # nothing raised
+
+    def test_contracts_enabled_reflects_flag(self, disabled):
+        assert contracts_enabled() is False
+
+    def test_env_parsing(self, monkeypatch):
+        for raw, expected in [
+            ("0", False),
+            ("false", False),
+            ("OFF", False),
+            ("no", False),
+            ("1", True),
+            ("", True),
+            ("yes", True),
+        ]:
+            monkeypatch.setenv("REPRO_CONTRACTS", raw)
+            assert contracts._env_enabled() is expected, raw
+        monkeypatch.delenv("REPRO_CONTRACTS")
+        assert contracts._env_enabled() is True
+
+
+class TestExceptionHierarchy:
+    def test_contract_violation_is_analysis_and_repro_error(self):
+        assert issubclass(ContractViolationError, AnalysisError)
+        assert issubclass(ContractViolationError, ReproError)
+
+    @pytest.mark.usefixtures("enabled")
+    def test_violations_are_catchable_as_library_errors(self):
+        @returns_probability
+        def broken():
+            return 2.0
+
+        with pytest.raises(ReproError):
+            broken()
+
+
+class TestContractedCoreFunctions:
+    """The contracts are actually installed on the analytical core."""
+
+    def test_all_bad_probability_is_wrapped(self):
+        from repro.core.probability import all_bad_probability
+
+        if contracts_enabled():
+            assert all_bad_probability.__wrapped__ is not None
+        assert all_bad_probability(100, 50, 2) == pytest.approx(
+            (50 * 49) / (100 * 99)
+        )
+
+    def test_fraction_degree_contract_fires(self):
+        from repro.core.mapping import fraction_degree
+
+        assert fraction_degree(0.5, 10) == 5
+        if contracts_enabled():
+            with pytest.raises(ContractViolationError):
+                fraction_degree(0.0, 10)
+
+    def test_surplus_share_contract_fires(self):
+        from repro.core.one_burst import surplus_share
+
+        assert surplus_share(0.5, 10.0) == 5.0
+        if contracts_enabled():
+            with pytest.raises(ContractViolationError):
+                surplus_share(1.5, 10.0)

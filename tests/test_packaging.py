@@ -4,6 +4,11 @@ from __future__ import annotations
 
 import pathlib
 import re
+import subprocess
+import sys
+import tarfile
+
+import pytest
 
 import repro
 
@@ -67,3 +72,38 @@ class TestRepositoryLayout:
         for directory in src.rglob("*"):
             if directory.is_dir() and list(directory.glob("*.py")):
                 assert (directory / "__init__.py").exists(), directory
+
+
+class TestTypingMarker:
+    """PEP 561: the package advertises inline types via py.typed."""
+
+    def test_py_typed_exists(self):
+        assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()
+
+    def test_py_typed_declared_as_package_data(self):
+        text = read_pyproject()
+        assert "[tool.setuptools.package-data]" in text
+        assert re.search(r'repro = \[[^\]]*"py\.typed"', text)
+
+    @pytest.mark.slow
+    def test_sdist_carries_py_typed(self, tmp_path):
+        """Build a real sdist and assert the marker ships in it."""
+        result = subprocess.run(
+            [
+                sys.executable,
+                "setup.py",
+                "-q",
+                "sdist",
+                "--dist-dir",
+                str(tmp_path),
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        archives = list(tmp_path.glob("repro-*.tar.gz"))
+        assert len(archives) == 1, archives
+        with tarfile.open(archives[0]) as archive:
+            names = archive.getnames()
+        assert any(name.endswith("src/repro/py.typed") for name in names)

@@ -1,0 +1,11 @@
+"""Put ``tools/`` on sys.path so ``repro_lint`` imports without install."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+TOOLS_DIR = pathlib.Path(__file__).resolve().parent.parent.parent / "tools"
+
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))

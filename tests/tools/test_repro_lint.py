@@ -1,0 +1,326 @@
+"""Tests for the repro-lint AST rule engine.
+
+Every rule gets at least one positive case (the violation is found) and
+one negative case (compliant code is not flagged), plus engine-level tests
+for suppressions, JSON output, and CLI exit codes. The final class lints
+the real repository — ``src`` must stay clean, which is the acceptance
+criterion the CI lint job enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro_lint import ALL_RULES, Severity, lint_source, rule_by_id
+from repro_lint.cli import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    main,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+#: Path inside a fictional src tree — activates src-scoped rules.
+SRC_PATH = "src/repro/fake_module.py"
+#: Path outside src — deactivates src-scoped rules.
+SCRIPT_PATH = "examples/fake_script.py"
+
+
+def rule_ids(source: str, path: str = SRC_PATH) -> list:
+    report = lint_source(source, path, ALL_RULES)
+    return [finding.rule_id for finding in report.findings]
+
+
+class TestRngDiscipline:
+    def test_flags_stdlib_random_import(self):
+        assert "rng-discipline" in rule_ids("import random\n")
+
+    def test_flags_stdlib_random_from_import(self):
+        assert "rng-discipline" in rule_ids("from random import choice\n")
+
+    def test_flags_stdlib_random_call(self):
+        source = "import random\nx = random.random()\n"
+        report = lint_source(source, SRC_PATH, ALL_RULES)
+        assert sum(f.rule_id == "rng-discipline" for f in report.findings) == 2
+
+    def test_flags_unseeded_default_rng(self):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert "rng-discipline" in rule_ids(source)
+
+    def test_flags_default_rng_with_none_seed(self):
+        source = (
+            "import numpy as np\n"
+            "def f():\n    return np.random.default_rng(None)\n"
+        )
+        assert "rng-discipline" in rule_ids(source)
+
+    def test_flags_legacy_global_numpy_api(self):
+        source = "import numpy as np\nnp.random.seed(42)\n"
+        assert "rng-discipline" in rule_ids(source)
+
+    def test_flags_module_global_generator(self):
+        source = (
+            "import numpy as np\n"
+            "RNG = np.random.default_rng(1234)\n"
+        )
+        report = lint_source(source, SRC_PATH, ALL_RULES)
+        messages = [
+            f.message
+            for f in report.findings
+            if f.rule_id == "rng-discipline"
+        ]
+        assert any("module global" in message for message in messages)
+
+    def test_seeded_default_rng_inside_function_is_clean(self):
+        source = (
+            "import numpy as np\n"
+            "def make(seed):\n    return np.random.default_rng(seed)\n"
+        )
+        assert "rng-discipline" not in rule_ids(source)
+
+    def test_generator_method_calls_are_clean(self):
+        # rng.random() is a Generator method, not the stdlib module.
+        source = "def sample(rng):\n    return rng.random()\n"
+        assert "rng-discipline" not in rule_ids(source)
+
+    def test_seeding_module_is_exempt(self):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        path = "src/repro/utils/seeding.py"
+        assert rule_ids(source, path) == []
+
+
+class TestFloatEquality:
+    def test_flags_equality_with_float_literal(self):
+        assert "float-equality" in rule_ids("ok = x == 1.0\n")
+
+    def test_flags_inequality_with_float_literal(self):
+        assert "float-equality" in rule_ids("ok = 0.0 != y\n")
+
+    def test_flags_negative_float_literal(self):
+        assert "float-equality" in rule_ids("ok = x == -1.0\n")
+
+    def test_flags_float_cast(self):
+        assert "float-equality" in rule_ids("ok = float(x) == y\n")
+
+    def test_integer_comparison_is_clean(self):
+        assert "float-equality" not in rule_ids("ok = x == 1\n")
+
+    def test_ordering_comparison_is_clean(self):
+        assert "float-equality" not in rule_ids("ok = x <= 1.0\n")
+
+    def test_string_comparison_is_clean(self):
+        assert "float-equality" not in rule_ids("ok = x == 'one'\n")
+
+
+class TestProbabilityHygiene:
+    def test_flags_unguarded_probability_function(self):
+        source = "def success_probability(x):\n    return x * 2\n"
+        assert "probability-hygiene" in rule_ids(source)
+
+    def test_contract_decorator_satisfies(self):
+        source = (
+            "from repro.contracts import returns_probability\n"
+            "@returns_probability\n"
+            "def success_probability(x):\n    return x\n"
+        )
+        assert "probability-hygiene" not in rule_ids(source)
+
+    def test_check_probability_call_satisfies(self):
+        source = (
+            "def success_probability(x):\n"
+            "    return check_probability('x', x)\n"
+        )
+        assert "probability-hygiene" not in rule_ids(source)
+
+    def test_clamp_call_satisfies(self):
+        source = (
+            "def success_probability(x):\n"
+            "    return clamp(x, 0.0, 1.0)\n"
+        )
+        assert "probability-hygiene" not in rule_ids(source)
+
+    def test_validators_are_exempt(self):
+        source = "def check_probability(name, value):\n    return value\n"
+        assert "probability-hygiene" not in rule_ids(source)
+
+    def test_predicates_are_exempt(self):
+        source = "def _is_probability(value):\n    return 0 <= value <= 1\n"
+        assert "probability-hygiene" not in rule_ids(source)
+
+    def test_outside_src_is_exempt(self):
+        source = "def success_probability(x):\n    return x * 2\n"
+        assert "probability-hygiene" not in rule_ids(source, SCRIPT_PATH)
+
+
+class TestBareAssert:
+    def test_flags_assert_in_src(self):
+        assert "bare-assert" in rule_ids("assert x > 0, 'boom'\n")
+
+    def test_raise_is_clean(self):
+        source = "if x < 0:\n    raise ValueError('boom')\n"
+        assert "bare-assert" not in rule_ids(source)
+
+    def test_assert_outside_src_is_exempt(self):
+        # Benchmarks and examples may assert freely (pytest rewrites them).
+        assert "bare-assert" not in rule_ids("assert x > 0\n", SCRIPT_PATH)
+
+
+class TestMutableDefault:
+    def test_flags_list_literal_default(self):
+        assert "mutable-default" in rule_ids("def f(acc=[]):\n    pass\n")
+
+    def test_flags_dict_call_default(self):
+        assert "mutable-default" in rule_ids("def f(acc=dict()):\n    pass\n")
+
+    def test_flags_keyword_only_default(self):
+        assert "mutable-default" in rule_ids("def f(*, acc={}):\n    pass\n")
+
+    def test_none_default_is_clean(self):
+        assert "mutable-default" not in rule_ids("def f(acc=None):\n    pass\n")
+
+    def test_tuple_default_is_clean(self):
+        assert "mutable-default" not in rule_ids("def f(acc=()):\n    pass\n")
+
+
+class TestSuppressions:
+    def test_same_line_suppression(self):
+        source = "ok = x == 1.0  # repro-lint: disable=float-equality -- sentinel\n"
+        report = lint_source(source, SRC_PATH, ALL_RULES)
+        assert report.findings == []
+        assert [f.rule_id for f in report.suppressed] == ["float-equality"]
+
+    def test_previous_line_suppression(self):
+        source = (
+            "# repro-lint: disable=bare-assert\n"
+            "assert invariant_holds\n"
+        )
+        report = lint_source(source, SRC_PATH, ALL_RULES)
+        assert report.findings == []
+        assert [f.rule_id for f in report.suppressed] == ["bare-assert"]
+
+    def test_disable_all(self):
+        source = "ok = x == 1.0  # repro-lint: disable=all\n"
+        report = lint_source(source, SRC_PATH, ALL_RULES)
+        assert report.findings == []
+
+    def test_suppression_is_rule_specific(self):
+        # Suppressing one rule must not hide a different rule's finding.
+        source = "assert x == 1.0  # repro-lint: disable=float-equality\n"
+        report = lint_source(source, SRC_PATH, ALL_RULES)
+        assert [f.rule_id for f in report.findings] == ["bare-assert"]
+
+    def test_justification_text_does_not_break_parsing(self):
+        source = (
+            "ok = x == 1.0  "
+            "# repro-lint: disable=float-equality -- clamped via max(0.0, .)\n"
+        )
+        report = lint_source(source, SRC_PATH, ALL_RULES)
+        assert report.findings == []
+
+
+class TestEngine:
+    def test_syntax_error_becomes_parse_error_finding(self):
+        report = lint_source("def broken(:\n", SRC_PATH, ALL_RULES)
+        assert report.parse_error
+        assert [f.rule_id for f in report.findings] == ["parse-error"]
+        assert report.findings[0].severity is Severity.ERROR
+
+    def test_findings_are_sorted_by_location(self):
+        source = "b = x == 2.0\na = y == 1.0\n"
+        report = lint_source(source, SRC_PATH, ALL_RULES)
+        assert [f.line for f in report.findings] == [1, 2]
+
+    def test_rule_by_id_roundtrip(self):
+        for rule in ALL_RULES:
+            assert rule_by_id(rule.id) is rule
+        with pytest.raises(KeyError):
+            rule_by_id("no-such-rule")
+
+    def test_every_rule_has_id_severity_description(self):
+        for rule in ALL_RULES:
+            assert rule.id and rule.description
+            assert isinstance(rule.severity, Severity)
+
+
+class TestCli:
+    def test_exit_clean_on_compliant_file(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main([str(target)]) == EXIT_CLEAN
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_exit_findings_on_violation(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("ok = x == 1.0\n")
+        assert main([str(target)]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "float-equality" in out
+
+    def test_exit_usage_on_unknown_rule(self, capsys):
+        assert main(["--select", "no-such-rule", "."]) == EXIT_USAGE
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_select_limits_rules(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text("ok = x == 1.0\ndef f(a=[]):\n    pass\n")
+        assert main(["--select", "mutable-default", str(target)]) == EXIT_FINDINGS
+        assert main(["--select", "rng-discipline", str(target)]) == EXIT_CLEAN
+
+    def test_ignore_drops_rules(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text("ok = x == 1.0\n")
+        assert (
+            main(["--ignore", "float-equality", str(target)]) == EXIT_CLEAN
+        )
+
+    def test_json_output_schema(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("ok = x == 1.0\n")
+        main(["--format", "json", str(target)])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "float-equality"
+        assert finding["line"] == 1
+        assert finding["severity"] == "error"
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.id in out
+
+    def test_module_invocation(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        env_path = str(REPO_ROOT / "tools")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro_lint", str(target)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == EXIT_CLEAN, result.stderr
+
+
+class TestRepositoryIsClean:
+    """The acceptance criterion: the real tree lints clean."""
+
+    def test_src_benchmarks_examples_exit_zero(self, capsys):
+        paths = [str(REPO_ROOT / name) for name in ("src", "benchmarks", "examples")]
+        assert main(paths) == EXIT_CLEAN
+
+    def test_every_suppression_in_src_is_justified(self):
+        """Suppressions must carry a `--` justification after the rule list."""
+        for path in (REPO_ROOT / "src").rglob("*.py"):
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if "repro-lint: disable" in line:
+                    assert "--" in line.split("disable", 1)[1], (
+                        f"{path}:{lineno} suppression lacks a justification"
+                    )

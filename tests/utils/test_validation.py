@@ -87,3 +87,47 @@ class TestFraction:
     def test_rejects_zero(self):
         with pytest.raises(ConfigurationError):
             check_fraction("f", 0.0)
+
+
+class TestPathologicalFloats:
+    """NaN, infinities, and negative zero across every validator."""
+
+    @pytest.mark.parametrize(
+        "checker", [check_non_negative, check_positive, check_probability,
+                    check_fraction]
+    )
+    @pytest.mark.parametrize(
+        "value", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_rejected_everywhere(self, checker, value):
+        with pytest.raises(ConfigurationError, match="finite"):
+            checker("x", value)
+
+    def test_negative_zero_is_zero_for_non_negative(self):
+        # IEEE -0.0 compares equal to 0.0; it must not be rejected as
+        # "negative" by a >= 0 check.
+        assert check_non_negative("x", -0.0) == 0.0
+
+    def test_negative_zero_is_zero_for_probability(self):
+        assert check_probability("p", -0.0) == 0.0
+
+    def test_negative_zero_rejected_as_positive(self):
+        with pytest.raises(ConfigurationError, match="> 0"):
+            check_positive("x", -0.0)
+
+    def test_negative_zero_rejected_as_fraction(self):
+        with pytest.raises(ConfigurationError):
+            check_fraction("f", -0.0)
+
+    def test_error_message_names_parameter_and_value(self):
+        with pytest.raises(ConfigurationError, match=r"n_t must be >= 0, got -3"):
+            check_non_negative("n_t", -3)
+
+    def test_nan_message_shows_value(self):
+        with pytest.raises(ConfigurationError, match="nan"):
+            check_probability("p", float("nan"))
+
+    def test_tiny_denormal_accepted(self):
+        denormal = 5e-324  # smallest positive subnormal double
+        assert check_positive("x", denormal) == denormal
+        assert check_fraction("f", denormal) == denormal

@@ -1,0 +1,44 @@
+"""repro-lint: AST-based correctness linter for the SOS reproduction.
+
+The analytical model's guarantees only hold under invariants that generic
+linters do not know about: probabilities must stay in ``[0, 1]``, every
+random draw must come from an explicitly seeded stream (checkpoint/resume
+is bit-identical only under that discipline), and invariants must survive
+``python -O``. This package encodes those invariants as AST rules.
+
+Usage::
+
+    PYTHONPATH=tools python -m repro_lint src benchmarks examples
+    tools/repro-lint --format json src
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and suppression
+syntax (``# repro-lint: disable=RULE``).
+"""
+
+from __future__ import annotations
+
+from repro_lint.engine import (
+    Finding,
+    LintContext,
+    Rule,
+    Severity,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro_lint.rules import ALL_RULES, rule_by_id
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "Severity",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "rule_by_id",
+    "__version__",
+]

@@ -1,0 +1,176 @@
+"""Command-line interface for repro-lint.
+
+Exit codes (stable, for CI):
+
+* ``0`` — no findings (suppressed findings do not fail the run);
+* ``1`` — at least one error-severity finding (or any finding with
+  ``--strict-warnings``);
+* ``2`` — usage error: unknown rule id, unreadable path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro_lint.engine import FileReport, Rule, Severity, lint_paths
+from repro_lint.rules import ALL_RULES
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based correctness linter for the SOS reproduction: RNG "
+            "discipline, float equality, probability hygiene, bare asserts, "
+            "mutable defaults."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also report findings silenced by inline suppressions",
+    )
+    parser.add_argument(
+        "--strict-warnings",
+        action="store_true",
+        help="exit non-zero on warning-severity findings too",
+    )
+    return parser
+
+
+def select_rules(
+    select: Optional[str], ignore: Optional[str]
+) -> List[Rule]:
+    known = {rule.id: rule for rule in ALL_RULES}
+    chosen = list(ALL_RULES)
+    if select:
+        wanted = [token.strip() for token in select.split(",") if token.strip()]
+        for rule_id in wanted:
+            if rule_id not in known:
+                raise KeyError(rule_id)
+        chosen = [rule for rule in chosen if rule.id in wanted]
+    if ignore:
+        dropped = {token.strip() for token in ignore.split(",") if token.strip()}
+        for rule_id in dropped:
+            if rule_id not in known:
+                raise KeyError(rule_id)
+        chosen = [rule for rule in chosen if rule.id not in dropped]
+    return chosen
+
+
+def render_text(
+    reports: Sequence[FileReport], show_suppressed: bool
+) -> str:
+    lines: List[str] = []
+    findings = 0
+    suppressed = 0
+    for report in reports:
+        for finding in report.findings:
+            lines.append(finding.render())
+            findings += 1
+        suppressed += len(report.suppressed)
+        if show_suppressed:
+            for finding in report.suppressed:
+                lines.append(f"{finding.render()} (suppressed)")
+    noun = "finding" if findings == 1 else "findings"
+    lines.append(
+        f"repro-lint: {findings} {noun} in {len(reports)} files "
+        f"({suppressed} suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    reports: Sequence[FileReport], show_suppressed: bool
+) -> str:
+    payload = {
+        "files": len(reports),
+        "findings": [
+            finding.as_dict()
+            for report in reports
+            for finding in report.findings
+        ],
+        "suppressed_count": sum(len(r.suppressed) for r in reports),
+    }
+    if show_suppressed:
+        payload["suppressed"] = [
+            finding.as_dict()
+            for report in reports
+            for finding in report.suppressed
+        ]
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id} [{rule.severity}] {rule.description}")
+        return EXIT_CLEAN
+
+    try:
+        rules = select_rules(options.select, options.ignore)
+    except KeyError as exc:
+        print(f"repro-lint: unknown rule id {exc.args[0]!r}", file=sys.stderr)
+        return EXIT_USAGE
+
+    try:
+        reports = lint_paths(options.paths, rules)
+    except OSError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if options.format == "json":
+        print(render_json(reports, options.show_suppressed))
+    else:
+        print(render_text(reports, options.show_suppressed))
+
+    threshold = (
+        Severity.WARNING if options.strict_warnings else Severity.ERROR
+    )
+    failing = any(
+        finding.severity >= threshold
+        for report in reports
+        for finding in report.findings
+    )
+    return EXIT_FINDINGS if failing else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

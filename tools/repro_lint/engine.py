@@ -1,0 +1,236 @@
+"""Rule engine: findings, severities, suppressions, and file traversal.
+
+The engine is deliberately small: a :class:`Rule` walks one parsed module
+and yields :class:`Finding` objects; the engine filters them through inline
+suppression comments and aggregates across files. Rules never import the
+code under analysis — everything is syntactic, so the linter runs on any
+tree (including files with missing optional dependencies).
+
+Suppression syntax (documented in ``docs/STATIC_ANALYSIS.md``)::
+
+    value = compute()  # repro-lint: disable=float-equality  -- why it is safe
+    # repro-lint: disable=bare-assert
+    next_line_is_exempt()
+
+A suppression comment on its own line applies to the *next* line; appended
+to a code line it applies to that line. ``disable=all`` disables every rule
+for the affected line.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import enum
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple, Union
+
+PathLike = Union[str, Path]
+
+# Rule list ends at the first token that is not `rule[, rule...]`, so a
+# trailing justification (`-- why`) is not swallowed into the rule ids.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)"
+)
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ``ERROR`` findings drive a non-zero exit code."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule_id)
+
+
+class Suppressions:
+    """Inline ``# repro-lint: disable=...`` comments for one file."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: Dict[int, Set[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESSION_RE.search(text)
+            if not match:
+                continue
+            rules = {
+                token.strip()
+                for token in match.group(1).split(",")
+                if token.strip()
+            }
+            # A comment-only line shields the line below it; an end-of-line
+            # comment shields its own line.
+            target = lineno + 1 if _COMMENT_ONLY_RE.match(text) else lineno
+            self._by_line.setdefault(target, set()).update(rules)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rules = self._by_line.get(line)
+        if not rules:
+            return False
+        return "all" in rules or rule_id in rules
+
+    @property
+    def count(self) -> int:
+        return len(self._by_line)
+
+
+@dataclasses.dataclass
+class LintContext:
+    """Everything a rule needs to analyse one module."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+
+    @property
+    def display_path(self) -> str:
+        return str(self.path)
+
+    def in_src(self) -> bool:
+        """True when the file lives under a ``src`` directory (library code)."""
+        return "src" in self.path.parts
+
+    def is_seeding_module(self) -> bool:
+        """True for ``repro/utils/seeding.py`` — the one sanctioned RNG home."""
+        parts = self.path.parts
+        return parts[-3:] == ("repro", "utils", "seeding.py")
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id``, ``severity``, ``description`` and implement
+    :meth:`check`. Override :meth:`applies_to` for path-scoped rules
+    (e.g. ``bare-assert`` only polices library code under ``src/``).
+    """
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def applies_to(self, context: LintContext) -> bool:
+        return True
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, context: LintContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            severity=self.severity,
+            path=context.display_path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+@dataclasses.dataclass
+class FileReport:
+    """Lint outcome for one file: active findings plus suppression stats."""
+
+    path: str
+    findings: List[Finding]
+    suppressed: List[Finding]
+    parse_error: bool = False
+
+
+def lint_source(
+    source: str, path: PathLike, rules: Sequence[Rule]
+) -> FileReport:
+    """Lint one module's source text with ``rules``."""
+    path = Path(path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule_id="parse-error",
+            severity=Severity.ERROR,
+            path=str(path),
+            line=exc.lineno or 1,
+            column=(exc.offset or 0) + 1,
+            message=f"could not parse file: {exc.msg}",
+        )
+        return FileReport(
+            path=str(path), findings=[finding], suppressed=[], parse_error=True
+        )
+
+    context = LintContext(path=path, source=source, tree=tree)
+    suppressions = Suppressions(source)
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(context):
+            continue
+        for finding in rule.check(context):
+            if suppressions.is_suppressed(finding.rule_id, finding.line):
+                suppressed.append(finding)
+            else:
+                active.append(finding)
+    active.sort(key=lambda f: f.sort_key)
+    suppressed.sort(key=lambda f: f.sort_key)
+    return FileReport(path=str(path), findings=active, suppressed=suppressed)
+
+
+def lint_file(path: PathLike, rules: Sequence[Rule]) -> FileReport:
+    """Lint one file on disk."""
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), path, rules)
+
+
+def iter_python_files(paths: Iterable[PathLike]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: Set[Path] = set()
+    collected: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(candidate)
+    return iter(sorted(collected))
+
+
+def lint_paths(
+    paths: Iterable[PathLike], rules: Sequence[Rule]
+) -> List[FileReport]:
+    """Lint every ``.py`` file under ``paths``; missing files raise ``OSError``."""
+    return [lint_file(path, rules) for path in iter_python_files(paths)]

@@ -1,0 +1,44 @@
+"""Rule registry.
+
+Adding a rule: subclass :class:`repro_lint.engine.Rule` in a module under
+this package, then append an instance to :data:`ALL_RULES`. Every rule
+needs at least one positive and one negative test in
+``tests/tools/test_repro_lint.py``; see ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro_lint.engine import Rule
+from repro_lint.rules.asserts import BareAssertRule
+from repro_lint.rules.defaults import MutableDefaultRule
+from repro_lint.rules.floats import FloatEqualityRule
+from repro_lint.rules.probability import ProbabilityHygieneRule
+from repro_lint.rules.rng import RngDisciplineRule
+
+ALL_RULES: List[Rule] = [
+    RngDisciplineRule(),
+    FloatEqualityRule(),
+    ProbabilityHygieneRule(),
+    BareAssertRule(),
+    MutableDefaultRule(),
+]
+
+_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    """Look a rule up by its identifier; raises ``KeyError`` if unknown."""
+    return _BY_ID[rule_id]
+
+
+__all__ = [
+    "ALL_RULES",
+    "rule_by_id",
+    "BareAssertRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+    "ProbabilityHygieneRule",
+    "RngDisciplineRule",
+]

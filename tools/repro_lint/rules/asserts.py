@@ -1,0 +1,37 @@
+"""Bare ``assert`` in library code.
+
+``python -O`` strips assert statements, so an invariant guarded by one
+silently stops being checked in optimised deployments. Library code under
+``src/`` must raise a :class:`repro.errors.ReproError` subclass instead;
+tests and benchmarks (where pytest rewrites asserts) are exempt by path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro_lint.engine import Finding, LintContext, Rule, Severity
+
+
+class BareAssertRule(Rule):
+    id = "bare-assert"
+    severity = Severity.ERROR
+    description = (
+        "assert in src/ vanishes under `python -O`; raise a ReproError "
+        "subclass (ConfigurationError, AnalysisError, ...) instead"
+    )
+
+    def applies_to(self, context: LintContext) -> bool:
+        return context.in_src()
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    context,
+                    node,
+                    "bare assert is stripped by `python -O`; raise a "
+                    "repro.errors.ReproError subclass so the invariant "
+                    "survives optimised runs",
+                )

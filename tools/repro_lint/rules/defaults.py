@@ -1,0 +1,66 @@
+"""Mutable default arguments.
+
+A mutable default (``def f(x, acc=[])``) is evaluated once at definition
+time and shared across calls — state leaks between invocations. Use
+``None`` plus an in-body default instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from repro_lint.engine import Finding, LintContext, Rule, Severity
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
+)
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        return name in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    id = "mutable-default"
+    severity = Severity.ERROR
+    description = (
+        "mutable default argument is shared across calls; default to None "
+        "and construct inside the function"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield self.finding(
+                        context,
+                        default,
+                        f"mutable default in `{label}` is evaluated once "
+                        "and shared across calls; use None and build the "
+                        "container in the body",
+                    )

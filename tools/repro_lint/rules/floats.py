@@ -1,0 +1,67 @@
+"""Float equality: ``==``/``!=`` against float literals is almost always
+a latent bug in numerical code — products of probabilities drift, and a
+comparison that held on one platform silently flips on another.
+
+The rule flags comparisons where any operand is a float literal (or a
+``float(...)`` / ``math.``-constant expression). Intentional *sentinel*
+comparisons — e.g. testing a value the code itself clamped to exactly
+``0.0`` — stay, with an inline suppression and a justifying comment::
+
+    if base == 0.0:  # repro-lint: disable=float-equality -- clamped above
+
+Everything else should use ``math.isclose`` or a boundary guard
+(``<= 0.0``, ``>= 1.0``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro_lint.engine import Finding, LintContext, Rule, Severity
+
+_MATH_CONSTANTS = frozenset({"math.inf", "math.nan", "math.pi", "math.e", "math.tau"})
+
+
+def _is_float_expression(node: ast.expr) -> bool:
+    """Syntactic check: is this operand certainly a float?"""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_expression(node.operand)
+    if isinstance(node, ast.Call):
+        func = node.func
+        return isinstance(func, ast.Name) and func.id == "float"
+    if isinstance(node, ast.Attribute):
+        value = node.value
+        if isinstance(value, ast.Name):
+            return f"{value.id}.{node.attr}" in _MATH_CONSTANTS
+    return False
+
+
+class FloatEqualityRule(Rule):
+    id = "float-equality"
+    severity = Severity.ERROR
+    description = (
+        "== / != against a float literal; use math.isclose, a boundary "
+        "guard, or suppress with a comment for intentional sentinels"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_expression(left) or _is_float_expression(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        context,
+                        node,
+                        f"float `{symbol}` comparison; floating products "
+                        "drift — use math.isclose or an explicit boundary "
+                        "guard (or suppress a justified sentinel compare)",
+                    )
+                    break

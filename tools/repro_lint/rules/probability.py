@@ -1,0 +1,109 @@
+"""Probability hygiene: probability-valued functions must be guarded.
+
+Every quantity the model derives from Eq. 1 is a probability; a single
+unguarded return of ``1.02`` propagates through ``P_S = prod_i P_i`` and
+invalidates whole figures. Library functions whose *name* declares them a
+probability (``*_probability``, ``probability_*``, ``*_prob``) must prove
+their range discipline in one of three ways:
+
+* a contract decorator from :mod:`repro.contracts`
+  (``@returns_probability``, ``@ensures``, ...);
+* a call to :func:`repro.utils.validation.check_probability`;
+* a call to :func:`repro.core.probability.clamp` (the continuous-extension
+  clamp used throughout the analytical core).
+
+Validator/factory functions (``check_*``, ``requires_*``, ``returns_*``)
+are exempt — they *are* the guards. The rule is scoped to ``src/``:
+example and benchmark scripts consume guarded library values.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Union
+
+from repro_lint.engine import Finding, LintContext, Rule, Severity
+from repro_lint.rules.rng import dotted_name
+
+_PROBABILITY_NAME = re.compile(r"(^|_)(probabilit(y|ies)|prob)($|_)")
+# Validators/factories ARE the guards; is_/has_ functions are boolean
+# predicates about probabilities, not probability-valued.
+_EXEMPT_PREFIXES = (
+    "check_",
+    "requires_",
+    "returns_",
+    "_check_",
+    "is_",
+    "_is_",
+    "has_",
+    "_has_",
+)
+
+#: Decorators that establish a range contract.
+CONTRACT_DECORATORS = frozenset(
+    {
+        "returns_probability",
+        "requires_probability",
+        "requires_fraction",
+        "requires_non_negative",
+        "ensures",
+    }
+)
+
+#: In-body calls that establish range discipline.
+GUARD_CALLS = frozenset({"check_probability", "clamp"})
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _last_segment(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
+
+
+def _has_contract_decorator(node: FunctionNode) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name is not None and _last_segment(name) in CONTRACT_DECORATORS:
+            return True
+    return False
+
+
+def _calls_guard(node: FunctionNode) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            name = dotted_name(child.func)
+            if name is not None and _last_segment(name) in GUARD_CALLS:
+                return True
+    return False
+
+
+class ProbabilityHygieneRule(Rule):
+    id = "probability-hygiene"
+    severity = Severity.ERROR
+    description = (
+        "probability-named functions in src/ must carry a repro.contracts "
+        "decorator or route through check_probability/clamp"
+    )
+
+    def applies_to(self, context: LintContext) -> bool:
+        return context.in_src()
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _PROBABILITY_NAME.search(node.name):
+                continue
+            if node.name.startswith(_EXEMPT_PREFIXES):
+                continue
+            if _has_contract_decorator(node) or _calls_guard(node):
+                continue
+            yield self.finding(
+                context,
+                node,
+                f"`{node.name}` is probability-named but carries no range "
+                "guard; decorate with @repro.contracts.returns_probability "
+                "or route the result through check_probability/clamp",
+            )

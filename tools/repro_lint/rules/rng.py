@@ -1,0 +1,213 @@
+"""RNG discipline: every random draw must come from a seeded, local stream.
+
+PR 1's checkpoint/resume machinery is bit-identical only when all
+randomness flows through :mod:`repro.utils.seeding` — explicit
+:class:`numpy.random.Generator` streams fanned out of one
+``SeedSequence``. Three ways to break that discipline, all flagged here:
+
+* the stdlib :mod:`random` module (hidden global state, not seedable per
+  component);
+* ``numpy.random.default_rng()`` with no seed argument, or any legacy
+  ``numpy.random.*`` global-state function (``seed``, ``rand``, ...);
+* a ``Generator`` constructed at import time and stored in a module
+  global (shared mutable state that couples unrelated call sites).
+
+``repro/utils/seeding.py`` itself is exempt — it is the sanctioned home
+for ``default_rng`` and ``SeedSequence`` plumbing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro_lint.engine import Finding, LintContext, Rule, Severity
+
+#: ``numpy.random`` attributes that operate on the hidden global RandomState.
+LEGACY_GLOBAL_STATE = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "exponential",
+        "poisson",
+        "binomial",
+        "get_state",
+        "set_state",
+    }
+)
+
+#: Call names whose result is an RNG stream; storing one in a module
+#: global couples every importer to shared mutable state.
+GENERATOR_FACTORIES = frozenset(
+    {"default_rng", "make_rng", "Generator", "RandomState"}
+)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; ``None`` for anything else."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class RngDisciplineRule(Rule):
+    id = "rng-discipline"
+    severity = Severity.ERROR
+    description = (
+        "randomness must flow through repro.utils.seeding: no stdlib "
+        "`random`, no unseeded/legacy numpy.random, no module-global "
+        "Generator objects"
+    )
+
+    def applies_to(self, context: LintContext) -> bool:
+        return not context.is_seeding_module()
+
+    def check(self, context: LintContext) -> Iterator[Finding]:
+        aliases = self._module_aliases(context.tree)
+        yield from self._check_imports(context)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(context, node, aliases)
+        yield from self._check_module_globals(context)
+
+    def _module_aliases(self, tree: ast.Module) -> Dict[str, str]:
+        """Map local alias -> imported module path for numpy/random imports."""
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    if item.name in ("random", "numpy", "numpy.random"):
+                        aliases[item.asname or item.name.split(".")[0]] = item.name
+            elif isinstance(node, ast.ImportFrom) and node.module == "numpy":
+                for item in node.names:
+                    if item.name == "random":
+                        aliases[item.asname or "random"] = "numpy.random"
+        return aliases
+
+    def _check_imports(self, context: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    if item.name == "random":
+                        yield self.finding(
+                            context,
+                            node,
+                            "stdlib `random` has hidden global state; use "
+                            "repro.utils.seeding.make_rng and pass the "
+                            "Generator explicitly",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        context,
+                        node,
+                        "importing from stdlib `random` bypasses seeded "
+                        "streams; use repro.utils.seeding",
+                    )
+
+    def _resolve(self, name: str, aliases: Dict[str, str]) -> Optional[str]:
+        """Resolve a dotted usage like ``np.random.rand`` to its module path."""
+        head, _, rest = name.partition(".")
+        module = aliases.get(head)
+        if module is None:
+            return None
+        return f"{module}.{rest}" if rest else module
+
+    def _check_call(
+        self, context: LintContext, node: ast.Call, aliases: Dict[str, str]
+    ) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        resolved = self._resolve(name, aliases)
+        if resolved is None:
+            return
+        if resolved.startswith("random."):
+            yield self.finding(
+                context,
+                node,
+                f"call to stdlib `{resolved}` draws from hidden global "
+                "state; thread a seeded numpy Generator instead",
+            )
+            return
+        if not resolved.startswith("numpy.random."):
+            return
+        attr = resolved[len("numpy.random."):]
+        if attr == "default_rng":
+            if self._is_unseeded(node):
+                yield self.finding(
+                    context,
+                    node,
+                    "unseeded numpy.random.default_rng() is "
+                    "non-reproducible; pass a seed/SeedSequence or use "
+                    "repro.utils.seeding.make_rng",
+                )
+        elif attr in LEGACY_GLOBAL_STATE:
+            yield self.finding(
+                context,
+                node,
+                f"legacy numpy.random.{attr} uses the global RandomState; "
+                "use a seeded Generator from repro.utils.seeding",
+            )
+
+    @staticmethod
+    def _is_unseeded(call: ast.Call) -> bool:
+        if call.keywords:
+            return all(
+                keyword.arg == "seed"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is None
+                for keyword in call.keywords
+            )
+        if not call.args:
+            return True
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+
+    def _check_module_globals(self, context: LintContext) -> Iterator[Finding]:
+        for node in context.tree.body:
+            targets: list = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets, value = [node.target], node.value
+                annotation = dotted_name(node.annotation)
+                if annotation is not None and annotation.endswith("Generator"):
+                    yield self.finding(
+                        context,
+                        node,
+                        "Generator annotated at module scope: RNG streams "
+                        "must be created per component, not shared globals",
+                    )
+                    continue
+            if value is None or not isinstance(value, ast.Call):
+                continue
+            name = dotted_name(value.func)
+            if name is not None and name.split(".")[-1] in GENERATOR_FACTORIES:
+                names = ", ".join(
+                    dotted_name(t) or "<target>" for t in targets
+                )
+                yield self.finding(
+                    context,
+                    node,
+                    f"RNG stream `{names}` stored in a module global; "
+                    "construct Generators inside the component that uses "
+                    "them (repro.utils.seeding)",
+                )
