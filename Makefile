@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments paper examples docs-check all \
-	lint typecheck contracts-test verify
+.PHONY: install test bench bench-save bench-compare experiments paper \
+	examples docs-check all lint typecheck contracts-test verify
 
 # --- correctness tooling (docs/STATIC_ANALYSIS.md) ---------------------
 # `lint` always runs the in-repo repro-lint AST engine; ruff and mypy are
@@ -39,6 +39,21 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# --- benchmark trajectory (docs/PERFORMANCE.md) ------------------------
+# bench-save runs the full benchmark suite (timings AND the perf
+# assertions, e.g. parallel bit-identity and the vectorized >=5x check)
+# and normalizes the raw report into the next BENCH_<n>.json at the repo
+# root; bench-compare diffs the two newest snapshots and exits non-zero
+# on a >20% regression.
+
+bench-save:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-json=.bench_raw.json
+	$(PYTHON) tools/bench_snapshot.py .bench_raw.json
+	@rm -f .bench_raw.json
+
+bench-compare:
+	$(PYTHON) tools/bench_compare.py
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner --all --no-plot

@@ -1,0 +1,57 @@
+"""Memoized probability kernel: cache hits vs cold evaluation.
+
+Successive-attack analysis re-evaluates ``all_bad_probability`` with
+repeating ``(x, y, z)`` triples across rounds and grid points; the
+bounded ``lru_cache`` on the inner product turns those repeats into
+dictionary lookups. ``warm`` benchmarks a pass where every call hits the
+cache; ``cold`` clears the cache each round so every call recomputes the
+product — the gap between the two is the memoization win.
+"""
+
+from __future__ import annotations
+
+from repro.core.probability import (
+    all_bad_cache_clear,
+    all_bad_cache_info,
+    all_bad_probability,
+)
+
+TRIPLES = [
+    (1000.0 + i, 0.5 * i + 3.0, 1 + (i % 24))
+    for i in range(200)
+]
+
+
+def _single_pass():
+    total = 0.0
+    for x, y, z in TRIPLES:
+        total += all_bad_probability(x, y, z)
+    return total
+
+
+def test_kernel_warm_cache(benchmark):
+    all_bad_cache_clear()
+    _single_pass()  # prime: every benchmarked call below is a cache hit
+    result = benchmark(_single_pass)
+    assert result >= 0.0
+    assert all_bad_cache_info().hits > 0, "memoized kernel never hit its cache"
+
+
+def test_kernel_cold_cache(benchmark):
+    def cold():
+        all_bad_cache_clear()
+        return _single_pass()
+
+    result = benchmark(cold)
+    assert result >= 0.0
+
+
+def test_repeated_triples_hit_the_cache():
+    repeats = 50
+    all_bad_cache_clear()
+    for _ in range(repeats):
+        _single_pass()
+    info = all_bad_cache_info()
+    # 200 distinct triples -> 200 misses; every repeat afterwards hits.
+    assert info.misses == len(TRIPLES)
+    assert info.hits == (repeats - 1) * len(TRIPLES)

@@ -1,0 +1,71 @@
+"""Process-parallel Monte Carlo: wall-clock and bit-identity.
+
+The 200-trial campaign matches ISSUE 3's acceptance criterion: with 4+
+cores, ``workers=4`` must beat the serial path by >= 2.5x while returning
+a bit-identical :class:`~repro.simulation.results.PsEstimate`. On smaller
+runners the speedup assertion is skipped (process pools cannot beat
+serial on one core) but bit-identity is always enforced.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core import OneBurstAttack, SOSArchitecture
+from repro.simulation import estimate_ps
+
+ARCH = SOSArchitecture(
+    layers=3, mapping="one-to-two", total_overlay_nodes=2000, sos_nodes=80
+)
+ATTACK = OneBurstAttack(break_in_budget=60, congestion_budget=400)
+TRIALS = 200
+SEED = 42
+
+
+def _campaign(workers: int):
+    return estimate_ps(
+        ARCH, ATTACK, trials=TRIALS, clients_per_trial=4, seed=SEED,
+        workers=workers,
+    )
+
+
+def test_mc_200_trials_serial(benchmark):
+    result = benchmark.pedantic(_campaign, args=(1,), rounds=1, iterations=1)
+    assert 0.0 <= result.mean <= 1.0
+    assert result.trials == TRIALS
+
+
+def test_mc_200_trials_workers4(benchmark):
+    result = benchmark.pedantic(_campaign, args=(4,), rounds=1, iterations=1)
+    assert 0.0 <= result.mean <= 1.0
+    assert result.trials == TRIALS
+
+
+def test_workers_bit_identical_to_serial():
+    serial = _campaign(1)
+    for workers in (2, 4):
+        assert _campaign(workers) == serial
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="the >=2.5x speedup criterion presumes a 4-core runner",
+)
+def test_workers4_speedup_at_least_2_5x():
+    start = time.perf_counter()
+    serial = _campaign(1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = _campaign(4)
+    parallel_seconds = time.perf_counter() - start
+
+    assert parallel == serial
+    speedup = serial_seconds / parallel_seconds
+    assert speedup >= 2.5, (
+        f"workers=4 speedup {speedup:.2f}x below the 2.5x criterion "
+        f"(serial {serial_seconds:.2f}s, parallel {parallel_seconds:.2f}s)"
+    )

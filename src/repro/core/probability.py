@@ -25,6 +25,7 @@ one neighbor is guaranteed good), matching the paper's case split.
 
 from __future__ import annotations
 
+import functools
 import math
 from typing import Union
 
@@ -32,6 +33,34 @@ from repro.contracts import returns_probability
 from repro.errors import AnalysisError
 
 Number = Union[int, float]
+
+#: Bound on the memo cache below. Successive-attack analysis re-evaluates
+#: ``P(x, y, z)`` with repeating arguments across rounds and grid points;
+#: 32k distinct triples covers any realistic sweep while capping memory.
+_CACHE_SIZE = 1 << 15
+
+
+@functools.lru_cache(maxsize=_CACHE_SIZE)
+def _all_bad_product(x: float, y: float, z: int) -> float:
+    """Memoized core product; arguments arrive validated and clamped."""
+    probability = 1.0
+    for k in range(z):
+        numerator = y - k
+        if numerator <= 0.0:
+            return 0.0
+        probability *= numerator / (x - k)
+    # Floating products can drift a hair above 1.0 when y ~= x.
+    return min(1.0, max(0.0, probability))
+
+
+def all_bad_cache_info() -> "functools._CacheInfo":
+    """Hit/miss statistics of the memoized kernel (for benchmarks/tests)."""
+    return _all_bad_product.cache_info()
+
+
+def all_bad_cache_clear() -> None:
+    """Reset the memoized kernel (isolates benchmark/test measurements)."""
+    _all_bad_product.cache_clear()
 
 
 @returns_probability
@@ -74,15 +103,7 @@ def all_bad_probability(x: Number, y: Number, z: int) -> float:
     y = min(max(float(y), 0.0), x)
     if z == 0:
         return 1.0
-
-    probability = 1.0
-    for k in range(z):
-        numerator = y - k
-        if numerator <= 0.0:
-            return 0.0
-        probability *= numerator / (x - k)
-    # Floating products can drift a hair above 1.0 when y ~= x.
-    return min(1.0, max(0.0, probability))
+    return _all_bad_product(x, y, z)
 
 
 @returns_probability

@@ -14,23 +14,24 @@ from typing import Dict, List
 
 from repro.core.architecture import SOSArchitecture
 from repro.core.attack_models import OneBurstAttack
-from repro.core.model import evaluate
 from repro.experiments import config
 from repro.experiments.result import Claim, FigureResult, dominates, non_increasing
+from repro.perf.batch import evaluate_batch
 
 
 def _sweep_layers(attack: OneBurstAttack, mapping: str) -> List[float]:
-    values = []
-    for layers in config.LAYER_SWEEP:
-        arch = SOSArchitecture(
+    architectures = [
+        SOSArchitecture(
             layers=layers,
             mapping=mapping,
             total_overlay_nodes=config.TOTAL_OVERLAY_NODES,
             sos_nodes=config.SOS_NODES,
             filters=config.FILTERS,
         )
-        values.append(evaluate(arch, attack).p_s)
-    return values
+        for layers in config.LAYER_SWEEP
+    ]
+    batch = evaluate_batch(architectures, [attack] * len(architectures))
+    return [float(value) for value in batch]
 
 
 def fig4a() -> FigureResult:

@@ -13,10 +13,10 @@ from typing import Dict, List
 
 from repro.core.architecture import SOSArchitecture
 from repro.core.attack_models import SuccessiveAttack
-from repro.core.model import evaluate
 from repro.errors import ConfigurationError
 from repro.experiments import config
 from repro.experiments.result import Claim, FigureResult
+from repro.perf.batch import evaluate_batch
 
 
 def _default_attack() -> SuccessiveAttack:
@@ -31,7 +31,9 @@ def _default_attack() -> SuccessiveAttack:
 
 def _sweep(mapping: str, distribution: str = "even") -> List[float]:
     attack = _default_attack()
-    values = []
+    values: List[float] = []
+    architectures: List[SOSArchitecture] = []
+    feasible_slots: List[int] = []
     for layers in config.LAYER_SWEEP:
         try:
             arch = SOSArchitecture(
@@ -43,9 +45,17 @@ def _sweep(mapping: str, distribution: str = "even") -> List[float]:
                 filters=config.FILTERS,
             )
         except ConfigurationError:
+            # Infeasible grid point (e.g. a skewed distribution starving a
+            # layer); keep a NaN marker in the sweep like the scalar loop.
             values.append(float("nan"))
             continue
-        values.append(evaluate(arch, attack).p_s)
+        feasible_slots.append(len(values))
+        values.append(0.0)
+        architectures.append(arch)
+    if architectures:
+        batch = evaluate_batch(architectures, [attack] * len(architectures))
+        for slot, value in zip(feasible_slots, batch):
+            values[slot] = float(value)
     return values
 
 

@@ -7,9 +7,9 @@ from typing import Dict, List
 
 from repro.core.architecture import SOSArchitecture
 from repro.core.attack_models import SuccessiveAttack
-from repro.core.model import evaluate
 from repro.experiments import config
 from repro.experiments.result import Claim, FigureResult, non_increasing
+from repro.perf.batch import evaluate_batch
 
 LAYERS = (3, 4, 5, 6)
 
@@ -25,17 +25,18 @@ def fig7() -> FigureResult:
             sos_nodes=config.SOS_NODES,
             filters=config.FILTERS,
         )
-        values = []
-        for rounds in config.ROUND_SWEEP:
-            attack = SuccessiveAttack(
+        attacks = [
+            SuccessiveAttack(
                 break_in_budget=config.BREAK_IN_BUDGET,
                 congestion_budget=config.CONGESTION_BUDGET,
                 break_in_success=config.BREAK_IN_SUCCESS,
                 rounds=rounds,
                 prior_knowledge=config.PRIOR_KNOWLEDGE,
             )
-            values.append(evaluate(arch, attack).p_s)
-        series[f"L={layers}"] = values
+            for rounds in config.ROUND_SWEEP
+        ]
+        batch = evaluate_batch([arch] * len(attacks), attacks)
+        series[f"L={layers}"] = [float(value) for value in batch]
 
     def sensitivity(name: str) -> float:
         values = series[name]

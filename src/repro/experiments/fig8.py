@@ -13,9 +13,9 @@ from typing import Dict, List
 
 from repro.core.architecture import SOSArchitecture
 from repro.core.attack_models import SuccessiveAttack
-from repro.core.model import evaluate
 from repro.experiments import config
 from repro.experiments.result import Claim, FigureResult, dominates, non_increasing
+from repro.perf.batch import evaluate_batch
 
 
 def _sweep_nt(layers: int, mapping: str, total_overlay_nodes: int) -> List[float]:
@@ -26,17 +26,18 @@ def _sweep_nt(layers: int, mapping: str, total_overlay_nodes: int) -> List[float
         sos_nodes=config.SOS_NODES,
         filters=config.FILTERS,
     )
-    values = []
-    for n_t in config.BREAK_IN_SWEEP:
-        attack = SuccessiveAttack(
+    attacks = [
+        SuccessiveAttack(
             break_in_budget=n_t,
             congestion_budget=config.CONGESTION_BUDGET,
             break_in_success=config.BREAK_IN_SUCCESS,
             rounds=config.ROUNDS,
             prior_knowledge=config.PRIOR_KNOWLEDGE,
         )
-        values.append(evaluate(arch, attack).p_s)
-    return values
+        for n_t in config.BREAK_IN_SWEEP
+    ]
+    batch = evaluate_batch([arch] * len(attacks), attacks)
+    return [float(value) for value in batch]
 
 
 def _plateau_width(values: List[float], tolerance: float = 0.15) -> int:

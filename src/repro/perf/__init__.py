@@ -1,0 +1,23 @@
+"""Performance execution layer: vectorized batch evaluation.
+
+:mod:`repro.perf.batch` evaluates whole parameter grids of the analytical
+model at once with numpy, mirroring the scalar kernels in
+:mod:`repro.core` operation for operation so batch results agree with the
+scalar oracle to within 1e-12 (property-tested). The process-parallel
+Monte Carlo dispatcher lives with its estimator in
+:mod:`repro.simulation.monte_carlo` (``MonteCarloConfig.workers``);
+``docs/PERFORMANCE.md`` documents both together with the ``BENCH_*.json``
+benchmark-snapshot workflow.
+"""
+
+from repro.perf.batch import (
+    all_bad_probability_batch,
+    evaluate_batch,
+    hop_success_probability_batch,
+)
+
+__all__ = [
+    "all_bad_probability_batch",
+    "evaluate_batch",
+    "hop_success_probability_batch",
+]

@@ -1,0 +1,478 @@
+"""Vectorized batch evaluation of the analytical models.
+
+The scalar kernels in :mod:`repro.core.one_burst` and
+:mod:`repro.core.successive` evaluate one ``(architecture, attack)`` pair
+per call; sweeps and design-space searches call them thousands of times.
+This module evaluates whole grids at once: every per-layer quantity
+becomes a numpy array over the batch axis, and the round loop of
+Algorithm 1 runs with an *active mask* so grid points that exhaust their
+budget early simply stop updating.
+
+Fidelity contract: each vectorized expression reproduces the scalar
+kernel's arithmetic **in the same operation order** (sums accumulate
+column-by-column exactly like Python's left-to-right ``sum``), so batch
+results match the scalar oracle to well within 1e-12 — property tests in
+``tests/perf`` enforce that bound over randomized grids. The scalar path
+stays authoritative: anything :func:`evaluate_batch` cannot group (exotic
+attack subclasses, budgets that the scalar kernel rejects) falls back to
+:func:`repro.core.model.evaluate` point by point, raising the exact same
+errors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.architecture import SOSArchitecture
+from repro.core.attack_models import OneBurstAttack, SuccessiveAttack
+from repro.core.model import evaluate
+from repro.errors import AnalysisError, ExperimentError
+from repro.utils.validation import check_probabilities
+
+Attack = Union[OneBurstAttack, SuccessiveAttack]
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+
+def _ordered_sum(columns: np.ndarray) -> np.ndarray:
+    """Sum a ``(B, k)`` array over its columns in strict left-to-right
+    order, matching Python's ``sum(list)`` bit for bit (numpy's pairwise
+    reduction would regroup the additions)."""
+    total = np.zeros(columns.shape[0])
+    for index in range(columns.shape[1]):
+        total = total + columns[:, index]
+    return total
+
+
+def _clip(values: np.ndarray, lo: ArrayLike, hi: ArrayLike) -> np.ndarray:
+    """``min(hi, max(lo, values))`` — the scalar ``clamp`` operation order."""
+    return np.minimum(hi, np.maximum(lo, values))
+
+
+def all_bad_probability_batch(
+    x: ArrayLike, y: ArrayLike, z: ArrayLike
+) -> np.ndarray:
+    """Vectorized ``P(x, y, z)`` (continuous extension of Eq. 1's kernel).
+
+    Broadcasts ``x`` (population sizes), ``y`` (bad-set sizes, clamped into
+    ``[0, x]``), and ``z`` (integer sample sizes) against each other and
+    evaluates the same clamped product as
+    :func:`repro.core.probability.all_bad_probability`, factor by factor
+    and in the same order, so results agree with the scalar kernel.
+
+    Raises
+    ------
+    AnalysisError
+        If any ``x`` is non-positive or non-finite, any ``z`` is negative
+        or non-integral, or any ``z`` exceeds its ``x``.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    z_in = np.asarray(z)
+    if not np.issubdtype(z_in.dtype, np.integer):
+        z_float = np.asarray(z_in, dtype=float)
+        z_arr = z_float.astype(int)
+        if np.any(z_arr != z_float):
+            raise AnalysisError("sample sizes z must be integers")
+    else:
+        z_arr = z_in.astype(int)
+    if np.any(z_arr < 0):
+        raise AnalysisError("sample sizes z must be >= 0")
+    if np.any(~np.isfinite(x_arr)) or np.any(x_arr <= 0.0):
+        raise AnalysisError("population sizes x must be finite and > 0")
+    x_arr, y_arr, z_arr = np.broadcast_arrays(x_arr, y_arr, z_arr)
+    if np.any(z_arr > x_arr):
+        raise AnalysisError("sample size z exceeds population x")
+
+    y_arr = np.minimum(np.maximum(y_arr, 0.0), x_arr)
+    result = np.ones(x_arr.shape)
+    # Once a numerator hits <= 0 the scalar kernel returns 0; `dead`
+    # freezes those elements at exactly 0 while the rest keep multiplying.
+    dead = np.zeros(x_arr.shape, dtype=bool)
+    for k in range(int(z_arr.max(initial=0))):
+        in_range = k < z_arr
+        numerator = y_arr - k
+        dead |= in_range & (numerator <= 0.0)
+        live = in_range & ~dead
+        # z <= x guarantees x - k > 0 for live elements; the guard only
+        # protects the dead/out-of-range lanes np.where still evaluates.
+        denominator = np.where(live, x_arr - k, 1.0)
+        factor = np.where(live, numerator / denominator, 1.0)
+        result = result * factor
+    result = np.where(dead, 0.0, result)
+    return check_probabilities(
+        "P(x, y, z)", np.minimum(1.0, np.maximum(0.0, result))
+    )
+
+
+def hop_success_probability_batch(
+    n: ArrayLike, s: ArrayLike, m: ArrayLike
+) -> np.ndarray:
+    """Vectorized per-hop success ``P_i = 1 - P(n_i, s_i, m_i)`` (Eq. 1)."""
+    return check_probabilities("P_i", 1.0 - all_bad_probability_batch(n, s, m))
+
+
+def _no_fresh_disclosure_batch(
+    m: np.ndarray, n: np.ndarray, breakins: np.ndarray
+) -> np.ndarray:
+    """Vectorized ``(1 - m/n)^breakins`` (Eq. 3) with the scalar clamps.
+
+    ``base ** breakins`` covers both scalar sentinels: ``breakins = 0``
+    yields 1 (``0**0 == 1`` under IEEE ``pow``) and ``base = 0`` with
+    positive ``breakins`` yields 0.
+    """
+    if np.any(n <= 0.0):
+        raise AnalysisError("layer sizes n must be > 0")
+    if np.any(m < 0.0) or np.any(m > n):
+        raise AnalysisError("mapping degrees m out of range [0, n]")
+    exponent = np.maximum(0.0, breakins)
+    base = np.minimum(1.0, np.maximum(0.0, 1.0 - m / n))
+    return base**exponent
+
+
+# ----------------------------------------------------------------------
+# One-burst attack (Section 3.1), batched over grid points
+# ----------------------------------------------------------------------
+
+
+def _shared_congestion_batch(
+    sizes: np.ndarray,
+    total: np.ndarray,
+    n_c: np.ndarray,
+    broken: np.ndarray,
+    disclosed: np.ndarray,
+) -> np.ndarray:
+    """Allocate congestion budgets (Eqs. 8-9 / 25-27), batched.
+
+    Both attack models share this allocation: congest every disclosed node
+    and spread any surplus over the remaining good overlay pool (filters
+    excluded, footnote 2), else congest a proportional share of the
+    disclosed sets.
+    """
+    last = sizes.shape[1] - 1
+    n_d = _ordered_sum(disclosed)
+    n_b_overlay = _ordered_sum(broken[:, :last])
+
+    surplus = n_c - n_d
+    pool = total - n_b_overlay - (n_d - disclosed[:, last])
+    pool_open = pool > 0.0
+    fraction = np.where(
+        pool_open,
+        np.minimum(1.0, surplus / np.where(pool_open, pool, 1.0)),
+        0.0,
+    )
+    congested_full = np.zeros(sizes.shape)
+    for i in range(last):
+        remaining = np.maximum(0.0, sizes[:, i] - broken[:, i] - disclosed[:, i])
+        congested_full[:, i] = disclosed[:, i] + fraction * remaining
+    congested_full[:, last] = disclosed[:, last]
+
+    has_disclosed = n_d > 0.0
+    share = np.where(
+        has_disclosed, n_c / np.where(has_disclosed, n_d, 1.0), 0.0
+    )
+    congested_partial = share[:, None] * disclosed
+
+    congested = np.where(
+        (n_c >= n_d)[:, None], congested_full, congested_partial
+    )
+    return _clip(congested, 0.0, sizes)
+
+
+def _one_burst_ps_batch(
+    sizes: np.ndarray,
+    degrees: np.ndarray,
+    total: np.ndarray,
+    n_t: np.ndarray,
+    n_c: np.ndarray,
+    p_b: np.ndarray,
+) -> np.ndarray:
+    """Batched §3.1 derivation; mirrors ``analyze_one_burst_breakdown``."""
+    slots = sizes.shape[1]
+    sos = slots - 1
+
+    attempted = np.zeros(sizes.shape)
+    broken = np.zeros(sizes.shape)
+    for i in range(sos):
+        attempted[:, i] = _clip(sizes[:, i] / total * n_t, 0.0, sizes[:, i])
+        broken[:, i] = p_b * attempted[:, i]
+    # Filter layer: cannot be broken into (columns stay zero).
+
+    d_n = np.zeros(sizes.shape)
+    d_a = np.zeros(sizes.shape)
+    for i in range(1, slots):
+        n_i = sizes[:, i]
+        survive = _no_fresh_disclosure_batch(
+            degrees[:, i].astype(float), n_i, broken[:, i - 1]
+        )
+        untouched = _clip(1.0 - attempted[:, i] / n_i, 0.0, 1.0)
+        z_i = n_i * (1.0 - survive * untouched)
+        d_n[:, i] = _clip(z_i - attempted[:, i], 0.0, n_i)
+        unsuccessful = np.maximum(0.0, attempted[:, i] - broken[:, i])
+        d_a[:, i] = _clip(unsuccessful * (1.0 - survive), 0.0, n_i)
+
+    congested = _shared_congestion_batch(
+        sizes, total, n_c, broken, d_n + d_a
+    )
+    return _path_availability_batch(sizes, degrees, broken, congested)
+
+
+# ----------------------------------------------------------------------
+# Successive attack (Section 3.2, Algorithm 1), batched over grid points
+# ----------------------------------------------------------------------
+
+
+def _successive_ps_batch(
+    sizes: np.ndarray,
+    degrees: np.ndarray,
+    total: np.ndarray,
+    n_t: np.ndarray,
+    n_c: np.ndarray,
+    p_b: np.ndarray,
+    rounds: np.ndarray,
+    p_e: np.ndarray,
+) -> np.ndarray:
+    """Batched Algorithm 1; mirrors ``analyze_successive_breakdown``.
+
+    Every grid point advances through the round loop under an ``active``
+    mask: a point whose budget exhausts (or whose round quota terminates
+    the break-in phase) freezes its accumulators and final-round sets
+    while the rest of the batch keeps iterating.
+    """
+    batch, slots = sizes.shape
+    sos = slots - 1
+
+    cum_attacked = np.zeros((batch, slots))
+    cum_forfeited = np.zeros((batch, slots))
+    cum_broken = np.zeros((batch, slots))
+    cum_survived_disclosed = np.zeros((batch, slots))
+    cum_disclosed_survived_random = np.zeros((batch, slots))
+    cum_filter_disclosed = np.zeros(batch)
+
+    disclosed_prev = np.zeros((batch, slots))
+    disclosed_prev[:, 0] = sizes[:, 0] * p_e
+    budget = n_t.astype(float).copy()
+    alpha = n_t / rounds
+    active = np.ones(batch, dtype=bool)
+
+    final_d_n = np.zeros((batch, slots))
+    final_d_a = np.zeros((batch, slots))
+    final_forfeited = np.zeros((batch, slots))
+
+    for round_index in range(1, int(rounds.max(initial=0)) + 1):
+        if not active.any():
+            break
+        known = _ordered_sum(disclosed_prev[:, :sos])
+        # Algorithm 1's four cases, classified per grid point.
+        exhausted = known >= budget
+        final_budget = ~exhausted & (budget <= alpha)
+        general = ~exhausted & ~final_budget & (known < alpha)
+        heavy = ~exhausted & ~final_budget & ~general
+
+        # EXHAUSTED: break into a budget-sized slice of the disclosed
+        # nodes; the remainder is forfeited to the congestion phase.
+        known_open = known > 0.0
+        ratio = np.where(
+            known_open, budget / np.where(known_open, known, 1.0), 0.0
+        )
+        attacked_disclosed_ex = disclosed_prev * ratio[:, None]
+        forfeited_ex = disclosed_prev - attacked_disclosed_ex
+        spent_ex = np.minimum(budget, known)
+
+        # GENERAL / FINAL_BUDGET: random attempts over untouched nodes.
+        spend_target = np.where(general, alpha, budget)
+        spend = spend_target - known
+        pool = total - known - _ordered_sum(cum_attacked[:, :sos])
+        pool_open = (spend > 0.0) & (pool > 0.0)
+        attacked_random = np.zeros((batch, slots))
+        safe_pool = np.where(pool_open, pool, 1.0)
+        for i in range(sos):
+            untouched = np.maximum(
+                0.0, sizes[:, i] - disclosed_prev[:, i] - cum_attacked[:, i]
+            )
+            value = np.where(pool_open, spend * untouched / safe_pool, 0.0)
+            attacked_random[:, i] = _clip(value, 0.0, untouched)
+        attacked_random = np.where(
+            (general | final_budget)[:, None], attacked_random, 0.0
+        )
+
+        attacked_disclosed = np.where(
+            exhausted[:, None], attacked_disclosed_ex, disclosed_prev
+        )
+        forfeited = np.where(exhausted[:, None], forfeited_ex, 0.0)
+        spent = np.where(
+            exhausted, spent_ex, np.where(heavy, known, spend_target)
+        )
+
+        broken_disclosed = p_b[:, None] * attacked_disclosed
+        broken_random = p_b[:, None] * attacked_random
+        survived_random = (1.0 - p_b)[:, None] * attacked_random
+        round_broken = broken_disclosed + broken_random
+
+        mask = active[:, None]
+        cum_attacked = cum_attacked + np.where(
+            mask, attacked_disclosed + attacked_random, 0.0
+        )
+        cum_forfeited = cum_forfeited + np.where(mask, forfeited, 0.0)
+        cum_broken = cum_broken + np.where(mask, round_broken, 0.0)
+        cum_survived_disclosed = cum_survived_disclosed + np.where(
+            mask, (1.0 - p_b)[:, None] * attacked_disclosed, 0.0
+        )
+
+        # Disclosures (Eqs. 18-20, 24) read the *post-update* accumulators.
+        d_n = np.zeros((batch, slots))
+        d_a = np.zeros((batch, slots))
+        for i in range(1, slots):
+            n_i = sizes[:, i]
+            survive = _no_fresh_disclosure_batch(
+                degrees[:, i].astype(float), n_i, round_broken[:, i - 1]
+            )
+            touched = cum_attacked[:, i] + cum_forfeited[:, i]
+            untouched_fraction = _clip(1.0 - touched / n_i, 0.0, 1.0)
+            z_i = n_i * (1.0 - survive * untouched_fraction)
+            d_n[:, i] = _clip(z_i - touched, 0.0, n_i)
+            d_a[:, i] = _clip(
+                survived_random[:, i] * (1.0 - survive), 0.0, n_i
+            )
+        cum_disclosed_survived_random = cum_disclosed_survived_random + (
+            np.where(mask, d_a, 0.0)
+        )
+        cum_filter_disclosed = cum_filter_disclosed + np.where(
+            active, d_n[:, -1], 0.0
+        )
+
+        # The last round an element executes is its terminal round.
+        final_d_n = np.where(mask, d_n, final_d_n)
+        final_d_a = np.where(mask, d_a, final_d_a)
+        final_forfeited = np.where(mask, forfeited, final_forfeited)
+
+        budget = np.where(active, np.maximum(0.0, budget - spent), budget)
+        next_prev = np.zeros((batch, slots))
+        next_prev[:, 1 : slots - 1] = d_n[:, 1 : slots - 1]
+        disclosed_prev = np.where(mask, next_prev, disclosed_prev)
+
+        terminal = final_budget | exhausted | (budget <= 0.0)
+        active = active & ~terminal & (rounds > round_index)
+
+    # Congestion phase (Eqs. 25-27) over the per-point terminal state.
+    disclosed = np.zeros((batch, slots))
+    for i in range(sos):
+        disclosed[:, i] = (
+            cum_survived_disclosed[:, i]
+            + final_d_n[:, i]
+            + cum_disclosed_survived_random[:, i]
+            + final_forfeited[:, i]
+        )
+    disclosed[:, sos] = cum_filter_disclosed
+
+    congested = _shared_congestion_batch(
+        sizes, total, n_c, cum_broken, disclosed
+    )
+    return _path_availability_batch(sizes, degrees, cum_broken, congested)
+
+
+def _path_availability_batch(
+    sizes: np.ndarray,
+    degrees: np.ndarray,
+    broken: np.ndarray,
+    congested: np.ndarray,
+) -> np.ndarray:
+    """``P_S = prod_i (1 - P(n_i, s_i, m_i))`` over the batch (Eq. 1)."""
+    bad = _clip(broken + congested, 0.0, sizes)
+    hops = hop_success_probability_batch(sizes, bad, degrees)
+    p_s = np.ones(sizes.shape[0])
+    for i in range(sizes.shape[1]):
+        p_s = p_s * hops[:, i]
+    return _clip(p_s, 0.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# Public grid evaluation
+# ----------------------------------------------------------------------
+
+
+def _group_key(
+    architecture: SOSArchitecture, attack: Attack
+) -> Union[Tuple[str, int], None]:
+    """Batching key, or None when the pair must use the scalar path.
+
+    Pairs whose budget the scalar kernel rejects also go to the scalar
+    path so callers see the exact same :class:`ConfigurationError`.
+    """
+    if attack.n_t > architecture.total_overlay_nodes:
+        return None
+    if type(attack) is SuccessiveAttack:
+        return ("successive", architecture.layers)
+    if type(attack) is OneBurstAttack:
+        return ("one-burst", architecture.layers)
+    return None
+
+
+def evaluate_batch(
+    architectures: Sequence[SOSArchitecture], attacks: Sequence[Attack]
+) -> np.ndarray:
+    """``P_S`` for each paired ``(architectures[i], attacks[i])``.
+
+    Pairs are grouped by attack model and layer count; each group is
+    evaluated in one vectorized pass. Ungroupable pairs (attack-model
+    subclasses, infeasible budgets) fall back to the scalar
+    :func:`repro.core.model.evaluate`, raising exactly what it raises.
+
+    Examples
+    --------
+    >>> from repro.core import SOSArchitecture, SuccessiveAttack
+    >>> archs = [SOSArchitecture(layers=4, mapping="one-to-two")] * 2
+    >>> attacks = [SuccessiveAttack(rounds=r) for r in (1, 3)]
+    >>> p = evaluate_batch(archs, attacks)
+    >>> bool(p[1] <= p[0])
+    True
+    """
+    if len(architectures) != len(attacks):
+        raise ExperimentError(
+            f"paired batch needs equal lengths, got {len(architectures)} "
+            f"architectures and {len(attacks)} attacks"
+        )
+    if not architectures:
+        return np.zeros(0)
+
+    p_s = np.zeros(len(architectures))
+    groups: Dict[Tuple[str, int], List[int]] = {}
+    scalar_indices: List[int] = []
+    for index, (architecture, attack) in enumerate(zip(architectures, attacks)):
+        key = _group_key(architecture, attack)
+        if key is None:
+            scalar_indices.append(index)
+        else:
+            groups.setdefault(key, []).append(index)
+
+    for (kind, _layers), indices in groups.items():
+        sizes = np.array(
+            [architectures[i].layer_sizes_with_filters for i in indices]
+        )
+        degrees = np.array(
+            [architectures[i].mapping_degrees for i in indices], dtype=int
+        )
+        total = np.array(
+            [float(architectures[i].total_overlay_nodes) for i in indices]
+        )
+        n_t = np.array([attacks[i].n_t for i in indices])
+        n_c = np.array([attacks[i].n_c for i in indices])
+        p_b = np.array([attacks[i].p_b for i in indices])
+        if kind == "successive":
+            rounds = np.array(
+                [attacks[i].r for i in indices], dtype=int  # type: ignore[union-attr]
+            )
+            p_e = np.array(
+                [attacks[i].p_e for i in indices]  # type: ignore[union-attr]
+            )
+            values = _successive_ps_batch(
+                sizes, degrees, total, n_t, n_c, p_b, rounds, p_e
+            )
+        else:
+            values = _one_burst_ps_batch(sizes, degrees, total, n_t, n_c, p_b)
+        p_s[indices] = values
+
+    for index in scalar_indices:
+        p_s[index] = evaluate(architectures[index], attacks[index]).p_s
+    return p_s

@@ -12,6 +12,9 @@ from __future__ import annotations
 import math
 from typing import Union
 
+import numpy as np
+import numpy.typing as npt
+
 from repro.errors import ConfigurationError
 
 Number = Union[int, float]
@@ -57,6 +60,22 @@ def check_probability(name: str, value: Number) -> float:
     if not 0.0 <= value <= 1.0:
         raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
     return value
+
+
+def check_probabilities(
+    name: str, values: npt.ArrayLike
+) -> npt.NDArray[np.float64]:
+    """Validate that every entry of an array lies in ``[0, 1]``.
+
+    The vectorized counterpart of :func:`check_probability`, used by the
+    batch kernels in :mod:`repro.perf.batch` to guard whole result grids.
+    """
+    array = np.asarray(values, dtype=float)
+    if not bool(np.all(np.isfinite(array))):
+        raise ConfigurationError(f"{name} must be finite everywhere")
+    if bool(np.any(array < 0.0)) or bool(np.any(array > 1.0)):
+        raise ConfigurationError(f"{name} must lie in [0, 1] everywhere")
+    return array
 
 
 def check_fraction(name: str, value: Number) -> float:

@@ -1,0 +1,139 @@
+"""Batch-vs-scalar equivalence: the vectorized kernels against the oracle.
+
+The scalar analytical kernels in ``repro.core`` stay authoritative; the
+numpy batch kernels in ``repro.perf.batch`` must agree with them to
+within 1e-12 on every grid point (they typically agree bit-for-bit — the
+batch code replicates the scalar operation order).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    OneBurstAttack,
+    SOSArchitecture,
+    SuccessiveAttack,
+    evaluate,
+)
+from repro.core.probability import all_bad_probability, hop_success_probability
+from repro.errors import AnalysisError, ExperimentError
+from repro.perf import (
+    all_bad_probability_batch,
+    evaluate_batch,
+    hop_success_probability_batch,
+)
+from tests.conftest import architectures_grid, attacks_grid
+
+TOLERANCE = 1e-12
+
+
+class TestAllBadKernel:
+    @given(
+        x=st.floats(min_value=1.0, max_value=1e6),
+        y=st.floats(min_value=-10.0, max_value=1.2e6),
+        z=st.integers(min_value=0, max_value=64),
+    )
+    def test_matches_scalar(self, x, y, z):
+        if z > x:
+            return
+        batch = all_bad_probability_batch([x], [y], [z])
+        assert abs(float(batch[0]) - all_bad_probability(x, y, z)) <= TOLERANCE
+
+    def test_broadcasts(self):
+        x = np.full((3, 4), 100.0)
+        y = np.linspace(0.0, 50.0, 4)
+        batch = all_bad_probability_batch(x, y, 5)
+        assert batch.shape == (3, 4)
+        for column in range(4):
+            expected = all_bad_probability(100.0, float(y[column]), 5)
+            assert abs(float(batch[0, column]) - expected) <= TOLERANCE
+
+    def test_hop_success_matches_scalar(self):
+        batch = hop_success_probability_batch([50.0, 50.0], [10.0, 49.0], [3, 3])
+        for index, (s, m) in enumerate(((10.0, 3), (49.0, 3))):
+            expected = hop_success_probability(50.0, s, m)
+            assert abs(float(batch[index]) - expected) <= TOLERANCE
+
+    @pytest.mark.parametrize(
+        "x, y, z",
+        [
+            ([0.0], [1.0], [1]),       # non-positive population
+            ([-3.0], [1.0], [1]),
+            ([float("nan")], [1.0], [1]),
+            ([10.0], [1.0], [-1]),     # negative sample
+            ([10.0], [1.0], [1.5]),    # non-integral sample
+            ([10.0], [1.0], [11]),     # sample exceeds population
+        ],
+    )
+    def test_rejects_invalid_inputs(self, x, y, z):
+        with pytest.raises(AnalysisError):
+            all_bad_probability_batch(x, y, z)
+
+
+class TestEvaluateBatch:
+    def test_full_grid_matches_scalar_oracle(self):
+        architectures, attacks = [], []
+        for architecture in architectures_grid():
+            for attack in attacks_grid():
+                architectures.append(architecture)
+                attacks.append(attack)
+        batch = evaluate_batch(architectures, attacks)
+        assert batch.shape == (len(architectures),)
+        for index, (architecture, attack) in enumerate(zip(architectures, attacks)):
+            scalar = evaluate(architecture, attack).p_s
+            assert abs(float(batch[index]) - scalar) <= TOLERANCE, (
+                f"{architecture.describe()} / {attack!r}: "
+                f"batch {float(batch[index])!r} != scalar {scalar!r}"
+            )
+
+    def test_empty_batch(self):
+        assert evaluate_batch([], []).shape == (0,)
+
+    def test_length_mismatch_raises(self):
+        arch = SOSArchitecture(layers=2, mapping="one-to-two")
+        with pytest.raises(ExperimentError, match="equal lengths"):
+            evaluate_batch([arch, arch], [OneBurstAttack()])
+
+    def test_infeasible_budget_falls_back_to_scalar_error(self):
+        arch = SOSArchitecture(layers=2, mapping="one-to-two")
+        huge = OneBurstAttack(break_in_budget=arch.total_overlay_nodes + 1)
+        scalar_error = None
+        try:
+            evaluate(arch, huge)
+        except Exception as exc:  # noqa: BLE001 — capturing the oracle error
+            scalar_error = exc
+        assert scalar_error is not None
+        with pytest.raises(type(scalar_error)):
+            evaluate_batch([arch], [huge])
+
+    def test_attack_subclass_uses_scalar_path(self):
+        @dataclasses.dataclass(frozen=True)
+        class TaggedBurst(OneBurstAttack):
+            pass
+
+        arch = SOSArchitecture(layers=3, mapping="one-to-half")
+        attack = TaggedBurst(break_in_budget=100, congestion_budget=1000)
+        batch = evaluate_batch([arch], [attack])
+        assert float(batch[0]) == evaluate(arch, attack).p_s
+
+    def test_mixed_models_and_layer_counts(self):
+        architectures = [
+            SOSArchitecture(layers=1, mapping="one-to-one"),
+            SOSArchitecture(layers=5, mapping="one-to-five"),
+            SOSArchitecture(layers=3, mapping="one-to-half"),
+        ]
+        attacks = [
+            SuccessiveAttack(rounds=4, prior_knowledge=0.3),
+            OneBurstAttack(break_in_budget=500, congestion_budget=3000),
+            SuccessiveAttack(break_in_budget=2000, congestion_budget=100),
+        ]
+        batch = evaluate_batch(architectures, attacks)
+        for index in range(3):
+            scalar = evaluate(architectures[index], attacks[index]).p_s
+            assert abs(float(batch[index]) - scalar) <= TOLERANCE

@@ -1,0 +1,83 @@
+"""The sweep/design-space/figure layers must give identical results
+through the vectorized path and the scalar oracle."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import OneBurstAttack, SOSArchitecture, SuccessiveAttack
+from repro.core.design_space import enumerate_designs, evaluate_designs
+from repro.experiments.sweep import architecture_sweep, attack_sweep, grid_sweep
+
+TOLERANCE = 1e-12
+
+ARCH = SOSArchitecture(layers=4, mapping="one-to-two")
+SUCCESSIVE = SuccessiveAttack(
+    break_in_budget=200, congestion_budget=2000, rounds=3, prior_knowledge=0.2
+)
+
+
+def _assert_close(vector_values, scalar_values):
+    assert len(vector_values) == len(scalar_values)
+    for vector_value, scalar_value in zip(vector_values, scalar_values):
+        if math.isnan(scalar_value):
+            assert math.isnan(vector_value)
+        else:
+            assert abs(vector_value - scalar_value) <= TOLERANCE
+
+
+class TestSweepEquivalence:
+    def test_attack_sweep(self):
+        values = [0, 100, 500, 1000, 2000]
+        fast = attack_sweep(ARCH, SUCCESSIVE, "break_in_budget", values)
+        slow = attack_sweep(
+            ARCH, SUCCESSIVE, "break_in_budget", values, vectorized=False
+        )
+        _assert_close(fast.p_s, slow.p_s)
+
+    def test_architecture_sweep(self):
+        values = [1, 2, 3, 5, 8]
+        fast = architecture_sweep(ARCH, SUCCESSIVE, "layers", values)
+        slow = architecture_sweep(
+            ARCH, SUCCESSIVE, "layers", values, vectorized=False
+        )
+        _assert_close(fast.p_s, slow.p_s)
+
+    def test_grid_sweep(self):
+        burst = OneBurstAttack(break_in_budget=200, congestion_budget=2000)
+        fast = grid_sweep(
+            ARCH, burst, "layers", [1, 3, 5], "congestion_budget",
+            [0, 2000, 6000],
+        )
+        slow = grid_sweep(
+            ARCH, burst, "layers", [1, 3, 5], "congestion_budget",
+            [0, 2000, 6000], vectorized=False,
+        )
+        assert fast.row_values == slow.row_values
+        assert fast.column_values == slow.column_values
+        for fast_row, slow_row in zip(fast.p_s, slow.p_s):
+            _assert_close(fast_row, slow_row)
+
+
+class TestDesignSpaceEquivalence:
+    def test_evaluate_designs(self):
+        designs = enumerate_designs(layers=range(1, 5))
+        scenarios = {
+            "burst": OneBurstAttack(break_in_budget=200, congestion_budget=2000),
+            "successive": SUCCESSIVE,
+        }
+        fast = evaluate_designs(designs, scenarios, aggregate="min")
+        slow = evaluate_designs(
+            designs, scenarios, aggregate="min", vectorized=False
+        )
+        assert [score.label for score in fast] == [score.label for score in slow]
+        for fast_score, slow_score in zip(fast, slow):
+            assert abs(fast_score.aggregate - slow_score.aggregate) <= TOLERANCE
+            for name in scenarios:
+                assert (
+                    abs(
+                        fast_score.per_scenario[name]
+                        - slow_score.per_scenario[name]
+                    )
+                    <= TOLERANCE
+                )

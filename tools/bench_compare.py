@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Compare two ``BENCH_<n>.json`` snapshots and fail on regressions.
+
+Usage::
+
+    python tools/bench_compare.py BENCH_1.json BENCH_2.json
+    python tools/bench_compare.py            # auto: two newest snapshots
+
+A benchmark regresses when ``new_mean / base_mean`` exceeds
+``1 + threshold`` (default threshold 0.2, i.e. >20% slower). The exit
+code is non-zero when any benchmark regresses, which is what `make
+bench-compare` and future CI gates key on. Benchmarks present in only
+one snapshot are reported but never fatal — suites are allowed to grow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from bench_snapshot import existing_snapshots
+
+
+def load_snapshot(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if "benchmarks" not in snapshot:
+        raise ValueError(f"{path} is not a bench snapshot (no 'benchmarks')")
+    return snapshot
+
+
+def compare(base: dict, new: dict, threshold: float) -> List[dict]:
+    """Per-benchmark comparison rows for benchmarks present in both."""
+    rows = []
+    for name in sorted(set(base["benchmarks"]) & set(new["benchmarks"])):
+        base_mean = float(base["benchmarks"][name]["mean"])
+        new_mean = float(new["benchmarks"][name]["mean"])
+        ratio = new_mean / base_mean if base_mean > 0.0 else float("inf")
+        rows.append(
+            {
+                "name": name,
+                "base_mean": base_mean,
+                "new_mean": new_mean,
+                "ratio": ratio,
+                "regressed": ratio > 1.0 + threshold,
+            }
+        )
+    return rows
+
+
+def _format_seconds(value: float) -> str:
+    if value < 1e-3:
+        return f"{value * 1e6:8.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:8.2f}ms"
+    return f"{value:8.3f}s "
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_<n>.json snapshots; exit 1 on regression"
+    )
+    parser.add_argument(
+        "snapshots",
+        nargs="*",
+        help="base and new snapshot paths (default: two newest in --root)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root to search for BENCH_<n>.json (default: cwd)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="fractional slowdown tolerated before failing (default: 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    if len(args.snapshots) == 2:
+        base_path, new_path = args.snapshots
+    elif not args.snapshots:
+        snapshots = existing_snapshots(args.root)
+        if len(snapshots) < 2:
+            print(
+                "bench-compare: need at least two BENCH_<n>.json snapshots "
+                f"in {args.root} (found {len(snapshots)})",
+                file=sys.stderr,
+            )
+            return 2
+        base_path, new_path = snapshots[-2], snapshots[-1]
+    else:
+        parser.error("pass exactly two snapshot paths, or none for auto mode")
+        return 2  # unreachable; parser.error exits
+
+    try:
+        base = load_snapshot(base_path)
+        new = load_snapshot(new_path)
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"bench-compare: {exc}", file=sys.stderr)
+        return 2
+
+    rows = compare(base, new, args.threshold)
+    if not rows:
+        print("bench-compare: snapshots share no benchmarks", file=sys.stderr)
+        return 2
+
+    print(f"base: {base_path}\nnew:  {new_path}\n")
+    width = max(len(row["name"]) for row in rows)
+    print(f"{'benchmark'.ljust(width)}  {'base':>10}  {'new':>10}  ratio")
+    for row in rows:
+        flag = "  << REGRESSION" if row["regressed"] else ""
+        print(
+            f"{row['name'].ljust(width)}  "
+            f"{_format_seconds(row['base_mean'])}  "
+            f"{_format_seconds(row['new_mean'])}  "
+            f"{row['ratio']:5.2f}x{flag}"
+        )
+
+    only_base = sorted(set(base["benchmarks"]) - set(new["benchmarks"]))
+    only_new = sorted(set(new["benchmarks"]) - set(base["benchmarks"]))
+    for name in only_base:
+        print(f"removed: {name}")
+    for name in only_new:
+        print(f"added:   {name}")
+
+    regressions = [row for row in rows if row["regressed"]]
+    if regressions:
+        print(
+            f"\nbench-compare: {len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0%} threshold"
+        )
+        return 1
+    print(f"\nbench-compare: OK ({len(rows)} benchmarks within threshold)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

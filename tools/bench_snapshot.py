@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Normalize a raw pytest-benchmark JSON dump into a ``BENCH_<n>.json``
+snapshot at the repository root.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=.bench_raw.json
+    python tools/bench_snapshot.py .bench_raw.json
+
+The snapshot keeps only what trajectory comparisons need — per-benchmark
+timing statistics plus enough machine context to judge comparability —
+so diffs between snapshots stay readable. ``tools/bench_compare.py``
+consumes two snapshots and fails on regressions. Numbering is automatic:
+the next free ``BENCH_<n>.json`` in the repo root (override with
+``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from typing import List, Optional
+
+SNAPSHOT_VERSION = 1
+SNAPSHOT_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: machine_info keys copied into the snapshot (comparability context).
+MACHINE_KEYS = ("node", "processor", "machine", "python_version", "cpu")
+
+#: per-benchmark stats copied into the snapshot.
+STAT_KEYS = ("mean", "stddev", "median", "min", "max", "rounds", "iterations")
+
+
+def existing_snapshots(root: str) -> List[str]:
+    """``BENCH_<n>.json`` files under ``root``, sorted by ``n``."""
+    found = []
+    for name in os.listdir(root):
+        match = SNAPSHOT_PATTERN.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(root, name)))
+    return [path for _, path in sorted(found)]
+
+
+def next_snapshot_path(root: str) -> str:
+    numbers = [0]
+    for name in os.listdir(root):
+        match = SNAPSHOT_PATTERN.match(name)
+        if match:
+            numbers.append(int(match.group(1)))
+    return os.path.join(root, f"BENCH_{max(numbers) + 1}.json")
+
+
+def normalize(raw: dict) -> dict:
+    """Reduce a pytest-benchmark report to the snapshot schema."""
+    machine_info = raw.get("machine_info", {})
+    machine = {
+        key: machine_info[key] for key in MACHINE_KEYS if key in machine_info
+    }
+    benchmarks = {}
+    for entry in raw.get("benchmarks", []):
+        stats = entry.get("stats", {})
+        benchmarks[entry["fullname"]] = {
+            key: stats[key] for key in STAT_KEYS if key in stats
+        }
+    if not benchmarks:
+        raise ValueError("raw report contains no benchmarks")
+    return {
+        "version": SNAPSHOT_VERSION,
+        "source": "pytest-benchmark",
+        "datetime": raw.get("datetime"),
+        "machine_info": machine,
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Normalize pytest-benchmark JSON into BENCH_<n>.json"
+    )
+    parser.add_argument("raw", help="raw --benchmark-json output file")
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root holding BENCH_<n>.json files (default: cwd)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="explicit snapshot path (default: next free BENCH_<n>.json)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.raw, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench-snapshot: cannot read {args.raw}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        snapshot = normalize(raw)
+    except (KeyError, ValueError) as exc:
+        print(f"bench-snapshot: malformed report: {exc}", file=sys.stderr)
+        return 2
+
+    output = args.output or next_snapshot_path(args.root)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"bench-snapshot: wrote {output} "
+        f"({len(snapshot['benchmarks'])} benchmarks)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,8 @@ their range discipline in one of three ways:
 
 * a contract decorator from :mod:`repro.contracts`
   (``@returns_probability``, ``@ensures``, ...);
-* a call to :func:`repro.utils.validation.check_probability`;
+* a call to :func:`repro.utils.validation.check_probability` (or its
+  array counterpart ``check_probabilities``);
 * a call to :func:`repro.core.probability.clamp` (the continuous-extension
   clamp used throughout the analytical core).
 
@@ -52,7 +53,7 @@ CONTRACT_DECORATORS = frozenset(
 )
 
 #: In-body calls that establish range discipline.
-GUARD_CALLS = frozenset({"check_probability", "clamp"})
+GUARD_CALLS = frozenset({"check_probability", "check_probabilities", "clamp"})
 
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
