@@ -10,9 +10,15 @@ overlay while an attacker floods a growing fraction of the beacon layer.
 Every node has finite capacity (token bucket); flooded nodes drop most
 traffic, and delivery degrades exactly as the binary model predicts once
 the flood saturates node capacity.
+
+Runs on the vectorized fast engine (``run(fast=True)``, see
+``repro.perf.fastsim``); pass ``--event`` to use the event-driven
+oracle instead and compare.
 """
 
 from __future__ import annotations
+
+import sys
 
 from repro.core import SOSArchitecture
 from repro.simulation import PacketLevelSimulation, PacketSimConfig, flood_layer
@@ -22,6 +28,7 @@ from repro.utils.tables import format_table
 
 
 def main() -> None:
+    fast = "--event" not in sys.argv[1:]
     architecture = SOSArchitecture(
         layers=3,
         mapping="one-to-half",
@@ -42,7 +49,7 @@ def main() -> None:
             if fraction > 0
             else []
         )
-        report = simulation.run(flood_targets=targets)
+        report = simulation.run(flood_targets=targets, fast=fast)
         rows.append(
             [
                 fraction,
@@ -68,7 +75,8 @@ def main() -> None:
                 "congested nodes",
             ],
             rows,
-            title="Flooding the beacon layer (layer 2) at increasing intensity\n",
+            title="Flooding the beacon layer (layer 2) at increasing "
+            f"intensity ({'fast' if fast else 'event'} engine)\n",
         )
     )
     print(

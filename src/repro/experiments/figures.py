@@ -33,6 +33,7 @@ from repro.experiments.fig8 import fig8a, fig8b
 from repro.experiments.resilience_figs import (
     resilience_churn,
     resilience_detection,
+    resilience_flooding,
 )
 from repro.experiments.result import FigureResult
 from repro.experiments.validation import validation_figure
@@ -68,6 +69,7 @@ REGISTRY: Dict[str, FigureFn] = {
     "fig4a-mc": fig4a_monte_carlo,
     "res-churn": resilience_churn,
     "res-detect": resilience_detection,
+    "res-flood": resilience_flooding,
 }
 
 #: The figures that appear in the paper itself (vs added validation).

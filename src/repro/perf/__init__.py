@@ -3,8 +3,11 @@
 :mod:`repro.perf.batch` evaluates whole parameter grids of the analytical
 model at once with numpy, mirroring the scalar kernels in
 :mod:`repro.core` operation for operation so batch results agree with the
-scalar oracle to within 1e-12 (property-tested). The process-parallel
-Monte Carlo dispatcher lives with its estimator in
+scalar oracle to within 1e-12 (property-tested).
+:mod:`repro.perf.fastsim` is the vectorized fast path for the
+packet-level flooding simulation (hop-synchronous numpy batches with the
+event-driven engine as oracle) plus process-parallel replica sweeps.
+The process-parallel Monte Carlo dispatcher lives with its estimator in
 :mod:`repro.simulation.monte_carlo` (``MonteCarloConfig.workers``);
 ``docs/PERFORMANCE.md`` documents both together with the ``BENCH_*.json``
 benchmark-snapshot workflow.
@@ -15,9 +18,19 @@ from repro.perf.batch import (
     evaluate_batch,
     hop_success_probability_batch,
 )
+from repro.perf.fastsim import (
+    encode_deployment,
+    mean_delivery_ratio,
+    run_fast,
+    run_packet_replicas,
+)
 
 __all__ = [
     "all_bad_probability_batch",
+    "encode_deployment",
     "evaluate_batch",
     "hop_success_probability_batch",
+    "mean_delivery_ratio",
+    "run_fast",
+    "run_packet_replicas",
 ]

@@ -1,0 +1,760 @@
+"""Vectorized fast path for the packet-level flooding simulation.
+
+The event-driven engine in :mod:`repro.simulation.packet_sim` schedules
+one closure per packet per hop; at production scale (thousands of
+clients, hundreds of thousands of packets) the heap churn dominates the
+run. This module replays the same physics in hop-synchronous numpy
+batches:
+
+1. **Pre-sampling** — every Poisson arrival time (client injections and
+   per-node attack floods) is drawn up front with vectorized
+   exponentials instead of one ``rng.exponential`` per event.
+2. **Integer encoding** — the deployment is flattened into contiguous
+   arrays: ``node_id -> slot`` indices, one neighbor matrix per layer,
+   and flat float arrays for token-bucket state.
+3. **Hop-synchronous advance** — all packets traverse layer ``h``
+   together. Per-node token buckets are replayed exactly (floods and
+   legitimate arrivals merged in time order, same accept/drop
+   arithmetic as :class:`~repro.simulation.capacity.NodeCapacity`) by a
+   grouped scan whose sequential axis is *events per node*, not total
+   events.
+
+Fidelity contract: both engines draw from the same per-source RNG
+sub-streams (one arrival stream per client, one per flood target, one
+routing stream consumed packet-major in injection order), so on a
+matched seed the injection schedules — ``sent`` and
+``attack_packets_absorbed`` — are bit-identical, and every run in
+which no packet drops (the degenerate single-packet case included)
+yields a bit-identical report. The one deliberate approximation: when
+a forwarding node checks whether a *next-hop* neighbor is congested,
+the fast path consults a congestion timeline rebuilt from the
+neighbor's attack floods plus the current hop's tentative legitimate
+arrivals (two-pass routing), not the exact per-packet interleaving —
+the accept/drop decision at every node the packet actually visits is
+still replayed exactly. Flooded runs are therefore statistically
+equivalent rather than identical: delivery ratio, per-layer drops,
+and latency agree within confidence bounds
+(``tests/perf/test_fastsim_equivalence.py``). The event-driven engine
+remains the oracle.
+
+``run_packet_replicas`` scales multi-replica sweeps across cores with
+the PR-3 worker pattern: per-replica ``SeedSequence`` streams are
+pre-spawned in the parent in replica order, so aggregates are
+bit-identical for any worker count.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.architecture import SOSArchitecture
+from repro.errors import SimulationError
+from repro.simulation.packet_sim import (
+    PacketLevelSimulation,
+    PacketSimConfig,
+    PacketSimReport,
+    flood_layer,
+)
+from repro.sos.deployment import SOSDeployment
+from repro.utils.seeding import make_rng
+
+__all__ = [
+    "DeploymentArrays",
+    "encode_deployment",
+    "run_fast",
+    "run_packet_replicas",
+    "mean_delivery_ratio",
+]
+
+
+# ----------------------------------------------------------------------
+# Deployment encoding
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class DeploymentArrays:
+    """A deployment flattened into contiguous integer/boolean arrays.
+
+    ``slot`` indices are 0-based positions in ``node_ids`` (sorted layer
+    by layer); ``neighbors[h]`` maps each layer-``h`` slot row to the
+    slots of its next-layer neighbor table.
+    """
+
+    layers: int
+    node_ids: np.ndarray  # (M,) original identifiers, per slot
+    slot_of: Dict[int, int]  # node_id -> slot
+    layer_of: np.ndarray  # (M,) 1-based layer per slot
+    local_of: np.ndarray  # (M,) position within the slot's layer
+    members: Dict[int, np.ndarray]  # layer -> slots of its members
+    neighbors: Dict[int, np.ndarray]  # layer -> (size_h, m_{h+1}) slot matrix
+    is_bad: np.ndarray  # (M,) health snapshot at encode time
+
+
+def encode_deployment(deployment: SOSDeployment) -> DeploymentArrays:
+    """Flatten ``deployment`` into :class:`DeploymentArrays`.
+
+    The health snapshot (``is_bad``) is taken at encode time; the
+    event-driven engine reads the same static health during a run, so
+    the snapshot loses nothing.
+    """
+    layers = deployment.architecture.layers
+    node_ids: List[int] = []
+    layer_of: List[int] = []
+    members: Dict[int, np.ndarray] = {}
+    slot_of: Dict[int, int] = {}
+    local_of: List[int] = []
+    for layer in range(1, layers + 2):
+        ids = deployment.layer_members(layer)
+        start = len(node_ids)
+        members[layer] = np.arange(start, start + len(ids), dtype=np.int64)
+        for local, node_id in enumerate(ids):
+            slot_of[node_id] = len(node_ids)
+            node_ids.append(node_id)
+            layer_of.append(layer)
+            local_of.append(local)
+    is_bad = np.array(
+        [deployment.resolve(node_id).is_bad for node_id in node_ids], dtype=bool
+    )
+    neighbors: Dict[int, np.ndarray] = {}
+    for layer in range(1, layers + 1):
+        rows = [
+            [slot_of[n] for n in deployment.resolve(node_id).neighbors]
+            for node_id in deployment.layer_members(layer)
+        ]
+        neighbors[layer] = np.asarray(rows, dtype=np.int64)
+    return DeploymentArrays(
+        layers=layers,
+        node_ids=np.asarray(node_ids, dtype=np.int64),
+        slot_of=slot_of,
+        layer_of=np.asarray(layer_of, dtype=np.int64),
+        local_of=np.asarray(local_of, dtype=np.int64),
+        members=members,
+        neighbors=neighbors,
+        is_bad=is_bad,
+    )
+
+
+# ----------------------------------------------------------------------
+# Poisson pre-sampling
+# ----------------------------------------------------------------------
+
+
+def _poisson_row(
+    stream: np.random.Generator, rate: float, duration: float
+) -> np.ndarray:
+    """Arrival times in ``(0, duration)`` for one Poisson source.
+
+    Draws exponential gaps in blocks from the source's dedicated stream
+    and cumulative-sums them. A block draw consumes the stream
+    identically to the event engine's one-gap-at-a-time draws, and
+    ``cumsum`` adds left to right exactly like the scheduler's
+    sequential ``now + gap`` additions, so the kept times are
+    bit-identical to the event-driven source's emission times. The
+    unused tail of the final block is harmless: nothing else reads the
+    stream.
+    """
+    expected = rate * duration
+    width = max(4, int(expected + 10.0 * math.sqrt(expected) + 16.0))
+    gaps = stream.exponential(1.0 / rate, size=width)
+    times = np.cumsum(gaps)
+    while times[-1] < duration:
+        gaps = np.concatenate(
+            [gaps, stream.exponential(1.0 / rate, size=width)]
+        )
+        times = np.cumsum(gaps)
+    return times[times < duration]
+
+
+# ----------------------------------------------------------------------
+# Grouped token-bucket scan
+# ----------------------------------------------------------------------
+
+
+def _grouped_bucket_scan(
+    slots: np.ndarray,
+    times: np.ndarray,
+    capacity: float,
+    burst: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Replay per-node token buckets over grouped events.
+
+    ``slots``/``times`` are flat parallel event arrays (any order).
+    Events are grouped by slot and replayed chronologically with the
+    exact :class:`~repro.simulation.capacity.NodeCapacity` arithmetic —
+    continuous refill at ``capacity`` clipped to ``burst``, one token
+    per accepted offer.
+
+    The recursion is solved in *deficit* space (``z = burst - tokens``,
+    rescaled so refill rate is 1): ``z_i = max(0, z_{i-1} - Δs) + 1`` on
+    accept, a Lindley recursion whose all-accept trajectory has the
+    closed form ``z_i = w_i + i - s_i`` with
+    ``w_i = max(w_{i-1}, s_i - (i - 1))`` — one ``maximum.accumulate``
+    per node. A node whose trajectory never exceeds ``burst`` therefore
+    accepts everything with zero sequential work. Overloaded nodes fall
+    back to an exact loop that is O(accepted) rather than O(events):
+    rejections come in runs (the bucket must drain a full token before
+    the next accept), and each run is skipped with one ``searchsorted``.
+
+    Returns ``(accept, unique_slots, accepted_per, dropped_per)`` where
+    ``accept`` aligns with the *input* event order and the per-group
+    arrays align with ``unique_slots``.
+    """
+    order = np.lexsort((times, slots))
+    s_sorted = slots[order]
+    t_sorted = times[order]
+    unique_slots, starts, counts = np.unique(
+        s_sorted, return_index=True, return_counts=True
+    )
+    groups = len(unique_slots)
+    accept_sorted = np.empty(len(s_sorted), dtype=bool)
+    accepted_per = np.empty(groups, dtype=np.int64)
+    limit = burst - 1.0
+    for g in range(groups):
+        lo = int(starts[g])
+        hi = lo + int(counts[g])
+        s = t_sorted[lo:hi] * capacity
+        n = hi - lo
+        # All-accept closed form; valid while the deficit stays <= burst
+        # (pre-accept deficit <= burst - 1 for every event).
+        w = np.maximum.accumulate(s - np.arange(n))
+        z_all = w + np.arange(1, n + 1) - s
+        if float(z_all.max()) <= burst:
+            accept_sorted[lo:hi] = True
+            accepted_per[g] = n
+            continue
+        # Exact replay with run-skipping: from deficit ``z`` at rescaled
+        # time ``y``, every event before ``y + (z - limit)`` rejects.
+        # Plain Python floats + ``bisect`` over a list: the arithmetic
+        # is the same IEEE doubles in the same order as the numpy
+        # scalars it replaces, but without per-iteration ufunc
+        # dispatch — the loop runs O(accepted) times for a saturated
+        # node, which is the hot case under flooding.
+        out = accept_sorted[lo:hi]
+        out[:] = False
+        s_list = s.tolist()
+        taken_idx: List[int] = []
+        z = 0.0
+        y = 0.0
+        i = 0
+        while i < n:
+            si = s_list[i]
+            zp = z - (si - y)
+            if zp < 0.0:
+                zp = 0.0
+            if zp <= limit:
+                taken_idx.append(i)
+                z = zp + 1.0
+                y = si
+                i += 1
+            else:
+                i = bisect.bisect_left(s_list, y + (z - limit))
+        out[np.asarray(taken_idx, dtype=np.int64)] = True
+        accepted_per[g] = len(taken_idx)
+    accept = np.empty(len(slots), dtype=bool)
+    accept[order] = accept_sorted
+    dropped_per = counts - accepted_per
+    return accept, unique_slots, accepted_per, dropped_per
+
+
+def _congestion_timelines(
+    slots: np.ndarray,
+    times: np.ndarray,
+    capacity: float,
+    burst: float,
+) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+    """Per slot: (chronological event times, congested-after-event flags).
+
+    Replays the merged event stream of every slot through its token
+    bucket and evaluates the :attr:`NodeCapacity.is_congested` predicate
+    (>= 10 offers observed and cumulative drop rate >= 0.5) after every
+    event, so forwarding decisions can look up a node's congestion state
+    at any instant with one ``searchsorted``.
+    """
+    timelines: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    if len(slots) == 0:
+        return timelines
+    order = np.lexsort((times, slots))
+    t_sorted = times[order]
+    accept, unique_slots, _, _ = _grouped_bucket_scan(
+        slots, times, capacity, burst
+    )
+    a_sorted = accept[order]
+    _, starts, counts = np.unique(
+        slots[order], return_index=True, return_counts=True
+    )
+    for g, slot in enumerate(unique_slots):
+        lo = int(starts[g])
+        hi = lo + int(counts[g])
+        node_times = t_sorted[lo:hi]
+        node_accept = a_sorted[lo:hi]
+        total = np.arange(1, len(node_times) + 1)
+        drops = np.cumsum(~node_accept)
+        flags = (total >= 10) & (drops / total >= 0.5)
+        timelines[int(slot)] = (node_times, flags)
+    return timelines
+
+
+def _flood_congestion_timelines(
+    flood_slots: Sequence[int],
+    flood_times: Sequence[np.ndarray],
+    capacity: float,
+    burst: float,
+) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+    """Flood-only congestion timelines, keyed by flooded slot."""
+    populated = [
+        (slot, times)
+        for slot, times in zip(flood_slots, flood_times)
+        if len(times)
+    ]
+    if not populated:
+        return {}
+    slots = np.concatenate(
+        [np.full(len(times), slot, dtype=np.int64) for slot, times in populated]
+    )
+    times_flat = np.concatenate([times for _, times in populated])
+    return _congestion_timelines(slots, times_flat, capacity, burst)
+
+
+def _route_uniform(
+    u: np.ndarray,
+    neighbor_slots: np.ndarray,
+    live: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Uniform pick among each row's live neighbors.
+
+    ``u`` holds each packet's pre-assigned uniform draw for this hop;
+    the pick is ``min(int(u * k), k - 1)`` over the row's ``k`` live
+    neighbors in table order — the same arithmetic the event engine
+    applies to the same per-packet uniform (see
+    :func:`repro.simulation.packet_sim.uniform_index`), so matching
+    live sets yield matching choices, and re-evaluating with a refined
+    live set consumes nothing. Returns ``(routable, chosen)``: rows
+    with no live neighbor are marked unroutable and their ``chosen``
+    entry is meaningless — callers must mask with ``routable``.
+    """
+    options = live.sum(axis=1)
+    routable = options > 0
+    counts = np.maximum(options, 1)
+    pick = np.minimum((u * counts).astype(np.int64), counts - 1)
+    ranks = np.cumsum(live, axis=1)
+    choice_col = (ranks <= pick[:, None]).sum(axis=1)
+    np.minimum(choice_col, live.shape[1] - 1, out=choice_col)
+    chosen = neighbor_slots[np.arange(len(options)), choice_col]
+    return routable, chosen
+
+
+def _congested_at(
+    timelines: Dict[int, Tuple[np.ndarray, np.ndarray]],
+    neighbor_slots: np.ndarray,
+    decision_times: np.ndarray,
+) -> np.ndarray:
+    """Congestion mask for a ``(packets, m)`` neighbor matrix at the
+    per-packet decision times."""
+    congested = np.zeros(neighbor_slots.shape, dtype=bool)
+    for slot, (times, flags) in timelines.items():
+        hit = neighbor_slots == slot
+        if not bool(hit.any()):
+            continue
+        index = np.searchsorted(times, decision_times, side="right") - 1
+        state = np.where(index >= 0, flags[np.maximum(index, 0)], False)
+        congested |= hit & state[:, None]
+    return congested
+
+
+# ----------------------------------------------------------------------
+# Fast engine
+# ----------------------------------------------------------------------
+
+
+def run_fast(
+    deployment: SOSDeployment,
+    config: PacketSimConfig,
+    rng: Any = None,
+    flood_targets: Optional[Sequence[int]] = None,
+    client_contacts: Optional[Sequence[Sequence[int]]] = None,
+    streams: Optional[Tuple[Sequence[np.random.Generator], np.random.Generator, np.random.Generator]] = None,
+) -> PacketSimReport:
+    """Run the vectorized packet engine; returns a :class:`PacketSimReport`.
+
+    Semantics mirror :meth:`PacketLevelSimulation.run`: Poisson clients
+    inject from ``warmup`` to ``duration``, floods consume capacity at
+    their targets without being forwarded, every arrival offers one
+    token, packets route uniformly among next-layer neighbors that are
+    healthy and not congested, and filter-layer acceptances count as
+    deliveries at ``(layers + 1) * hop_latency`` latency.
+
+    ``streams`` is the ``(arrival_streams, routing_rng, flood_master)``
+    triple :class:`PacketLevelSimulation` spawns; when absent it is
+    spawned here from ``rng`` with the identical construction, so a
+    standalone ``run_fast(dep, cfg, rng=seed)`` matches
+    ``PacketLevelSimulation(dep, cfg, rng=seed).run(fast=True)``.
+    """
+    generator = make_rng(rng)
+    arrays = encode_deployment(deployment)
+    layers = arrays.layers
+    capacity = config.node_capacity
+    burst = 2.0 * config.node_capacity
+    report = PacketSimReport()
+
+    if client_contacts is None:
+        client_contacts = [
+            deployment.sample_client_contacts(generator)
+            for _ in range(config.clients)
+        ]
+    if streams is None:
+        spawned = generator.spawn(config.clients + 2)
+        streams = (
+            spawned[: config.clients],
+            spawned[config.clients],
+            spawned[config.clients + 1],
+        )
+    arrival_streams, routing_rng, flood_master = streams
+    contact_matrix = np.asarray(
+        [[arrays.slot_of[n] for n in contacts] for contacts in client_contacts],
+        dtype=np.int64,
+    )
+
+    targets = sorted(flood_targets or ())
+    for target in targets:
+        if target not in arrays.slot_of:
+            raise SimulationError(
+                f"flood target {target} is not an SOS node or filter"
+            )
+    target_slots = [arrays.slot_of[t] for t in targets]
+
+    # --- pre-sample every Poisson source -----------------------------
+    injection_rows = [
+        _poisson_row(stream, config.client_rate, config.duration)
+        for stream in arrival_streams
+    ]
+    flood_streams = flood_master.spawn(len(targets)) if targets else []
+    flood_rows = [
+        _poisson_row(stream, config.flood_rate, config.duration)
+        for stream in flood_streams
+    ]
+    report.attack_packets_absorbed = int(sum(len(row) for row in flood_rows))
+    flood_by_slot = {
+        slot: times for slot, times in zip(target_slots, flood_rows)
+    }
+    timelines = _flood_congestion_timelines(
+        target_slots, flood_rows, capacity, burst
+    )
+
+    client_index = np.concatenate(
+        [
+            np.full(len(row), index, dtype=np.int64)
+            for index, row in enumerate(injection_rows)
+        ]
+    ) if injection_rows else np.zeros(0, dtype=np.int64)
+    inject_t = (
+        np.concatenate(injection_rows) if injection_rows else np.zeros(0)
+    )
+    warm = inject_t >= config.warmup
+    inject_t = inject_t[warm]
+    client_index = client_index[warm]
+    # Global injection order: the event engine draws each packet's
+    # choice vector at its injection instant, so row k of the block
+    # below must belong to the k-th post-warmup injection in time order.
+    order = np.argsort(inject_t, kind="stable")
+    inject_t = inject_t[order]
+    client_index = client_index[order]
+    report.sent = int(len(inject_t))
+
+    # One uniform per decision, pre-assigned per packet: column 0 picks
+    # the entry contact, column h the forwarding target out of layer h.
+    # The event engine draws the same (layers + 1)-vector per packet at
+    # injection time, so this matrix is bit-identical to its draws.
+    choice_u = routing_rng.random((len(inject_t), layers + 1))
+    contact_count = contact_matrix.shape[1]
+    entry_choice = np.minimum(
+        (choice_u[:, 0] * contact_count).astype(np.int64),
+        contact_count - 1,
+    )
+    current = contact_matrix[client_index, entry_choice]
+
+    # --- per-node final capacity counters (for congested_nodes) ------
+    final_offers: Dict[int, Tuple[int, int]] = {}
+
+    # Arrival clocks accumulate one hop_latency per layer — the same
+    # sequence of float additions the event scheduler performs — so the
+    # degenerate single-packet report matches the oracle bit for bit.
+    sent_t = inject_t
+    arrive_t = inject_t
+
+    # --- hop-synchronous advance -------------------------------------
+    for layer in range(1, layers + 2):
+        if len(arrive_t) == 0 and not any(
+            arrays.layer_of[slot] == layer for slot in target_slots
+        ):
+            continue
+        arrive_t = arrive_t + config.hop_latency
+        arrival_t = arrive_t
+        if len(arrival_t):
+            report.arrivals_per_layer[layer] = (
+                report.arrivals_per_layer.get(layer, 0) + int(len(arrival_t))
+            )
+
+        # Merge this layer's legitimate arrivals with the floods aimed
+        # at its members, then replay every member's token bucket.
+        layer_flood_slots = [
+            slot for slot in target_slots if arrays.layer_of[slot] == layer
+        ]
+        event_slots = [current]
+        event_times = [arrival_t]
+        legit_count = len(arrival_t)
+        for slot in layer_flood_slots:
+            event_slots.append(
+                np.full(len(flood_by_slot[slot]), slot, dtype=np.int64)
+            )
+            event_times.append(flood_by_slot[slot])
+        slots_flat = np.concatenate(event_slots)
+        times_flat = np.concatenate(event_times)
+        if len(slots_flat) == 0:
+            continue
+        accept_flat, unique_slots, accepted_per, dropped_per = (
+            _grouped_bucket_scan(slots_flat, times_flat, capacity, burst)
+        )
+        for group, slot in enumerate(unique_slots):
+            final_offers[int(slot)] = (
+                int(accepted_per[group]),
+                int(dropped_per[group]),
+            )
+        accept = accept_flat[:legit_count]
+
+        ok = accept & ~arrays.is_bad[current]
+        stage_drops = int(legit_count - int(ok.sum()))
+        if stage_drops:
+            report.dropped_at_congested += stage_drops
+            report.drops_per_layer[layer] = (
+                report.drops_per_layer.get(layer, 0) + stage_drops
+            )
+
+        if layer == layers + 1:
+            delivered = int(ok.sum())
+            report.delivered += delivered
+            for value in (arrive_t[ok] - sent_t[ok]).tolist():
+                report.record_latency(value, keep=config.keep_latencies)
+            break
+
+        sent_t = sent_t[ok]
+        arrive_t = arrive_t[ok]
+        decision_t = arrival_t[ok]
+        choice_u = choice_u[ok]
+        survivors = current[ok]
+        if len(survivors) == 0:
+            current = survivors
+            continue
+        neighbor_slots = arrays.neighbors[layer][arrays.local_of[survivors]]
+        healthy_next = ~arrays.is_bad[neighbor_slots]
+
+        # Two-pass routing. Pass 1 routes against the flood-only
+        # congestion view; pass 2 rebuilds the next layer's congestion
+        # timelines from its floods *plus* the tentative legitimate
+        # arrivals of pass 1, then re-routes. The refinement catches
+        # nodes congested by legitimate overload alone, which the
+        # flood-only view cannot see (the residual error is the
+        # second-order effect of re-routing on those arrival streams).
+        hop_u = choice_u[:, layer]
+        live = healthy_next & ~_congested_at(
+            timelines, neighbor_slots, decision_t
+        )
+        routable, chosen = _route_uniform(hop_u, neighbor_slots, live)
+        tentative_arrival = arrive_t + config.hop_latency
+        next_flood = [
+            slot for slot in target_slots
+            if arrays.layer_of[slot] == layer + 1
+        ]
+        ev_slots = [chosen[routable]] + [
+            np.full(len(flood_by_slot[slot]), slot, dtype=np.int64)
+            for slot in next_flood
+        ]
+        ev_times = [tentative_arrival[routable]] + [
+            flood_by_slot[slot] for slot in next_flood
+        ]
+        refined = _congestion_timelines(
+            np.concatenate(ev_slots),
+            np.concatenate(ev_times),
+            capacity,
+            burst,
+        )
+        live = healthy_next & ~_congested_at(
+            refined, neighbor_slots, decision_t
+        )
+        # Same per-packet uniforms, refined live sets: re-evaluating is
+        # free (no stream consumption) and rows whose live set did not
+        # change keep their pass-1 choice.
+        routable, chosen = _route_uniform(hop_u, neighbor_slots, live)
+
+        stranded_count = int(len(routable) - int(routable.sum()))
+        if stranded_count:
+            report.dropped_no_neighbor += stranded_count
+            report.drops_per_layer[layer + 1] = (
+                report.drops_per_layer.get(layer + 1, 0) + stranded_count
+            )
+        sent_t = sent_t[routable]
+        arrive_t = arrive_t[routable]
+        choice_u = choice_u[routable]
+        current = chosen[routable]
+
+    report.congested_nodes = sorted(
+        int(arrays.node_ids[slot])
+        for slot, (accepted, dropped) in final_offers.items()
+        if accepted + dropped >= 10
+        and dropped / (accepted + dropped) >= 0.5
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Process-parallel replicas (PR-3 worker pattern)
+# ----------------------------------------------------------------------
+
+#: Per-worker-process state installed by :func:`_init_replica_worker`.
+_REPLICA_STATE: Dict[str, Any] = {}
+
+
+def _init_replica_worker(
+    architecture: SOSArchitecture,
+    config: PacketSimConfig,
+    layer: Optional[int],
+    fraction: float,
+    fast: bool,
+) -> None:
+    _REPLICA_STATE["architecture"] = architecture
+    _REPLICA_STATE["config"] = config
+    _REPLICA_STATE["layer"] = layer
+    _REPLICA_STATE["fraction"] = fraction
+    _REPLICA_STATE["fast"] = fast
+
+
+def _run_one_replica(
+    architecture: SOSArchitecture,
+    config: PacketSimConfig,
+    layer: Optional[int],
+    fraction: float,
+    fast: bool,
+    seed: np.random.SeedSequence,
+) -> PacketSimReport:
+    """Deploy, pick flood targets, and simulate one replica on its own
+    pre-spawned RNG stream (fully determined by ``seed``)."""
+    rng = make_rng(seed)
+    deployment = SOSDeployment.deploy(architecture, rng=rng)
+    targets: List[int] = []
+    if layer is not None and fraction > 0.0:
+        targets = flood_layer(deployment, layer, fraction, rng=rng)
+    simulation = PacketLevelSimulation(deployment, config, rng=rng)
+    return simulation.run(flood_targets=targets, fast=fast)
+
+
+def _run_replica_chunk(
+    jobs: List[Tuple[int, np.random.SeedSequence]],
+) -> List[Tuple[int, PacketSimReport]]:
+    return [
+        (
+            index,
+            _run_one_replica(
+                _REPLICA_STATE["architecture"],
+                _REPLICA_STATE["config"],
+                _REPLICA_STATE["layer"],
+                _REPLICA_STATE["fraction"],
+                _REPLICA_STATE["fast"],
+                seed,
+            ),
+        )
+        for index, seed in jobs
+    ]
+
+
+def run_packet_replicas(
+    architecture: SOSArchitecture,
+    config: PacketSimConfig,
+    replicas: int,
+    flood_layer_index: Optional[int] = None,
+    flood_fraction: float = 1.0,
+    seed: Optional[int] = None,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    fast: bool = True,
+) -> List[PacketSimReport]:
+    """Run independent packet-sim replicas, optionally across processes.
+
+    Each replica deploys a fresh SOS instance, floods ``flood_fraction``
+    of layer ``flood_layer_index`` (no flood when ``None``), and runs
+    the selected engine. Replica RNG streams are pre-spawned here in
+    replica order and reports are returned in replica order, so the
+    result is bit-identical for any ``workers`` value — the same
+    guarantee the parallel Monte Carlo estimator carries.
+
+    ``workers=0`` means "all cores"; ``workers=1`` runs in-process.
+    """
+    if replicas < 1:
+        raise SimulationError(f"replicas must be >= 1, got {replicas}")
+    if workers < 0:
+        raise SimulationError(
+            f"workers must be >= 0 (0 means all cores), got {workers}"
+        )
+    if chunk_size is not None and chunk_size < 1:
+        raise SimulationError(f"chunk_size must be >= 1, got {chunk_size}")
+    root = np.random.SeedSequence(seed)
+    seeds = root.spawn(replicas)
+    jobs = list(enumerate(seeds))
+    resolved = workers
+    if workers == 0:
+        import os
+
+        resolved = os.cpu_count() or 1
+    if resolved <= 1:
+        results = _run_replica_chunk_serial(
+            architecture, config, flood_layer_index, flood_fraction, fast, jobs
+        )
+    else:
+        chunk = chunk_size or max(1, math.ceil(len(jobs) / (resolved * 4)))
+        parts = [jobs[i : i + chunk] for i in range(0, len(jobs), chunk)]
+        results = []
+        with ProcessPoolExecutor(
+            max_workers=min(resolved, len(parts)),
+            initializer=_init_replica_worker,
+            initargs=(
+                architecture,
+                config,
+                flood_layer_index,
+                flood_fraction,
+                fast,
+            ),
+        ) as pool:
+            for part in pool.map(_run_replica_chunk, parts):
+                results.extend(part)
+    results.sort(key=lambda pair: pair[0])
+    return [report for _, report in results]
+
+
+def _run_replica_chunk_serial(
+    architecture: SOSArchitecture,
+    config: PacketSimConfig,
+    layer: Optional[int],
+    fraction: float,
+    fast: bool,
+    jobs: List[Tuple[int, np.random.SeedSequence]],
+) -> List[Tuple[int, PacketSimReport]]:
+    return [
+        (
+            index,
+            _run_one_replica(architecture, config, layer, fraction, fast, seed),
+        )
+        for index, seed in jobs
+    ]
+
+
+def mean_delivery_ratio(reports: Sequence[PacketSimReport]) -> float:
+    """Average delivery ratio over replica reports (NaN-free: replicas
+    that sent nothing contribute 0, matching ``delivery_ratio``)."""
+    if not reports:
+        raise SimulationError("no replica reports to summarize")
+    return sum(report.delivery_ratio for report in reports) / len(reports)

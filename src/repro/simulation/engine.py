@@ -51,11 +51,16 @@ class EventScheduler:
     ['a', 'b']
     """
 
+    #: Queues shorter than this are never compacted — rebuilding a
+    #: handful of entries costs more than the tombstones it reclaims.
+    COMPACTION_MIN_QUEUE = 64
+
     def __init__(self) -> None:
         self._queue: List[_ScheduledEvent] = []
         self._sequence = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._tombstones = 0
 
     @property
     def now(self) -> float:
@@ -66,6 +71,16 @@ class EventScheduler:
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def queued(self) -> int:
+        """Raw heap size, cancelled tombstones included."""
+        return len(self._queue)
+
+    @property
+    def tombstones(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._tombstones
 
     @property
     def processed(self) -> int:
@@ -95,8 +110,31 @@ class EventScheduler:
         no-op, so races between a cancel and the event firing are benign
         (the fault injector cancels pending recover events when a node
         crashes again before its scheduled recovery).
+
+        Tombstoned events used to sit in the heap until popped; a
+        cancel-heavy workload (churn injection under frequent
+        re-crashes) could grow the queue without bound. The heap is now
+        compacted whenever tombstones outnumber live events.
         """
-        event.cancel()
+        if not event.cancelled:
+            event.cancel()
+            self._tombstones += 1
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap without tombstones once they dominate it.
+
+        Triggered when more than half the queue is cancelled (and the
+        queue is big enough to be worth the O(n) rebuild), keeping heap
+        memory proportional to *live* events.
+        """
+        if (
+            len(self._queue) >= self.COMPACTION_MIN_QUEUE
+            and self._tombstones > len(self._queue) // 2
+        ):
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._tombstones = 0
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
         """Drain the queue, stopping at time ``until`` if given.
@@ -109,6 +147,7 @@ class EventScheduler:
         while self._queue:
             if self._queue[0].cancelled:
                 heapq.heappop(self._queue)
+                self._tombstones = max(0, self._tombstones - 1)
                 continue
             if until is not None and self._queue[0].time > until:
                 break
@@ -132,6 +171,7 @@ class EventScheduler:
         """
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._tombstones = max(0, self._tombstones - 1)
         if not self._queue:
             return False
         event = heapq.heappop(self._queue)

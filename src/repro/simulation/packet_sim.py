@@ -26,6 +26,17 @@ from repro.sos.deployment import SOSDeployment
 from repro.utils.seeding import SeedLike, make_rng
 
 
+def uniform_index(u: float, count: int) -> int:
+    """Map one uniform draw in ``[0, 1)`` to an index in ``[0, count)``.
+
+    Both packet engines route with this exact arithmetic (``u * count``
+    truncated, clamped for the rare upward rounding near 1.0), so a
+    shared per-packet uniform yields the same pick whenever the two
+    engines agree on the candidate set.
+    """
+    return min(int(u * count), count - 1)
+
+
 @dataclasses.dataclass(frozen=True)
 class PacketSimConfig:
     """Knobs for the packet-level run."""
@@ -37,6 +48,10 @@ class PacketSimConfig:
     node_capacity: float = 50.0
     flood_rate: float = 500.0  # attack packets per unit time per flooded node
     warmup: float = 5.0
+    #: Retain every per-packet latency in ``PacketSimReport.latencies``.
+    #: Off by default so long runs stay O(1) memory; the streaming
+    #: count/mean/max statistics are always maintained.
+    keep_latencies: bool = False
 
     def __post_init__(self) -> None:
         if self.duration <= self.warmup:
@@ -50,17 +65,39 @@ class PacketSimConfig:
 
 @dataclasses.dataclass
 class PacketSimReport:
-    """Aggregate statistics of one packet-level run."""
+    """Aggregate statistics of one packet-level run.
+
+    Latency is summarized *streaming* (Welford's online algorithm:
+    count / mean / M2 / max), so memory stays O(1) no matter how many
+    packets are delivered. The raw per-packet ``latencies`` list is
+    populated only when the run opted in via
+    ``PacketSimConfig.keep_latencies``.
+    """
 
     sent: int = 0
     delivered: int = 0
     dropped_at_congested: int = 0
     dropped_no_neighbor: int = 0
     attack_packets_absorbed: int = 0
+    latency_count: int = 0
+    latency_mean: float = 0.0
+    latency_m2: float = 0.0
+    max_latency: float = 0.0
     latencies: List[float] = dataclasses.field(default_factory=list)
     congested_nodes: List[int] = dataclasses.field(default_factory=list)
     arrivals_per_layer: Dict[int, int] = dataclasses.field(default_factory=dict)
     drops_per_layer: Dict[int, int] = dataclasses.field(default_factory=dict)
+
+    def record_latency(self, value: float, keep: bool = False) -> None:
+        """Fold one delivered-packet latency into the streaming stats."""
+        self.latency_count += 1
+        delta = value - self.latency_mean
+        self.latency_mean += delta / self.latency_count
+        self.latency_m2 += delta * (value - self.latency_mean)
+        if value > self.max_latency:
+            self.max_latency = value
+        if keep:
+            self.latencies.append(value)
 
     @property
     def delivery_ratio(self) -> float:
@@ -68,7 +105,14 @@ class PacketSimReport:
 
     @property
     def mean_latency(self) -> float:
-        return 0.0 if not self.latencies else sum(self.latencies) / len(self.latencies)
+        return 0.0 if self.latency_count == 0 else self.latency_mean
+
+    @property
+    def latency_variance(self) -> float:
+        """Population variance of delivered-packet latencies."""
+        if self.latency_count < 2:
+            return 0.0
+        return self.latency_m2 / self.latency_count
 
     def bottleneck_layer(self) -> Optional[int]:
         """The layer absorbing the most legitimate-traffic drops."""
@@ -102,27 +146,40 @@ class PacketLevelSimulation:
             deployment.sample_client_contacts(self.rng)
             for _ in range(config.clients)
         ]
+        # Dedicated RNG sub-streams (the PR-3 spawn pattern): one arrival
+        # stream per client, one routing stream, and a master that spawns
+        # one stream per flood target at run time. Both engines consume
+        # the same streams source by source, which is what makes the fast
+        # path's injection schedule — and every no-drop report — bit-
+        # identical to this event-driven oracle.
+        streams = self.rng.spawn(config.clients + 2)
+        self._arrival_streams = streams[: config.clients]
+        self._routing_rng = streams[config.clients]
+        self._flood_master = streams[config.clients + 1]
 
     # ------------------------------------------------------------------
     # Sources
     # ------------------------------------------------------------------
-    def _poisson_gap(self, rate: float) -> float:
-        return float(self.rng.exponential(1.0 / rate))
+    @staticmethod
+    def _poisson_gap(stream, rate: float) -> float:
+        return float(stream.exponential(1.0 / rate))
 
     def _start_client(self, client_index: int) -> None:
+        stream = self._arrival_streams[client_index]
+
         def emit():
             if self.scheduler.now >= self.config.duration:
                 return
             self._inject_client_packet(client_index)
             self.scheduler.schedule_after(
-                self._poisson_gap(self.config.client_rate), emit
+                self._poisson_gap(stream, self.config.client_rate), emit
             )
 
         self.scheduler.schedule_after(
-            self._poisson_gap(self.config.client_rate), emit
+            self._poisson_gap(stream, self.config.client_rate), emit
         )
 
-    def _start_flood(self, node_id: int) -> None:
+    def _start_flood(self, node_id: int, stream) -> None:
         def flood():
             if self.scheduler.now >= self.config.duration:
                 return
@@ -131,11 +188,11 @@ class PacketLevelSimulation:
             self._capacities[node_id].offer(self.scheduler.now)
             self.report.attack_packets_absorbed += 1
             self.scheduler.schedule_after(
-                self._poisson_gap(self.config.flood_rate), flood
+                self._poisson_gap(stream, self.config.flood_rate), flood
             )
 
         self.scheduler.schedule_after(
-            self._poisson_gap(self.config.flood_rate), flood
+            self._poisson_gap(stream, self.config.flood_rate), flood
         )
 
     # ------------------------------------------------------------------
@@ -145,11 +202,23 @@ class PacketLevelSimulation:
         if self.scheduler.now < self.config.warmup:
             return
         self.report.sent += 1
+        # One uniform per decision the packet could ever face — entry
+        # pick plus one forwarding pick per SOS layer — drawn as a block
+        # at injection time. Pre-assigning the whole vector makes the
+        # routing stream's consumption independent of how in-flight
+        # packets interleave, so the fast engine reproduces it exactly.
+        choices = self._routing_rng.random(
+            self.deployment.architecture.layers + 1
+        )
         contacts = self._client_contacts[client_index]
-        entry = contacts[int(self.rng.integers(0, len(contacts)))]
-        self._forward(entry, layer=1, sent_at=self.scheduler.now)
+        entry = contacts[uniform_index(float(choices[0]), len(contacts))]
+        self._forward(
+            entry, layer=1, sent_at=self.scheduler.now, choices=choices
+        )
 
-    def _forward(self, node_id: int, layer: int, sent_at: float) -> None:
+    def _forward(
+        self, node_id: int, layer: int, sent_at: float, choices
+    ) -> None:
         def arrive():
             self.report.arrivals_per_layer[layer] = (
                 self.report.arrivals_per_layer.get(layer, 0) + 1
@@ -170,7 +239,10 @@ class PacketLevelSimulation:
                 return
             if layer == self.deployment.architecture.layers + 1:
                 self.report.delivered += 1
-                self.report.latencies.append(self.scheduler.now - sent_at)
+                self.report.record_latency(
+                    self.scheduler.now - sent_at,
+                    keep=self.config.keep_latencies,
+                )
                 return
             neighbors = node.neighbors
             live = [
@@ -185,25 +257,77 @@ class PacketLevelSimulation:
                     self.report.drops_per_layer.get(layer + 1, 0) + 1
                 )
                 return
-            next_id = live[int(self.rng.integers(0, len(live)))]
-            self._forward(next_id, layer + 1, sent_at)
+            next_id = live[uniform_index(float(choices[layer]), len(live))]
+            self._forward(next_id, layer + 1, sent_at, choices)
 
         self.scheduler.schedule_after(self.config.hop_latency, arrive)
 
     # ------------------------------------------------------------------
     # Run
     # ------------------------------------------------------------------
-    def run(self, flood_targets: Optional[Sequence[int]] = None) -> PacketSimReport:
-        """Simulate ``duration`` time units, flooding ``flood_targets``."""
-        for target in flood_targets or ():
+    def drain_horizon(self) -> float:
+        """Time by which every in-flight packet has resolved.
+
+        Sources stop injecting strictly before ``duration``; a packet
+        injected at ``duration - ε`` still has ``layers + 1`` hops to
+        traverse (SOS layers plus the filter), each costing exactly
+        ``hop_latency``. One extra ``hop_latency`` of slack absorbs the
+        boundary case, replacing the former magic ``duration + 10.0``.
+        """
+        layers = self.deployment.architecture.layers
+        return self.config.duration + (layers + 2) * self.config.hop_latency
+
+    def run(
+        self,
+        flood_targets: Optional[Sequence[int]] = None,
+        fast: bool = False,
+    ) -> PacketSimReport:
+        """Simulate ``duration`` time units, flooding ``flood_targets``.
+
+        ``fast=True`` dispatches to the vectorized engine in
+        :mod:`repro.perf.fastsim` (hop-synchronous numpy batches instead
+        of one event per packet per hop). Both engines draw from the
+        same per-source RNG sub-streams, so injection schedules —
+        ``sent`` and ``attack_packets_absorbed`` — are bit-identical on
+        a matched seed, and any run where no packet drops (including
+        the degenerate single-packet case) produces a bit-identical
+        report. Once drops occur the engines' congestion views can
+        diverge (the fast path approximates next-hop congestion from
+        timelines, see :mod:`repro.perf.fastsim`), so flooded runs are
+        statistically equivalent rather than identical. The
+        event-driven path remains the oracle.
+        """
+        targets = sorted(flood_targets or ())
+        for target in targets:
             if target not in self._capacities:
                 raise SimulationError(
                     f"flood target {target} is not an SOS node or filter"
                 )
-            self._start_flood(target)
+        if fast:
+            from repro.perf.fastsim import run_fast
+
+            self.report = run_fast(
+                self.deployment,
+                self.config,
+                self.rng,
+                flood_targets,
+                client_contacts=self._client_contacts,
+                streams=(
+                    self._arrival_streams,
+                    self._routing_rng,
+                    self._flood_master,
+                ),
+            )
+            return self.report
+        # One dedicated stream per flood target, spawned in sorted-target
+        # order — the same order the fast path uses — so each target's
+        # flood schedule matches across engines.
+        flood_streams = self._flood_master.spawn(len(targets)) if targets else []
+        for target, stream in zip(targets, flood_streams):
+            self._start_flood(target, stream)
         for client_index in range(self.config.clients):
             self._start_client(client_index)
-        self.scheduler.run(until=self.config.duration + 10.0)
+        self.scheduler.run(until=self.drain_horizon())
         self.report.congested_nodes = sorted(
             node_id
             for node_id, capacity in self._capacities.items()

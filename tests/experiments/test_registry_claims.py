@@ -44,6 +44,7 @@ MC_FIGURES = [
     "fig4a-mc",
     "res-churn",
     "res-detect",
+    "res-flood",
 ]
 
 

@@ -1,0 +1,149 @@
+"""``lookup_batch`` against the per-query ``lookup`` oracle.
+
+The batch engine promises *exact* agreement — owners, hop counts, and
+success flags — with the scalar lookup on any ring state: freshly
+built, churned (failures, joins, leaves), stabilized or stale, across
+identifier-space widths, with and without a warm batch cache. These
+tests sweep random rings through random churn and check every promise,
+plus the vectorized ``rebuild_routing_state`` against its scalar
+twin and the input-validation corners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.overlay.chord import ChordRing
+
+
+def random_ring(rng, bits, size):
+    ids = sorted(
+        int(i) for i in rng.choice(2**bits, size=size, replace=False)
+    )
+    return ChordRing.build(ids, bits=bits)
+
+
+def churn(ring, rng, rounds=3):
+    """Apply random fails/joins/leaves/stabilizes, keeping >= 2 live."""
+    for _ in range(rounds):
+        action = int(rng.integers(0, 4))
+        live = ring.live_node_ids
+        if action == 0 and len(live) > 2:
+            ring.fail(int(rng.choice(live)))
+        elif action == 1 and len(live) > 2:
+            ring.leave(int(rng.choice(live)))
+        elif action == 2:
+            candidate = int(rng.integers(0, ring.space.size))
+            if candidate not in ring._nodes:
+                ring.join(candidate)
+        else:
+            ring.stabilize(rounds=1)
+
+
+def assert_batch_matches_oracle(ring, rng, queries=40):
+    live = ring.live_node_ids
+    keys = [int(k) for k in rng.integers(0, ring.space.size, size=queries)]
+    starts = [int(s) for s in rng.choice(live, size=queries)]
+    batch = ring.lookup_batch(keys, starts)
+    for i, (key, start) in enumerate(zip(keys, starts)):
+        oracle = ring.lookup(key, start=start)
+        assert bool(batch.succeeded[i]) == oracle.succeeded, (key, start)
+        assert int(batch.hops[i]) == oracle.hops, (key, start)
+        if oracle.succeeded:
+            assert int(batch.owners[i]) == oracle.owner, (key, start)
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("bits", [5, 8, 12, 16])
+    def test_fresh_ring_matches_lookup(self, bits):
+        rng = np.random.default_rng(bits)
+        ring = random_ring(rng, bits, size=min(2**bits - 1, 40))
+        assert_batch_matches_oracle(ring, rng)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_churned_ring_matches_lookup(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = int(rng.integers(5, 17))
+        ring = random_ring(rng, bits, size=min(2**bits - 1, 30))
+        churn(ring, rng, rounds=int(rng.integers(1, 6)))
+        # Twice: first call builds the epoch-keyed cache, second hits it.
+        assert_batch_matches_oracle(ring, rng)
+        assert_batch_matches_oracle(ring, rng)
+
+    def test_cache_invalidated_by_churn(self):
+        rng = np.random.default_rng(99)
+        ring = random_ring(rng, 10, size=25)
+        assert_batch_matches_oracle(ring, rng)  # warm the cache
+        ring.fail(ring.live_node_ids[3])
+        # Stale fingers + a dead node: only correct if the epoch bump
+        # forced a state rebuild.
+        assert_batch_matches_oracle(ring, rng)
+
+    def test_single_node_ring(self):
+        ring = ChordRing.build([42], bits=8)
+        batch = ring.lookup_batch([0, 41, 42, 200], starts=42)
+        assert batch.owners.tolist() == [42] * 4
+        assert batch.hops.tolist() == [0] * 4
+        assert batch.succeeded.all()
+
+    def test_wide_ring_scalar_fallback(self):
+        # 160-bit space exceeds the int64 vector limit and must fall
+        # back to looped lookups with identical results.
+        ids = [2**80, 2**120, 2**159 + 11]
+        ring = ChordRing.build(ids, bits=160)
+        keys = [0, 2**100, 2**159]
+        batch = ring.lookup_batch(keys, starts=ids[0])
+        for i, key in enumerate(keys):
+            oracle = ring.lookup(key, start=ids[0])
+            assert int(batch.owners[i]) == oracle.owner
+            assert int(batch.hops[i]) == oracle.hops
+
+
+class TestRebuildEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_vectorized_rebuild_matches_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = int(rng.integers(5, 14))
+        vec = random_ring(rng, bits, size=min(2**bits - 1, 30))
+        scalar = ChordRing.build(vec.live_node_ids, bits=bits)
+        scalar._rebuild_routing_state_scalar()
+        for node_id in vec.live_node_ids:
+            a, b = vec.node(node_id), scalar.node(node_id)
+            assert a.fingers == b.fingers
+            assert a.successor_list == b.successor_list
+            assert a.predecessor == b.predecessor
+
+
+class TestValidation:
+    @pytest.fixture()
+    def ring(self):
+        return ChordRing.build([1, 18, 36, 99, 200], bits=8)
+
+    def test_empty_batch(self, ring):
+        batch = ring.lookup_batch([], starts=[])
+        assert len(batch.owners) == len(batch.hops) == 0
+        assert batch.succeeded.dtype == bool
+
+    def test_scalar_start_broadcasts(self, ring):
+        batch = ring.lookup_batch([5, 37, 150], starts=1)
+        for i, key in enumerate([5, 37, 150]):
+            assert int(batch.owners[i]) == ring.lookup(key, start=1).owner
+
+    def test_length_mismatch(self, ring):
+        with pytest.raises(ConfigurationError):
+            ring.lookup_batch([1, 2, 3], starts=[1, 18])
+
+    def test_out_of_range_key(self, ring):
+        with pytest.raises(ConfigurationError):
+            ring.lookup_batch([5, 300], starts=1)
+
+    def test_dead_start_rejected(self, ring):
+        ring.fail(18)
+        with pytest.raises(RoutingError):
+            ring.lookup_batch([5], starts=18)
+
+    def test_unknown_start_rejected(self, ring):
+        with pytest.raises(RoutingError):
+            ring.lookup_batch([5], starts=77)

@@ -171,3 +171,50 @@ class TestCancellation:
         assert scheduler.step() is True
         assert log == ["b"]
         assert scheduler.step() is False
+
+
+class TestCompaction:
+    def test_tombstones_reclaimed_when_dominating(self):
+        # Regression: cancelled events used to sit in the heap until
+        # popped, so a cancel-heavy workload grew the queue without
+        # bound. Cancelling more than half of a large queue must now
+        # shrink the raw heap down to the live events.
+        scheduler = EventScheduler()
+        events = [
+            scheduler.schedule_at(float(i + 1), lambda: None)
+            for i in range(EventScheduler.COMPACTION_MIN_QUEUE * 2)
+        ]
+        assert scheduler.queued == len(events)
+        for event in events[::2]:
+            scheduler.cancel(event)
+        # One more cancel pushes tombstones past half the queue.
+        scheduler.cancel(events[1])
+        assert scheduler.tombstones == 0
+        assert scheduler.queued == len(events) // 2 - 1
+        assert scheduler.pending == scheduler.queued
+
+    def test_small_queues_never_compacted(self):
+        scheduler = EventScheduler()
+        events = [
+            scheduler.schedule_at(float(i + 1), lambda: None)
+            for i in range(EventScheduler.COMPACTION_MIN_QUEUE - 1)
+        ]
+        for event in events:
+            scheduler.cancel(event)
+        # All tombstoned, but below the size floor: heap left alone.
+        assert scheduler.queued == len(events)
+        assert scheduler.tombstones == len(events)
+
+    def test_compaction_preserves_execution_order(self):
+        scheduler = EventScheduler()
+        log = []
+        keep = []
+        for i in range(EventScheduler.COMPACTION_MIN_QUEUE * 2):
+            time = float(i + 1)
+            if i % 3 == 0:
+                keep.append((time, scheduler.schedule_at(time, lambda t=time: log.append(t))))
+            else:
+                scheduler.cancel(scheduler.schedule_at(time, lambda: log.append("wrong")))
+        scheduler.run()
+        assert log == [time for time, _ in keep]
+        assert scheduler.queued == 0

@@ -133,3 +133,58 @@ class TestFloodLayerHelper:
     def test_bad_fraction_rejected(self):
         with pytest.raises(SimulationError):
             flood_layer(deployment(), layer=2, fraction=0.0)
+
+
+class TestDrainHorizon:
+    def test_computed_bound(self):
+        sim = PacketLevelSimulation(deployment(), CONFIG, rng=1)
+        layers = sim.deployment.architecture.layers
+        expected = CONFIG.duration + (layers + 2) * CONFIG.hop_latency
+        assert sim.drain_horizon() == pytest.approx(expected)
+
+    def test_every_inflight_packet_resolves(self):
+        # Nothing may be lost to the horizon: sent packets either
+        # deliver or drop, never silently expire in flight.
+        report = PacketLevelSimulation(deployment(), CONFIG, rng=3).run()
+        accounted = (
+            report.delivered
+            + report.dropped_at_congested
+            + report.dropped_no_neighbor
+        )
+        assert accounted == report.sent
+
+
+class TestStreamingLatency:
+    def test_latencies_list_off_by_default(self):
+        report = PacketLevelSimulation(deployment(), CONFIG, rng=1).run()
+        assert report.delivered > 0
+        assert report.latencies == []
+        assert report.latency_count == report.delivered
+
+    def test_keep_latencies_populates_list(self):
+        config = PacketSimConfig(
+            duration=20.0, warmup=2.0, keep_latencies=True
+        )
+        report = PacketLevelSimulation(deployment(), config, rng=1).run()
+        assert len(report.latencies) == report.delivered
+
+    def test_streaming_stats_match_kept_list(self):
+        config = PacketSimConfig(
+            duration=20.0, warmup=2.0, keep_latencies=True
+        )
+        report = PacketLevelSimulation(deployment(), config, rng=2).run()
+        values = report.latencies
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert report.mean_latency == pytest.approx(mean)
+        assert report.latency_variance == pytest.approx(var, abs=1e-12)
+        assert report.max_latency == pytest.approx(max(values))
+
+    def test_variance_degenerate_cases(self):
+        from repro.simulation.packet_sim import PacketSimReport
+
+        report = PacketSimReport()
+        assert report.latency_variance == 0.0
+        report.record_latency(0.3)
+        assert report.latency_variance == 0.0
+        assert report.max_latency == 0.3
