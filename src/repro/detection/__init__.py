@@ -1,0 +1,60 @@
+"""Online attack detection, packet-marking traceback, and the repair loop.
+
+The subsystem has three cooperating parts (see ``docs/DETECTION.md``):
+
+* :mod:`repro.detection.monitor` — per-node binned traffic counters
+  with EWMA/CUSUM change-point detection over the packet stream, no
+  oracle access to attacker state.
+* :mod:`repro.detection.marking` / :mod:`repro.detection.traceback` —
+  probabilistic packet marking over synthetic attack paths and
+  reconstruction of the attack graph from collected marks, after
+  Barak-Pelleg et al. (arXiv:2304.05204, arXiv:2304.05123).
+* :mod:`repro.detection.feed` / :mod:`repro.detection.loop` — adapters
+  feeding detection output into
+  :class:`~repro.repair.defender.RepairingDefender` and the multi-phase
+  detect → traceback → repair campaign driver.
+"""
+
+from repro.detection.feed import MonitorBackedDetector, OracleFloodDetector
+from repro.detection.loop import (
+    DetectionRepairLoop,
+    LOOP_MODES,
+    LoopResult,
+    PhaseOutcome,
+)
+from repro.detection.marking import (
+    AttackGraph,
+    AttackPath,
+    MarkCollector,
+    MarkTally,
+    MarkingConfig,
+    PacketMark,
+    build_attack_graph,
+)
+from repro.detection.monitor import MonitorConfig, TrafficMonitor
+from repro.detection.traceback import (
+    AttackGraphReconstructor,
+    ReconstructedPath,
+    TracebackReport,
+)
+
+__all__ = [
+    "MonitorConfig",
+    "TrafficMonitor",
+    "MarkingConfig",
+    "AttackPath",
+    "AttackGraph",
+    "build_attack_graph",
+    "PacketMark",
+    "MarkTally",
+    "MarkCollector",
+    "AttackGraphReconstructor",
+    "ReconstructedPath",
+    "TracebackReport",
+    "MonitorBackedDetector",
+    "OracleFloodDetector",
+    "DetectionRepairLoop",
+    "LoopResult",
+    "PhaseOutcome",
+    "LOOP_MODES",
+]

@@ -1,0 +1,237 @@
+"""The closed loop: detect → traceback → targeted repair.
+
+:class:`DetectionRepairLoop` runs a multi-phase flooding campaign
+against one deployment. Each phase simulates the flood with a fresh
+:class:`~repro.detection.monitor.TrafficMonitor` attached, then lets a
+:class:`~repro.repair.defender.RepairingDefender` act between phases:
+
+* ``mode="none"`` — no repair; the flood persists (lower bound).
+* ``mode="oracle"`` — the defender is fed the ground-truth flood
+  targets (:class:`~repro.detection.feed.OracleFloodDetector`), the
+  omniscient upper bound matching the paper's defender.
+* ``mode="detected"`` — the defender sees only what the monitor
+  flagged (:class:`~repro.detection.feed.MonitorBackedDetector`):
+  detection latency and false positives are paid for real.
+
+Repairing a flooded node models re-keying + re-wiring: the attacker's
+flood was aimed at the node's overlay identity, so once repaired the
+node leaves the active flood set for subsequent phases (its capacity is
+no longer consumed by attack traffic). Repairing a false positive
+spends defender capacity for nothing — the cost the detection-driven
+curve pays relative to the oracle.
+
+Seeding follows the library-wide discipline: one
+:class:`~numpy.random.SeedSequence` fans out into deployment, target
+selection, defender, and per-phase simulation streams, so phase 0 is
+bit-comparable across modes (they diverge only through repair) and
+``fast=True``/``fast=False`` runs are engine-equivalent in the usual
+two-tier sense.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.architecture import SOSArchitecture
+from repro.detection.feed import MonitorBackedDetector, OracleFloodDetector
+from repro.detection.marking import (
+    AttackGraph,
+    MarkCollector,
+    MarkingConfig,
+    build_attack_graph,
+)
+from repro.detection.monitor import MonitorConfig, TrafficMonitor
+from repro.errors import DetectionError
+from repro.repair.policy import RepairPolicy
+from repro.repair.defender import RepairingDefender
+from repro.simulation.packet_sim import (
+    PacketLevelSimulation,
+    PacketSimConfig,
+    flood_layer,
+)
+from repro.sos.deployment import SOSDeployment
+from repro.utils.seeding import make_rng
+
+__all__ = ["PhaseOutcome", "LoopResult", "DetectionRepairLoop", "LOOP_MODES"]
+
+LOOP_MODES = ("none", "oracle", "detected")
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseOutcome:
+    """What one flood phase delivered and what the defender did about it.
+
+    ``flagged`` is what the monitor's change-point detection reported
+    (recorded in every mode — observation is free); ``repaired`` is what
+    the defender actually acted on, which depends on the mode.
+    """
+
+    phase: int
+    delivery_ratio: float
+    flooded: Tuple[int, ...]
+    flagged: Tuple[int, ...]
+    repaired: Tuple[int, ...]
+
+    @property
+    def false_positives(self) -> Tuple[int, ...]:
+        """Flagged nodes that were not actually under flood."""
+        under_flood = set(self.flooded)
+        return tuple(n for n in self.flagged if n not in under_flood)
+
+    @property
+    def detected_true(self) -> Tuple[int, ...]:
+        """Flagged nodes that really were under flood."""
+        under_flood = set(self.flooded)
+        return tuple(n for n in self.flagged if n in under_flood)
+
+
+@dataclasses.dataclass
+class LoopResult:
+    """Full outcome of a multi-phase detection/repair campaign."""
+
+    mode: str
+    outcomes: List[PhaseOutcome]
+    initial_targets: Tuple[int, ...]
+    graph: Optional[AttackGraph]
+    collector: Optional[MarkCollector]
+
+    @property
+    def final_delivery(self) -> float:
+        return self.outcomes[-1].delivery_ratio
+
+    @property
+    def delivery_per_phase(self) -> List[float]:
+        return [outcome.delivery_ratio for outcome in self.outcomes]
+
+    @property
+    def total_repaired(self) -> int:
+        return sum(len(outcome.repaired) for outcome in self.outcomes)
+
+
+class DetectionRepairLoop:
+    """Drive repeated flood phases with between-phase repair.
+
+    Parameters mirror the packet-sim experiment harnesses: the
+    architecture and sim config define the scenario, the monitor config
+    tunes detection, the policy bounds repair (its
+    ``detection_probability`` must be 1 — probabilistic detection is the
+    *detector's* job here), and an optional marking config additionally
+    collects packet marks during phase 0 for traceback analysis.
+    """
+
+    def __init__(
+        self,
+        architecture: SOSArchitecture,
+        sim_config: PacketSimConfig,
+        monitor_config: MonitorConfig,
+        policy: RepairPolicy,
+        marking_config: Optional[MarkingConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if policy.is_noop:
+            raise DetectionError(
+                "repair policy is a no-op (detection_probability <= 0); "
+                "detector-driven repair needs detection_probability=1.0"
+            )
+        self.architecture = architecture
+        self.sim_config = sim_config
+        self.monitor_config = monitor_config
+        self.policy = policy
+        self.marking_config = marking_config
+        self.seed = seed
+
+    def run(
+        self,
+        mode: str = "detected",
+        phases: int = 3,
+        flood_layer_index: int = 1,
+        flood_fraction: float = 0.5,
+        fast: bool = True,
+    ) -> LoopResult:
+        """Run ``phases`` flood phases under the given repair ``mode``."""
+        if mode not in LOOP_MODES:
+            raise DetectionError(
+                f"mode must be one of {LOOP_MODES}, got {mode!r}"
+            )
+        if phases < 1:
+            raise DetectionError(f"phases must be >= 1, got {phases}")
+        seeds = np.random.SeedSequence(self.seed).spawn(3 + phases)
+        deployment = SOSDeployment.deploy(
+            self.architecture, rng=make_rng(seeds[0])
+        )
+        targets = flood_layer(
+            deployment,
+            flood_layer_index,
+            flood_fraction,
+            rng=make_rng(seeds[1]),
+        )
+
+        graph: Optional[AttackGraph] = None
+        collector: Optional[MarkCollector] = None
+        if self.marking_config is not None:
+            graph = build_attack_graph(targets, self.marking_config)
+            collector = MarkCollector(graph, self.marking_config)
+
+        defender: Optional[RepairingDefender] = None
+        oracle_feed: Optional[OracleFloodDetector] = None
+        monitor_feed: Optional[MonitorBackedDetector] = None
+        if mode == "oracle":
+            oracle_feed = OracleFloodDetector(targets)
+            defender = RepairingDefender(
+                self.policy, rng=make_rng(seeds[2]), detector=oracle_feed
+            )
+        elif mode == "detected":
+            monitor_feed = MonitorBackedDetector()
+            defender = RepairingDefender(
+                self.policy, rng=make_rng(seeds[2]), detector=monitor_feed
+            )
+
+        active = list(targets)
+        outcomes: List[PhaseOutcome] = []
+        for phase in range(phases):
+            monitor = TrafficMonitor(self.monitor_config)
+            simulation = PacketLevelSimulation(
+                deployment,
+                self.sim_config,
+                rng=make_rng(seeds[3 + phase]),
+                monitor=monitor,
+                marking=collector if phase == 0 else None,
+            )
+            report = simulation.run(flood_targets=active, fast=fast)
+            flagged = tuple(monitor.flagged_nodes())
+
+            repaired: Tuple[int, ...] = ()
+            if defender is not None:
+                if oracle_feed is not None:
+                    oracle_feed.retarget(active)
+                if monitor_feed is not None:
+                    monitor_feed.attach(monitor)
+                defender.scan_and_repair(
+                    deployment, knowledge=None, now=float(phase)
+                )
+                repaired = tuple(defender.last_repaired)
+            outcomes.append(
+                PhaseOutcome(
+                    phase=phase,
+                    delivery_ratio=report.delivery_ratio,
+                    flooded=tuple(active),
+                    flagged=flagged,
+                    repaired=repaired,
+                )
+            )
+            # A repaired node is re-keyed: the attacker's flood against
+            # its old identity no longer lands, so it leaves the active
+            # set for later phases.
+            if repaired:
+                gone = set(repaired)
+                active = [n for n in active if n not in gone]
+        return LoopResult(
+            mode=mode,
+            outcomes=outcomes,
+            initial_targets=tuple(targets),
+            graph=graph,
+            collector=collector,
+        )

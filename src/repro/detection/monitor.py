@@ -1,0 +1,381 @@
+"""Online congestion detection from the packet stream itself.
+
+The resilience subsystem's :class:`~repro.resilience.detector.FailureDetector`
+observes node *health* — an oracle bit the packet level never exposes. A
+real SOS operator only sees traffic: how many packets each overlay node
+was offered and how many it dropped. :class:`TrafficMonitor` is that
+operator's view. Both packet engines feed it the same per-node offer
+stream (accept/drop results of every token-bucket offer), it folds the
+stream into fixed-width time bins, and classical change-point statistics
+over the binned load — EWMA with an adaptive baseline, or a one-sided
+CUSUM — flag the nodes whose offered load jumped, with **no access to
+attacker state**.
+
+Design constraints, in order:
+
+1. **Order-insensitive state.** The event-driven engine observes offers
+   one at a time in global time order; the vectorized engine observes
+   them in per-layer batches. Monitor state is therefore pure per-bin
+   *counts* — integer sums commute — so the two engines produce
+   bit-identical monitors whenever they produce identical offer streams
+   (always at layer 1, everywhere when nothing drops; see
+   ``tests/detection/test_equivalence.py``).
+2. **Off the hot path.** ``observe``/``observe_batch`` only append to
+   buffers; binning and the change-point scans run lazily at the first
+   statistics query. Attaching a monitor must not erode the fast
+   engine's throughput (``benchmarks/bench_detection.py`` bounds the
+   overhead).
+3. **Determinism.** Detection is a pure function of the binned counts
+   and the :class:`MonitorConfig`; no RNG stream is consumed, so an
+   attached monitor cannot perturb any simulation output.
+
+The detector math is documented in ``docs/DETECTION.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import DetectionError
+
+__all__ = ["MonitorConfig", "TrafficMonitor"]
+
+#: Per-node bin indices are packed next to node ids in one int64 code;
+#: runs longer than this many bins per node would overflow the packing.
+_BIN_STRIDE = 1 << 20
+
+_METHODS = ("cusum", "ewma")
+
+
+@dataclasses.dataclass(frozen=True)
+class MonitorConfig:
+    """Tuning of the traffic monitor's change-point detection.
+
+    Attributes
+    ----------
+    bin_width:
+        Width (simulation time units) of the counting bins.
+    method:
+        ``"cusum"`` (default) or ``"ewma"``.
+    threshold:
+        Decision threshold ``h`` in baseline-sigma units: the CUSUM
+        statistic (or the EWMA's excursion above the baseline) must
+        exceed it to flag the node. Larger = fewer false positives,
+        longer detection latency — exactly monotone in both directions.
+    drift:
+        CUSUM slack ``k`` (sigma units) subtracted from every
+        standardized deviation; absorbs benign load fluctuation.
+    ewma_alpha:
+        Smoothing factor of the EWMA statistic.
+    warmup_bins:
+        Leading bins ignored entirely (e.g. the simulation warmup where
+        clients are silent).
+    baseline_bins:
+        Bins immediately after the warmup used to estimate the per-node
+        baseline mean and sigma. Detection only scans later bins.
+    min_sigma:
+        Floor on the baseline sigma (quiet nodes would otherwise divide
+        by ~0); the Poisson floor ``sqrt(mean)`` is applied as well.
+    """
+
+    bin_width: float = 0.5
+    method: str = "cusum"
+    threshold: float = 8.0
+    drift: float = 0.5
+    ewma_alpha: float = 0.2
+    warmup_bins: int = 0
+    baseline_bins: int = 4
+    min_sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bin_width <= 0:
+            raise DetectionError(
+                f"bin_width must be > 0, got {self.bin_width}"
+            )
+        if self.method not in _METHODS:
+            raise DetectionError(
+                f"method must be one of {_METHODS}, got {self.method!r}"
+            )
+        if self.threshold <= 0:
+            raise DetectionError(
+                f"threshold must be > 0, got {self.threshold}"
+            )
+        if self.drift < 0:
+            raise DetectionError(f"drift must be >= 0, got {self.drift}")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise DetectionError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.warmup_bins < 0:
+            raise DetectionError(
+                f"warmup_bins must be >= 0, got {self.warmup_bins}"
+            )
+        if self.baseline_bins < 1:
+            raise DetectionError(
+                f"baseline_bins must be >= 1, got {self.baseline_bins}"
+            )
+        if self.min_sigma <= 0:
+            raise DetectionError(
+                f"min_sigma must be > 0, got {self.min_sigma}"
+            )
+
+
+def _detection_bin(
+    series: npt.NDArray[np.float64], config: MonitorConfig
+) -> Optional[int]:
+    """First bin index at which the statistic crosses the threshold.
+
+    ``series`` is the full offered-count-per-bin array from bin 0. The
+    scan starts after the warmup and baseline windows; returns ``None``
+    when the statistic never crosses. For a fixed series the result is
+    exactly monotone in ``threshold``: the CUSUM/EWMA trajectory does
+    not depend on it, so a larger threshold can only be crossed later
+    (or never).
+    """
+    start = config.warmup_bins
+    base_end = start + config.baseline_bins
+    if len(series) <= base_end:
+        return None
+    baseline = series[start:base_end]
+    mean = float(baseline.mean())
+    sigma = max(
+        float(baseline.std()), math.sqrt(max(mean, 0.0)), config.min_sigma
+    )
+    if config.method == "cusum":
+        statistic = 0.0
+        for index in range(base_end, len(series)):
+            deviation = (float(series[index]) - mean) / sigma
+            statistic = max(0.0, statistic + deviation - config.drift)
+            if statistic > config.threshold:
+                return index
+        return None
+    smoothed = mean
+    for index in range(base_end, len(series)):
+        smoothed = (
+            config.ewma_alpha * float(series[index])
+            + (1.0 - config.ewma_alpha) * smoothed
+        )
+        if (smoothed - mean) / sigma > config.threshold:
+            return index
+    return None
+
+
+class TrafficMonitor:
+    """Per-node binned traffic counters with change-point detection.
+
+    Attach one instance to a single simulation run (either engine); the
+    engines call :meth:`observe` / :meth:`observe_batch` for every
+    token-bucket offer. All statistics queries aggregate lazily.
+    """
+
+    def __init__(self, config: MonitorConfig = MonitorConfig()) -> None:
+        self.config = config
+        #: node -> bin -> [offered, dropped]
+        self._bins: Dict[int, Dict[int, List[int]]] = {}
+        self._last_bin: int = -1
+        self.observations: int = 0
+        # Append-only buffers drained into ``_bins`` on the next query.
+        self._buffer_nodes: List[npt.NDArray[np.int64]] = []
+        self._buffer_times: List[npt.NDArray[np.float64]] = []
+        self._buffer_accepted: List[npt.NDArray[np.bool_]] = []
+        self._scalar_nodes: List[int] = []
+        self._scalar_times: List[float] = []
+        self._scalar_accepted: List[bool] = []
+
+    # ------------------------------------------------------------------
+    # Observation (hot path: append only)
+    # ------------------------------------------------------------------
+    def observe(self, node_id: int, time: float, accepted: bool) -> None:
+        """Record one offer at ``node_id``: accepted or dropped."""
+        self._scalar_nodes.append(node_id)
+        self._scalar_times.append(time)
+        self._scalar_accepted.append(accepted)
+        self.observations += 1
+
+    def observe_batch(
+        self,
+        node_ids: npt.NDArray[np.int64],
+        times: npt.NDArray[np.float64],
+        accepted: npt.NDArray[np.bool_],
+    ) -> None:
+        """Record a batch of offers (vectorized engine entry point)."""
+        if not (len(node_ids) == len(times) == len(accepted)):
+            raise DetectionError("observe_batch arrays must align")
+        if len(node_ids) == 0:
+            return
+        self._buffer_nodes.append(np.asarray(node_ids, dtype=np.int64))
+        self._buffer_times.append(np.asarray(times, dtype=np.float64))
+        self._buffer_accepted.append(np.asarray(accepted, dtype=np.bool_))
+        self.observations += int(len(node_ids))
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        """Fold every buffered observation into the per-bin counters.
+
+        The scalar and batch buffers go through the identical numpy
+        binning arithmetic (``int64(time / bin_width)``), so a monitor
+        fed one offer at a time and a monitor fed the same offers in
+        batches end up bit-identical.
+        """
+        if self._scalar_nodes:
+            self._buffer_nodes.append(
+                np.asarray(self._scalar_nodes, dtype=np.int64)
+            )
+            self._buffer_times.append(
+                np.asarray(self._scalar_times, dtype=np.float64)
+            )
+            self._buffer_accepted.append(
+                np.asarray(self._scalar_accepted, dtype=np.bool_)
+            )
+            self._scalar_nodes = []
+            self._scalar_times = []
+            self._scalar_accepted = []
+        if not self._buffer_nodes:
+            return
+        nodes = np.concatenate(self._buffer_nodes)
+        times = np.concatenate(self._buffer_times)
+        accepted = np.concatenate(self._buffer_accepted)
+        self._buffer_nodes = []
+        self._buffer_times = []
+        self._buffer_accepted = []
+        bins = (times / self.config.bin_width).astype(np.int64)
+        if bool((bins < 0).any()):
+            raise DetectionError("observation times must be >= 0")
+        if bool((bins >= _BIN_STRIDE).any()):
+            raise DetectionError(
+                f"run spans more than {_BIN_STRIDE} bins; increase bin_width"
+            )
+        codes = nodes * _BIN_STRIDE + bins
+        unique, inverse, counts = np.unique(
+            codes, return_inverse=True, return_counts=True
+        )
+        drops = np.bincount(
+            inverse, weights=(~accepted).astype(np.float64), minlength=len(unique)
+        )
+        for code, offered, dropped in zip(
+            unique.tolist(), counts.tolist(), drops.tolist()
+        ):
+            node_id, bin_index = divmod(code, _BIN_STRIDE)
+            per_node = self._bins.setdefault(node_id, {})
+            entry = per_node.setdefault(bin_index, [0, 0])
+            entry[0] += int(offered)
+            entry[1] += int(dropped)
+            if bin_index > self._last_bin:
+                self._last_bin = bin_index
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[int]:
+        """Sorted ids of every node that was offered at least one packet."""
+        self._drain()
+        return sorted(self._bins)
+
+    def snapshot(self) -> Dict[int, Dict[int, Tuple[int, int]]]:
+        """``{node: {bin: (offered, dropped)}}`` — the full counter state."""
+        self._drain()
+        return {
+            node_id: {
+                bin_index: (entry[0], entry[1])
+                for bin_index, entry in sorted(per_node.items())
+            }
+            for node_id, per_node in self._bins.items()
+        }
+
+    def last_bin(self) -> int:
+        """Highest bin index observed so far (-1 when empty)."""
+        self._drain()
+        return self._last_bin
+
+    def series(
+        self, node_id: int, through_bin: Optional[int] = None
+    ) -> npt.NDArray[np.float64]:
+        """Offered-count-per-bin array for ``node_id`` from bin 0.
+
+        Bins in which the node saw no traffic are zeros; the array runs
+        through ``through_bin`` (inclusive; default: the monitor-wide
+        last observed bin), so every node's series spans the same
+        horizon regardless of when its traffic stopped.
+        """
+        self._drain()
+        horizon = self._last_bin if through_bin is None else through_bin
+        values = np.zeros(max(horizon + 1, 0), dtype=np.float64)
+        for bin_index, entry in self._bins.get(node_id, {}).items():
+            if bin_index <= horizon:
+                values[bin_index] = float(entry[0])
+        return values
+
+    def window_counts(
+        self, node_id: int, lo_bin: int, hi_bin: int
+    ) -> Tuple[int, int]:
+        """``(offered, dropped)`` summed over bins ``[lo_bin, hi_bin)``."""
+        self._drain()
+        offered = 0
+        dropped = 0
+        for bin_index, entry in self._bins.get(node_id, {}).items():
+            if lo_bin <= bin_index < hi_bin:
+                offered += entry[0]
+                dropped += entry[1]
+        return offered, dropped
+
+    def drop_rate(self, node_id: int) -> float:
+        """Observed drop fraction at ``node_id`` over the whole run."""
+        offered, dropped = self.window_counts(node_id, 0, _BIN_STRIDE)
+        return 0.0 if offered == 0 else dropped / offered
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def _resolved(self, config: Optional[MonitorConfig]) -> MonitorConfig:
+        return self.config if config is None else config
+
+    def detection_bin(
+        self,
+        node_id: int,
+        now: Optional[float] = None,
+        config: Optional[MonitorConfig] = None,
+    ) -> Optional[int]:
+        """Bin at which ``node_id`` was flagged (None = never).
+
+        ``now`` truncates the evidence to complete bins before it;
+        ``config`` evaluates the same counters under different detector
+        settings (threshold sweeps re-use one run's evidence).
+        """
+        resolved = self._resolved(config)
+        through = self.last_bin()
+        if now is not None:
+            through = min(through, int(now / resolved.bin_width) - 1)
+        if through < 0:
+            return None
+        return _detection_bin(self.series(node_id, through), resolved)
+
+    def detection_time(
+        self,
+        node_id: int,
+        now: Optional[float] = None,
+        config: Optional[MonitorConfig] = None,
+    ) -> Optional[float]:
+        """End time of the flagging bin (None = never flagged)."""
+        bin_index = self.detection_bin(node_id, now=now, config=config)
+        if bin_index is None:
+            return None
+        return (bin_index + 1) * self._resolved(config).bin_width
+
+    def flagged_nodes(
+        self,
+        now: Optional[float] = None,
+        config: Optional[MonitorConfig] = None,
+    ) -> List[int]:
+        """Sorted ids of every node the detector flags on current evidence."""
+        return [
+            node_id
+            for node_id in self.nodes()
+            if self.detection_bin(node_id, now=now, config=config) is not None
+        ]

@@ -1,0 +1,234 @@
+"""Attack-graph reconstruction from collected packet marks.
+
+Given the marks a victim accumulated (see
+:class:`~repro.detection.marking.MarkCollector`), the reconstructor
+rebuilds each attack path by chaining edges outward from the victim:
+start with the distance-0 marks (edges whose ``end`` is the victim) and
+repeatedly extend each partial path with the unique distance-``d+1``
+mark whose ``end`` matches the path's current tip. Because the synthetic
+attack graphs are node-disjoint, a fully-marked path always chains
+unambiguously; a path stalls only when some hop's mark has not arrived
+yet (or, under a packet *budget*, had not arrived within the budget).
+
+The packets-needed-vs-accuracy analysis follows Barak-Pelleg et al.
+(arXiv:2304.05204): a depth-``D`` path is recoverable exactly when all
+``D`` of its edge marks have been received, so the packets needed for
+one path is the *maximum* over its marks' first-arrival indices — a
+coupon-collector maximum whose tail the accuracy curves trace. Budgets
+are evaluated post-hoc against recorded first-arrival packet indices,
+so one simulation yields the whole curve.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.detection.marking import (
+    AttackGraph,
+    AttackPath,
+    MarkCollector,
+    PacketMark,
+)
+from repro.errors import DetectionError
+
+__all__ = ["ReconstructedPath", "TracebackReport", "AttackGraphReconstructor"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReconstructedPath:
+    """One path chained out of a victim's marks.
+
+    ``routers`` is ordered source-side first (same convention as
+    :class:`~repro.detection.marking.AttackPath`); ``complete`` is True
+    when the chain stopped of its own accord rather than at the
+    collector's depth limit.
+    """
+
+    victim: int
+    routers: Tuple[int, ...]
+    #: True when the chain reached the full configured path depth;
+    #: False when it stalled early (a missing mark or an ambiguity).
+    complete: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class TracebackReport:
+    """Accuracy of a reconstruction against the ground-truth graph.
+
+    Attributes
+    ----------
+    total_paths / recovered_paths / recovery_rate:
+        A true path counts as recovered when some reconstructed path
+        matches its router chain exactly.
+    packets_observed / per_victim_packets:
+        Flood packets the collector saw (overall and per victim).
+    budget:
+        The packet budget the reconstruction was restricted to
+        (``None`` = all observed packets).
+    needed_per_path:
+        For each fully-marked true path, the per-victim packet index by
+        which its last missing mark arrived — i.e. the packets that
+        victim needed to recover that path. Unrecoverable paths are
+        omitted.
+    """
+
+    total_paths: int
+    recovered_paths: int
+    recovery_rate: float
+    packets_observed: int
+    per_victim_packets: Dict[int, int]
+    budget: Optional[int]
+    needed_per_path: Tuple[int, ...]
+
+    def packets_needed(self, accuracy: float) -> Optional[int]:
+        """Smallest per-victim budget recovering ``accuracy`` of all paths.
+
+        Returns ``None`` when even the full observed stream falls short.
+        """
+        if not 0.0 < accuracy <= 1.0:
+            raise DetectionError(
+                f"accuracy must be in (0, 1], got {accuracy}"
+            )
+        required = accuracy * self.total_paths
+        if len(self.needed_per_path) < required:
+            return None
+        ranked = sorted(self.needed_per_path)
+        # Smallest k with k paths recovered >= required, then the budget
+        # is the k-th smallest per-path requirement.
+        index = -1
+        for rank, needed in enumerate(ranked, start=1):
+            if rank >= required:
+                index = rank - 1
+                break
+        if index < 0:
+            return None
+        return ranked[index]
+
+
+class AttackGraphReconstructor:
+    """Rebuild attack paths from a :class:`MarkCollector`'s tallies."""
+
+    def __init__(self, collector: MarkCollector) -> None:
+        self.collector = collector
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    def _marks_within(
+        self, victim: int, budget: Optional[int]
+    ) -> Dict[int, List[PacketMark]]:
+        """Marks available at ``victim`` under ``budget``, keyed by distance."""
+        by_distance: Dict[int, List[PacketMark]] = {}
+        for mark, tally in self.collector.marks_for(victim).items():
+            if budget is not None and tally.first_packet > budget:
+                continue
+            by_distance.setdefault(mark.distance, []).append(mark)
+        return by_distance
+
+    def reconstruct(
+        self, victim: int, budget: Optional[int] = None
+    ) -> List[ReconstructedPath]:
+        """Chain the victim's marks into paths.
+
+        ``budget`` restricts the evidence to marks first seen within the
+        victim's first ``budget`` flood packets. Chaining from a
+        distance-0 mark stops when no mark extends the tip or when two
+        candidate marks compete for it (ambiguity never arises on the
+        node-disjoint synthetic graphs, but the reconstructor does not
+        assume disjointness).
+        """
+        if budget is not None and budget < 0:
+            raise DetectionError(f"budget must be >= 0, got {budget}")
+        by_distance = self._marks_within(victim, budget)
+        depth = self.collector.config.path_depth
+        paths: List[ReconstructedPath] = []
+        for seed_mark in sorted(
+            by_distance.get(0, []), key=lambda mark: mark.start
+        ):
+            # routers accumulates victim-adjacent first; reversed at the end.
+            routers = [seed_mark.start]
+            for distance in range(1, depth):
+                candidates = [
+                    mark
+                    for mark in by_distance.get(distance, [])
+                    if mark.end == routers[-1]
+                ]
+                if len(candidates) != 1:
+                    break
+                routers.append(candidates[0].start)
+            paths.append(
+                ReconstructedPath(
+                    victim=victim,
+                    routers=tuple(reversed(routers)),
+                    complete=len(routers) == depth,
+                )
+            )
+        return paths
+
+    # ------------------------------------------------------------------
+    # Evaluation against ground truth
+    # ------------------------------------------------------------------
+    def _needed_for(self, path: AttackPath) -> Optional[int]:
+        """Per-victim packets after which ``path`` is fully marked."""
+        tallies = self.collector.marks_for(path.victim)
+        worst = 0
+        for distance in range(path.depth):
+            tally = tallies.get(path.edge_at_distance(distance))
+            if tally is None:
+                return None
+            worst = max(worst, tally.first_packet)
+        return worst
+
+    def evaluate(
+        self, graph: AttackGraph, budget: Optional[int] = None
+    ) -> TracebackReport:
+        """Reconstruct every victim and score against ``graph``.
+
+        The collector's own graph is the usual ground truth; passing a
+        different graph with other victims raises.
+        """
+        if set(graph.victims()) - set(self.collector.graph.victims()):
+            raise DetectionError(
+                "traceback evaluated against a graph with victims the "
+                "collector never observed"
+            )
+        total = 0
+        recovered = 0
+        needed: List[int] = []
+        for victim in graph.victims():
+            truth = graph.paths_for(victim)
+            total += len(truth)
+            rebuilt = {
+                path.routers
+                for path in self.reconstruct(victim, budget=budget)
+                if path.complete
+            }
+            for true_path in truth:
+                if true_path.routers in rebuilt:
+                    recovered += 1
+                packets = self._needed_for(true_path)
+                if packets is not None:
+                    needed.append(packets)
+        return TracebackReport(
+            total_paths=total,
+            recovered_paths=recovered,
+            recovery_rate=recovered / total if total else 0.0,
+            packets_observed=self.collector.packets_observed,
+            per_victim_packets=dict(self.collector.packets_per_victim),
+            budget=budget,
+            needed_per_path=tuple(sorted(needed)),
+        )
+
+    def accuracy_curve(
+        self, graph: AttackGraph, budgets: Sequence[int]
+    ) -> List[float]:
+        """Recovery rate at each per-victim packet budget.
+
+        Non-decreasing in the budget by construction: a larger budget
+        only adds marks.
+        """
+        return [
+            self.evaluate(graph, budget=budget).recovery_rate
+            for budget in budgets
+        ]

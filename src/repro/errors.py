@@ -56,3 +56,9 @@ class SimulationError(ReproError, RuntimeError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment harness failure (unknown figure id, empty sweep...)."""
+
+
+class DetectionError(ReproError, RuntimeError):
+    """A detection or traceback component was configured or fed
+    inconsistently (bad monitor thresholds, marks for an unknown victim,
+    a traceback over a graph that does not cover the flood targets)."""

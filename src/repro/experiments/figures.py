@@ -24,6 +24,7 @@ from repro.experiments.extensions import (
     extension_underlay,
 )
 from repro.experiments.baseline_figs import baseline_overlay_size
+from repro.experiments.detection_figs import det_ppm, det_sweep, det_traceback
 from repro.experiments.fig4 import fig4a, fig4b
 from repro.experiments.fig_mc import fig4a_monte_carlo
 from repro.experiments.fig_nc import nc_sensitivity, nc_sensitivity_pure_congestion
@@ -70,6 +71,9 @@ REGISTRY: Dict[str, FigureFn] = {
     "res-churn": resilience_churn,
     "res-detect": resilience_detection,
     "res-flood": resilience_flooding,
+    "det-traceback": det_traceback,
+    "det-ppm": det_ppm,
+    "det-sweep": det_sweep,
 }
 
 #: The figures that appear in the paper itself (vs added validation).

@@ -58,6 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         help="override the seed on figures that sample",
     )
+    parser.add_argument(
+        "--event-engine",
+        action="store_true",
+        help="run packet-level figures on the event-driven oracle engine "
+        "instead of the vectorized fast path (figures without an engine "
+        "choice ignore this)",
+    )
     return parser
 
 
@@ -88,6 +95,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["trials"] = args.trials
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.event_engine:
+        overrides["fast"] = False
     for figure_id in targets:
         try:
             result = run_figure(figure_id, **overrides)

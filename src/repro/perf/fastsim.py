@@ -147,28 +147,30 @@ def encode_deployment(deployment: SOSDeployment) -> DeploymentArrays:
 
 
 def _poisson_row(
-    stream: np.random.Generator, rate: float, duration: float
+    stream: np.random.Generator, rate: float, duration: float,
+    start: float = 0.0,
 ) -> np.ndarray:
-    """Arrival times in ``(0, duration)`` for one Poisson source.
+    """Arrival times in ``(start, duration)`` for one Poisson source.
 
     Draws exponential gaps in blocks from the source's dedicated stream
     and cumulative-sums them. A block draw consumes the stream
     identically to the event engine's one-gap-at-a-time draws, and
-    ``cumsum`` adds left to right exactly like the scheduler's
-    sequential ``now + gap`` additions, so the kept times are
-    bit-identical to the event-driven source's emission times. The
-    unused tail of the final block is harmless: nothing else reads the
-    stream.
+    prepending ``start`` to the cumsum input adds left to right exactly
+    like the scheduler's sequential ``start + gap`` then ``now + gap``
+    additions (``0.0 + x == x`` bitwise, so the default changes
+    nothing), so the kept times are bit-identical to the event-driven
+    source's emission times. The unused tail of the final block is
+    harmless: nothing else reads the stream.
     """
-    expected = rate * duration
+    expected = rate * max(duration - start, 0.0)
     width = max(4, int(expected + 10.0 * math.sqrt(expected) + 16.0))
     gaps = stream.exponential(1.0 / rate, size=width)
-    times = np.cumsum(gaps)
+    times = np.cumsum(np.concatenate([[start], gaps]))[1:]
     while times[-1] < duration:
         gaps = np.concatenate(
             [gaps, stream.exponential(1.0 / rate, size=width)]
         )
-        times = np.cumsum(gaps)
+        times = np.cumsum(np.concatenate([[start], gaps]))[1:]
     return times[times < duration]
 
 
@@ -380,6 +382,9 @@ def run_fast(
     flood_targets: Optional[Sequence[int]] = None,
     client_contacts: Optional[Sequence[Sequence[int]]] = None,
     streams: Optional[Tuple[Sequence[np.random.Generator], np.random.Generator, np.random.Generator]] = None,
+    monitor: Optional[Any] = None,
+    marking: Optional[Any] = None,
+    mark_master: Optional[np.random.Generator] = None,
 ) -> PacketSimReport:
     """Run the vectorized packet engine; returns a :class:`PacketSimReport`.
 
@@ -395,6 +400,16 @@ def run_fast(
     spawned here from ``rng`` with the identical construction, so a
     standalone ``run_fast(dep, cfg, rng=seed)`` matches
     ``PacketLevelSimulation(dep, cfg, rng=seed).run(fast=True)``.
+
+    ``monitor`` (a :class:`~repro.detection.monitor.TrafficMonitor`)
+    receives every token-bucket offer in per-layer batches; ``marking``
+    (a :class:`~repro.detection.marking.MarkCollector`) receives two
+    uniforms per flood packet from per-target streams spawned off
+    ``mark_master`` — the identical draws the event engine makes, in
+    the identical order. Both default to ``None`` at zero cost: no
+    extra stream is spawned and no draw is made, so a detection-free
+    fast run is bit-identical to one from before the detection
+    subsystem existed.
     """
     generator = make_rng(rng)
     arrays = encode_deployment(deployment)
@@ -415,6 +430,10 @@ def run_fast(
             spawned[config.clients],
             spawned[config.clients + 1],
         )
+        # Standalone marking runs spawn the mark master *after* the main
+        # streams, mirroring PacketLevelSimulation.__init__ exactly.
+        if marking is not None and mark_master is None:
+            mark_master = generator.spawn(1)[0]
     arrival_streams, routing_rng, flood_master = streams
     contact_matrix = np.asarray(
         [[arrays.slot_of[n] for n in contacts] for contacts in client_contacts],
@@ -436,10 +455,39 @@ def run_fast(
     ]
     flood_streams = flood_master.spawn(len(targets)) if targets else []
     flood_rows = [
-        _poisson_row(stream, config.flood_rate, config.duration)
+        _poisson_row(
+            stream,
+            config.flood_rate,
+            config.duration,
+            start=config.flood_start,
+        )
         for stream in flood_streams
     ]
     report.attack_packets_absorbed = int(sum(len(row) for row in flood_rows))
+    if marking is not None and targets:
+        uncovered = set(targets) - set(marking.graph.victims())
+        if uncovered:
+            from repro.errors import DetectionError
+
+            raise DetectionError(
+                "marking attack graph does not cover flood targets "
+                f"{sorted(uncovered)}"
+            )
+        if mark_master is None:
+            raise SimulationError(
+                "marking requires a mark_master stream when streams are "
+                "supplied externally"
+            )
+        # Per-target mark streams in sorted-target order; a ``(n, 2)``
+        # block draw consumes a stream exactly like the event engine's n
+        # sequential ``random(2)`` calls (row-major), so the collected
+        # tallies are bit-identical across engines.
+        mark_streams = mark_master.spawn(len(targets))
+        for target, mark_stream, row in zip(targets, mark_streams, flood_rows):
+            if len(row):
+                marking.observe_batch(
+                    target, mark_stream.random((len(row), 2))
+                )
     flood_by_slot = {
         slot: times for slot, times in zip(target_slots, flood_rows)
     }
@@ -521,6 +569,13 @@ def run_fast(
         accept_flat, unique_slots, accepted_per, dropped_per = (
             _grouped_bucket_scan(slots_flat, times_flat, capacity, burst)
         )
+        if monitor is not None:
+            # Every offer this layer's buckets saw (legit + flood) with
+            # its accept/drop outcome — the batch mirror of the event
+            # engine's per-offer ``monitor.observe`` calls.
+            monitor.observe_batch(
+                arrays.node_ids[slots_flat], times_flat, accept_flat
+            )
         for group, slot in enumerate(unique_slots):
             final_offers[int(slot)] = (
                 int(accepted_per[group]),

@@ -41,6 +41,9 @@ class RepairingDefender:
         self.detector = detector
         self.repairs_per_round: Dict[int, int] = {}
         self.total_repaired = 0
+        #: Node ids repaired by the most recent scan, in repair order —
+        #: lets detection-driven loops react to *which* nodes were fixed.
+        self.last_repaired: List[int] = []
 
     # The SuccessiveStrategy on_round_end signature.
     def __call__(
@@ -59,10 +62,17 @@ class RepairingDefender:
     def scan_and_repair(
         self,
         deployment: SOSDeployment,
-        knowledge: AttackerKnowledge,
+        knowledge: Optional[AttackerKnowledge] = None,
         now: float = 0.0,
     ) -> int:
-        """One scan: detect, repair, re-key. Returns the repair count."""
+        """One scan: detect, repair, re-key. Returns the repair count.
+
+        ``knowledge=None`` covers packet-level workloads (e.g. the
+        detection-driven repair loop) where no break-in attacker — and
+        hence no knowledge set to invalidate — exists; the repair
+        itself (recover, forget, rewire) is identical.
+        """
+        self.last_repaired = []
         if self.policy.is_noop:
             return 0
         if self.detector is not None:
@@ -82,12 +92,13 @@ class RepairingDefender:
         for node_id in detected:
             self._repair_node(deployment, knowledge, node_id)
         self.total_repaired += len(detected)
+        self.last_repaired = list(detected)
         return len(detected)
 
     def _repair_node(
         self,
         deployment: SOSDeployment,
-        knowledge: AttackerKnowledge,
+        knowledge: Optional[AttackerKnowledge],
         node_id: int,
     ) -> None:
         node = deployment.resolve(node_id)
@@ -95,12 +106,13 @@ class RepairingDefender:
         if self.detector is not None:
             self.detector.forget(node_id)
         # Re-keying invalidates everything the attacker knew about the node.
-        knowledge.broken.discard(node_id)
-        knowledge.disclosed.discard(node_id)
-        knowledge.known_unattacked.discard(node_id)
-        knowledge.forfeited.discard(node_id)
-        knowledge.attempted.discard(node_id)
-        knowledge.disclosed_filters.discard(node_id)
+        if knowledge is not None:
+            knowledge.broken.discard(node_id)
+            knowledge.disclosed.discard(node_id)
+            knowledge.known_unattacked.discard(node_id)
+            knowledge.forfeited.discard(node_id)
+            knowledge.attempted.discard(node_id)
+            knowledge.disclosed_filters.discard(node_id)
         if self.policy.rewire and node_id not in deployment.filters:
             self._rewire(deployment, node_id)
 

@@ -17,13 +17,17 @@ congested, while un-flooded runs deliver ~100%.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.errors import SimulationError
 from repro.simulation.capacity import NodeCapacity
 from repro.simulation.engine import EventScheduler
 from repro.sos.deployment import SOSDeployment
 from repro.utils.seeding import SeedLike, make_rng
+
+if TYPE_CHECKING:  # imported lazily to keep repro.detection optional here
+    from repro.detection.marking import MarkCollector
+    from repro.detection.monitor import TrafficMonitor
 
 
 def uniform_index(u: float, count: int) -> int:
@@ -48,6 +52,11 @@ class PacketSimConfig:
     node_capacity: float = 50.0
     flood_rate: float = 500.0  # attack packets per unit time per flooded node
     warmup: float = 5.0
+    #: When the flood sources switch on. The default ``0.0`` reproduces
+    #: the historical behavior exactly (``0.0 + gap == gap`` bit for
+    #: bit); a later start gives online detectors a clean pre-attack
+    #: baseline to estimate normal load from.
+    flood_start: float = 0.0
     #: Retain every per-packet latency in ``PacketSimReport.latencies``.
     #: Off by default so long runs stay O(1) memory; the streaming
     #: count/mean/max statistics are always maintained.
@@ -61,6 +70,11 @@ class PacketSimConfig:
                 raise SimulationError(f"{name} must be > 0")
         if self.clients < 1:
             raise SimulationError("clients must be >= 1")
+        if not 0.0 <= self.flood_start < self.duration:
+            raise SimulationError(
+                "flood_start must lie in [0, duration), got "
+                f"{self.flood_start}"
+            )
 
 
 @dataclasses.dataclass
@@ -129,9 +143,13 @@ class PacketLevelSimulation:
         deployment: SOSDeployment,
         config: PacketSimConfig = PacketSimConfig(),
         rng: SeedLike = None,
+        monitor: "Optional[TrafficMonitor]" = None,
+        marking: "Optional[MarkCollector]" = None,
     ) -> None:
         self.deployment = deployment
         self.config = config
+        self.monitor = monitor
+        self.marking = marking
         self.rng = make_rng(rng)
         self.scheduler = EventScheduler()
         self.report = PacketSimReport()
@@ -156,6 +174,11 @@ class PacketLevelSimulation:
         self._arrival_streams = streams[: config.clients]
         self._routing_rng = streams[config.clients]
         self._flood_master = streams[config.clients + 1]
+        # Spawned only when marking is enabled, strictly *after* the
+        # streams above: numpy's spawn-key fan-out means later children
+        # never perturb earlier ones, so disabling detection leaves every
+        # existing stream — and thus every report bit — unchanged.
+        self._mark_master = self.rng.spawn(1)[0] if marking is not None else None
 
     # ------------------------------------------------------------------
     # Sources
@@ -179,20 +202,30 @@ class PacketLevelSimulation:
             self._poisson_gap(stream, self.config.client_rate), emit
         )
 
-    def _start_flood(self, node_id: int, stream) -> None:
+    def _start_flood(self, node_id: int, stream, mark_stream=None) -> None:
         def flood():
             if self.scheduler.now >= self.config.duration:
                 return
             # Attack traffic consumes the node's capacity but is never
             # forwarded: hop verification rejects it (paper §2).
-            self._capacities[node_id].offer(self.scheduler.now)
+            accepted = self._capacities[node_id].offer(self.scheduler.now)
             self.report.attack_packets_absorbed += 1
+            if self.monitor is not None:
+                self.monitor.observe(node_id, self.scheduler.now, accepted)
+            if mark_stream is not None and self.marking is not None:
+                # Two uniforms per flood packet (source pick + edge
+                # sampling) from the target's dedicated mark stream; the
+                # fast engine draws the same stream as an (n, 2) block.
+                u = mark_stream.random(2)
+                self.marking.observe(node_id, float(u[0]), float(u[1]))
             self.scheduler.schedule_after(
                 self._poisson_gap(stream, self.config.flood_rate), flood
             )
 
         self.scheduler.schedule_after(
-            self._poisson_gap(stream, self.config.flood_rate), flood
+            self.config.flood_start
+            + self._poisson_gap(stream, self.config.flood_rate),
+            flood,
         )
 
     # ------------------------------------------------------------------
@@ -224,7 +257,10 @@ class PacketLevelSimulation:
                 self.report.arrivals_per_layer.get(layer, 0) + 1
             )
             capacity = self._capacities[node_id]
-            if not capacity.offer(self.scheduler.now):
+            accepted = capacity.offer(self.scheduler.now)
+            if self.monitor is not None:
+                self.monitor.observe(node_id, self.scheduler.now, accepted)
+            if not accepted:
                 self.report.dropped_at_congested += 1
                 self.report.drops_per_layer[layer] = (
                     self.report.drops_per_layer.get(layer, 0) + 1
@@ -303,6 +339,15 @@ class PacketLevelSimulation:
                 raise SimulationError(
                     f"flood target {target} is not an SOS node or filter"
                 )
+        if self.marking is not None and targets:
+            uncovered = set(targets) - set(self.marking.graph.victims())
+            if uncovered:
+                from repro.errors import DetectionError
+
+                raise DetectionError(
+                    "marking attack graph does not cover flood targets "
+                    f"{sorted(uncovered)}"
+                )
         if fast:
             from repro.perf.fastsim import run_fast
 
@@ -317,14 +362,25 @@ class PacketLevelSimulation:
                     self._routing_rng,
                     self._flood_master,
                 ),
+                monitor=self.monitor,
+                marking=self.marking,
+                mark_master=self._mark_master,
             )
             return self.report
         # One dedicated stream per flood target, spawned in sorted-target
         # order — the same order the fast path uses — so each target's
-        # flood schedule matches across engines.
+        # flood schedule matches across engines. Mark streams mirror the
+        # pattern from their own master, keeping marking randomness fully
+        # decoupled from flood-timing randomness.
         flood_streams = self._flood_master.spawn(len(targets)) if targets else []
-        for target, stream in zip(targets, flood_streams):
-            self._start_flood(target, stream)
+        if self.marking is not None and self._mark_master is not None and targets:
+            mark_streams: List = list(self._mark_master.spawn(len(targets)))
+        else:
+            mark_streams = [None] * len(targets)
+        for target, stream, mark_stream in zip(
+            targets, flood_streams, mark_streams
+        ):
+            self._start_flood(target, stream, mark_stream)
         for client_index in range(self.config.clients):
             self._start_client(client_index)
         self.scheduler.run(until=self.drain_horizon())

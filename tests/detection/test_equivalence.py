@@ -1,0 +1,236 @@
+"""Detection instruments vs the two packet engines.
+
+The satellite contract from the detection subsystem, in three tiers:
+
+* **Marking is bit-identical everywhere.** Mark uniforms come from
+  dedicated per-target streams both engines spawn and consume in the
+  same order, independent of routing — so mark tallies (and every
+  traceback built on them) match bit for bit even on heavily flooded
+  runs.
+* **Monitor counters are bit-identical wherever the offer streams
+  are.** Unflooded runs drop nothing, so the full monitor state
+  matches exactly; on layer-1 floods the layer-1 (flooded) counters
+  match exactly while deeper layers — downstream of the engines'
+  congestion-view approximation — agree statistically.
+* **Disabled detection changes nothing.** Attaching no monitor/marking
+  spawns no extra stream and draws nothing, so reports are
+  bit-identical to a detection-free simulation — including with the
+  new ``flood_start`` left at its 0.0 default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.core import SOSArchitecture
+from repro.detection.marking import MarkCollector, MarkingConfig, build_attack_graph
+from repro.detection.monitor import MonitorConfig, TrafficMonitor
+from repro.simulation.packet_sim import (
+    PacketLevelSimulation,
+    PacketSimConfig,
+    flood_layer,
+)
+from repro.sos.deployment import SOSDeployment
+
+MONITOR = MonitorConfig(bin_width=0.5, warmup_bins=4, baseline_bins=4)
+MARKING = MarkingConfig(probability=0.08, sources_per_target=2, path_depth=5)
+CONFIG = PacketSimConfig(
+    duration=12.0, warmup=2.0, clients=6, client_rate=2.0, flood_start=4.0
+)
+
+
+def deployment(seed=11):
+    arch = SOSArchitecture(
+        layers=3,
+        mapping="one-to-half",
+        total_overlay_nodes=400,
+        sos_nodes=30,
+        filters=4,
+    )
+    return SOSDeployment.deploy(arch, rng=seed)
+
+
+def instrumented_run(config, seed, targets, fast, marking=True):
+    dep = deployment()
+    monitor = TrafficMonitor(MONITOR)
+    collector = None
+    if marking and targets:
+        graph = build_attack_graph(targets, MARKING)
+        collector = MarkCollector(graph, MARKING)
+    sim = PacketLevelSimulation(
+        dep, config, rng=seed, monitor=monitor, marking=collector
+    )
+    report = sim.run(flood_targets=targets, fast=fast)
+    return monitor, collector, report
+
+
+class TestMarkingBitIdentity:
+    def test_flooded_mark_tallies_identical(self):
+        dep = deployment()
+        targets = flood_layer(dep, layer=1, fraction=0.5, rng=3)
+        for seed in range(5):
+            _, event_marks, event = instrumented_run(
+                CONFIG, seed, targets, fast=False
+            )
+            _, fast_marks, fast = instrumented_run(
+                CONFIG, seed, targets, fast=True
+            )
+            assert event.attack_packets_absorbed == fast.attack_packets_absorbed
+            assert event_marks.packets_per_victim == fast_marks.packets_per_victim
+            for victim in targets:
+                assert event_marks.marks_for(victim) == fast_marks.marks_for(
+                    victim
+                )
+
+    def test_mark_draws_do_not_perturb_the_simulation(self):
+        # Same seed, marking on vs off: the report must not change by a
+        # bit, because mark uniforms come from a dedicated spawned
+        # stream, never from the flood/routing/arrival streams.
+        dep = deployment()
+        targets = flood_layer(dep, layer=1, fraction=0.5, rng=3)
+        for fast in (False, True):
+            _, _, with_marks = instrumented_run(
+                CONFIG, 0, targets, fast=fast, marking=True
+            )
+            _, _, without = instrumented_run(
+                CONFIG, 0, targets, fast=fast, marking=False
+            )
+            assert dataclasses.asdict(with_marks) == dataclasses.asdict(without)
+
+
+class TestMonitorEquivalence:
+    def test_unflooded_monitor_state_identical(self):
+        for seed in range(3):
+            event_monitor, _, event = instrumented_run(
+                CONFIG, seed, None, fast=False
+            )
+            fast_monitor, _, fast = instrumented_run(
+                CONFIG, seed, None, fast=True
+            )
+            assert event.delivery_ratio == 1.0
+            assert dataclasses.asdict(event) == dataclasses.asdict(fast)
+            assert event_monitor.snapshot() == fast_monitor.snapshot()
+            assert event_monitor.observations == fast_monitor.observations
+
+    def test_flooded_layer1_counters_identical(self):
+        # Layer-1 offer streams (legit arrivals + floods) are
+        # bit-identical across engines: arrivals precede any drop and
+        # flood rows come from per-target streams. The counters at the
+        # flooded layer must therefore match exactly.
+        dep = deployment()
+        targets = flood_layer(dep, layer=1, fraction=0.5, rng=3)
+        for seed in range(3):
+            event_monitor, _, _ = instrumented_run(
+                CONFIG, seed, targets, fast=False
+            )
+            fast_monitor, _, _ = instrumented_run(
+                CONFIG, seed, targets, fast=True
+            )
+            event_snap = event_monitor.snapshot()
+            fast_snap = fast_monitor.snapshot()
+            for node_id in targets:
+                assert event_snap[node_id] == fast_snap[node_id]
+
+    def test_flooded_flags_agree_statistically(self):
+        dep = deployment()
+        targets = flood_layer(dep, layer=1, fraction=0.5, rng=3)
+        agree = 0
+        total = 0
+        for seed in range(5):
+            event_monitor, _, _ = instrumented_run(
+                CONFIG, seed, targets, fast=False
+            )
+            fast_monitor, _, _ = instrumented_run(
+                CONFIG, seed, targets, fast=True
+            )
+            # Every flooded node must be flagged by both engines.
+            assert set(targets) <= set(event_monitor.flagged_nodes())
+            assert set(targets) <= set(fast_monitor.flagged_nodes())
+            event_flags = set(event_monitor.flagged_nodes())
+            fast_flags = set(fast_monitor.flagged_nodes())
+            agree += len(event_flags & fast_flags)
+            total += len(event_flags | fast_flags)
+        assert agree / total >= 0.8
+
+    def test_monitor_attachment_does_not_perturb_reports(self):
+        dep = deployment()
+        targets = flood_layer(dep, layer=1, fraction=0.5, rng=3)
+        for fast in (False, True):
+            _, _, monitored = instrumented_run(
+                CONFIG, 1, targets, fast=fast, marking=False
+            )
+            bare_sim = PacketLevelSimulation(deployment(), CONFIG, rng=1)
+            bare = bare_sim.run(flood_targets=targets, fast=fast)
+            assert dataclasses.asdict(monitored) == dataclasses.asdict(bare)
+
+
+class TestDisabledDetectionChangesNothing:
+    # flood_start was added alongside the detection hooks; its 0.0
+    # default must reproduce the pre-detection flood schedule exactly
+    # (0.0 + gap == gap bitwise), on both engines.
+    def test_flood_start_zero_matches_historical_defaults(self):
+        legacy = PacketSimConfig(
+            duration=12.0, warmup=2.0, clients=6, client_rate=2.0
+        )
+        assert legacy.flood_start == 0.0
+        dep = deployment()
+        targets = flood_layer(dep, layer=1, fraction=0.5, rng=3)
+        for fast in (False, True):
+            report = PacketLevelSimulation(deployment(), legacy, rng=2).run(
+                flood_targets=targets, fast=fast
+            )
+            assert report.attack_packets_absorbed > 0
+
+    def test_engines_still_bit_identical_when_undropped(self):
+        legacy = PacketSimConfig(
+            duration=8.0, warmup=5.0, clients=1, client_rate=0.4
+        )
+        for seed in range(10):
+            event = PacketLevelSimulation(deployment(), legacy, rng=seed).run(
+                fast=False
+            )
+            fast = PacketLevelSimulation(deployment(), legacy, rng=seed).run(
+                fast=True
+            )
+            assert dataclasses.asdict(event) == dataclasses.asdict(fast)
+
+    def test_flood_start_delays_absorption(self):
+        dep = deployment()
+        targets = flood_layer(dep, layer=1, fraction=0.5, rng=3)
+        early = PacketLevelSimulation(deployment(), CONFIG, rng=5).run(
+            flood_targets=targets, fast=True
+        )
+        late_config = dataclasses.replace(CONFIG, flood_start=10.0)
+        late = PacketLevelSimulation(deployment(), late_config, rng=5).run(
+            flood_targets=targets, fast=True
+        )
+        # Starting 6 time units later sheds roughly that share of the
+        # flood packets.
+        expected = (CONFIG.duration - late_config.flood_start) / (
+            CONFIG.duration - CONFIG.flood_start
+        )
+        ratio = late.attack_packets_absorbed / early.attack_packets_absorbed
+        assert math.isclose(ratio, expected, rel_tol=0.05)
+
+
+class TestMonitorEngineEquivalenceStatistical:
+    def test_total_offer_mass_close(self):
+        dep = deployment()
+        targets = flood_layer(dep, layer=1, fraction=0.5, rng=3)
+        event_offers = []
+        fast_offers = []
+        for seed in range(8):
+            event_monitor, _, _ = instrumented_run(
+                CONFIG, seed, targets, fast=False
+            )
+            fast_monitor, _, _ = instrumented_run(
+                CONFIG, seed, targets, fast=True
+            )
+            event_offers.append(event_monitor.observations)
+            fast_offers.append(fast_monitor.observations)
+        event_mean = sum(event_offers) / len(event_offers)
+        fast_mean = sum(fast_offers) / len(fast_offers)
+        assert fast_mean == pytest.approx(event_mean, rel=0.02)

@@ -1,0 +1,98 @@
+"""Attack-graph reconstruction from marks: chaining, budgets, accuracy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detection.marking import MarkCollector, MarkingConfig, build_attack_graph
+from repro.detection.traceback import AttackGraphReconstructor
+from repro.errors import DetectionError
+
+
+def saturated_collector(targets=(10, 20), packets=5000, seed=4, **overrides):
+    config = MarkingConfig(
+        probability=0.1, sources_per_target=2, path_depth=4, **overrides
+    )
+    graph = build_attack_graph(targets, config)
+    collector = MarkCollector(graph, config)
+    rng = np.random.default_rng(seed)
+    for victim in graph.victims():
+        collector.observe_batch(victim, rng.random((packets, 2)))
+    return graph, collector
+
+
+class TestReconstruction:
+    def test_full_recovery_with_ample_packets(self):
+        graph, collector = saturated_collector()
+        reconstructor = AttackGraphReconstructor(collector)
+        report = reconstructor.evaluate(graph)
+        assert report.recovery_rate == 1.0
+        assert report.recovered_paths == report.total_paths == 4
+        rebuilt = {
+            path.routers
+            for path in reconstructor.reconstruct(10)
+            if path.complete
+        }
+        assert rebuilt == {p.routers for p in graph.paths_for(10)}
+
+    def test_zero_budget_recovers_nothing(self):
+        graph, collector = saturated_collector()
+        reconstructor = AttackGraphReconstructor(collector)
+        assert reconstructor.evaluate(graph, budget=0).recovery_rate == 0.0
+
+    def test_accuracy_curve_monotone_and_saturating(self):
+        graph, collector = saturated_collector()
+        reconstructor = AttackGraphReconstructor(collector)
+        budgets = [0, 10, 50, 200, 1000, 5000]
+        curve = reconstructor.accuracy_curve(graph, budgets)
+        assert curve == sorted(curve)
+        assert curve[-1] == 1.0
+
+    def test_packets_needed_consistent_with_budget(self):
+        graph, collector = saturated_collector()
+        reconstructor = AttackGraphReconstructor(collector)
+        report = reconstructor.evaluate(graph)
+        budget = report.packets_needed(1.0)
+        assert budget is not None
+        assert reconstructor.evaluate(graph, budget=budget).recovery_rate == 1.0
+        if budget > 1:
+            partial = reconstructor.evaluate(graph, budget=budget - 1)
+            assert partial.recovery_rate < 1.0
+
+    def test_packets_needed_none_when_unreachable(self):
+        graph, collector = saturated_collector(packets=3)
+        reconstructor = AttackGraphReconstructor(collector)
+        report = reconstructor.evaluate(graph)
+        if report.recovery_rate < 1.0:
+            assert report.packets_needed(1.0) is None
+
+    def test_partial_marks_give_incomplete_paths(self):
+        config = MarkingConfig(
+            probability=0.1, sources_per_target=1, path_depth=4
+        )
+        graph = build_attack_graph([10], config)
+        collector = MarkCollector(graph, config)
+        # Hand-feed marks for distances 0 and 1 only (u_mark chosen via
+        # the geometric inverse CDF regions: j = 0 for u < p, j = 1 for
+        # u in [p, p + p(1-p))).
+        collector.observe(10, 0.0, 0.05)  # j = 0
+        collector.observe(10, 0.0, 0.15)  # j = 1
+        paths = AttackGraphReconstructor(collector).reconstruct(10)
+        assert len(paths) == 1
+        assert not paths[0].complete
+        assert len(paths[0].routers) == 2
+
+    def test_bad_inputs(self):
+        graph, collector = saturated_collector()
+        reconstructor = AttackGraphReconstructor(collector)
+        with pytest.raises(DetectionError):
+            reconstructor.reconstruct(10, budget=-1)
+        with pytest.raises(DetectionError):
+            reconstructor.evaluate(graph).packets_needed(0.0)
+        other_config = MarkingConfig(
+            probability=0.1, sources_per_target=1, path_depth=4
+        )
+        other = build_attack_graph([99], other_config)
+        with pytest.raises(DetectionError):
+            reconstructor.evaluate(other)

@@ -45,6 +45,9 @@ MC_FIGURES = [
     "res-churn",
     "res-detect",
     "res-flood",
+    "det-traceback",
+    "det-ppm",
+    "det-sweep",
 ]
 
 
