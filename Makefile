@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-save bench-compare experiments paper \
-	examples docs-check all lint typecheck contracts-test verify
+	examples docs-check all lint typecheck contracts-test verify \
+	serve chaos slo-save
 
 # --- correctness tooling (docs/STATIC_ANALYSIS.md) ---------------------
 # `lint` always runs the in-repo repro-lint AST engine; ruff and mypy are
@@ -54,6 +55,21 @@ bench-save:
 
 bench-compare:
 	$(PYTHON) tools/bench_compare.py
+
+# --- evaluation service (docs/SERVICE.md) ------------------------------
+# serve boots the HTTP façade locally; chaos runs the full fault drill
+# (worker kills mid-campaign, latency injection, spike load) and fails
+# unless every robustness assertion holds; slo-save additionally commits
+# the SLO report as the next SLO_<n>.json-style snapshot.
+
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro.service
+
+chaos:
+	PYTHONPATH=src $(PYTHON) tools/chaos_service.py --quick
+
+slo-save:
+	PYTHONPATH=src $(PYTHON) tools/chaos_service.py --output SLO_1.json
 
 experiments:
 	$(PYTHON) -m repro.experiments.runner --all --no-plot

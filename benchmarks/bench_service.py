@@ -1,0 +1,86 @@
+"""Service control-plane overhead: the robustness layer must be cheap.
+
+The admission queue, circuit breaker, and result store sit on every
+request; these benchmarks pin their per-operation cost so a regression
+in the control plane shows up in the trajectory even though end-to-end
+HTTP latency is dominated by the evaluation itself. The full-stack
+numbers (throughput, p50/p95/p99 under chaos) live in the committed
+``SLO_<n>.json`` produced by ``tools/chaos_service.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.result_store import ResultStore
+from repro.resilience.breaker import BreakerConfig, CircuitBreaker
+from repro.service.admission import AdmissionQueue
+from repro.service.deadline import NO_DEADLINE
+from repro.service.loadgen import arrival_schedule, hold, ramp, spike
+
+REQUESTS = 2_000
+
+
+def test_admission_submit_shed_cycle(benchmark):
+    """Admit-or-shed for 2000 requests against a small bounded queue."""
+
+    def cycle():
+        async def scenario():
+            queue = AdmissionQueue(capacity=64)
+            shed = 0
+            for i in range(REQUESTS):
+                request = queue.try_submit({"n": i}, "batch", NO_DEADLINE)
+                if request.future.done():
+                    shed += 1
+            queue.drain()
+            return shed
+
+        return asyncio.run(scenario())
+
+    shed = benchmark(cycle)
+    assert shed == REQUESTS - 64
+
+
+def test_breaker_record_and_allow(benchmark):
+    """A success/failure/allow churn spanning trip and recovery."""
+    config = BreakerConfig(window=32, min_volume=8, reset_timeout=0.000_1)
+
+    def churn():
+        breaker = CircuitBreaker(config)
+        for i in range(REQUESTS):
+            if breaker.allow():
+                if i % 2 == 0:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+        return breaker.open_count
+
+    opens = benchmark(churn)
+    assert opens >= 1
+
+
+def test_result_store_hit_path(benchmark):
+    """Fresh-hit lookups (the cache fast path every request takes)."""
+    store = ResultStore(max_entries=1024, ttl=3_600.0)
+    for i in range(512):
+        store.put(f"key-{i}", {"p_s": 0.5})
+
+    def lookups():
+        hits = 0
+        for i in range(REQUESTS):
+            if store.lookup(f"key-{i % 512}") is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(lookups)
+    assert hits == REQUESTS
+
+
+def test_arrival_schedule_generation(benchmark):
+    """Building a full ramp/hold/spike schedule (done once per run)."""
+    phases = [ramp(5.0, to_rps=50.0), hold(30.0, rps=50.0),
+              spike(5.0, rps=200.0)]
+
+    offsets = benchmark(arrival_schedule, phases)
+    assert len(offsets) > 2_000
+    assert offsets == sorted(offsets)

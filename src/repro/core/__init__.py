@@ -67,6 +67,7 @@ from repro.core.probability import (
     exact_all_bad_probability,
     hop_success_probability,
 )
+from repro.core.result_store import FRESH, STALE, ResultStore, StoreStats
 from repro.core.successive import (
     RoundCase,
     analyze_successive,
@@ -122,6 +123,10 @@ __all__ = [
     "all_bad_probability",
     "exact_all_bad_probability",
     "hop_success_probability",
+    "FRESH",
+    "STALE",
+    "ResultStore",
+    "StoreStats",
     "RoundCase",
     "analyze_successive",
     "analyze_successive_breakdown",

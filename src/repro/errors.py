@@ -54,6 +54,22 @@ class SimulationError(ReproError, RuntimeError):
     """A simulation run was configured or driven inconsistently."""
 
 
+class CampaignInterrupted(SimulationError):
+    """A campaign was cooperatively cancelled before completing.
+
+    Raised by :meth:`~repro.simulation.monte_carlo.MonteCarloEstimator.estimate`
+    when its ``abort_check`` fires (deadline expiry, service shutdown, an
+    explicit cancel). Completed trials are already flushed to the
+    checkpoint when one is configured, so a later run resumes exactly
+    where this one stopped — with per-trial RNG streams the resumed
+    aggregates are bit-identical to an uninterrupted run.
+    """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The evaluation service was configured or driven inconsistently."""
+
+
 class ExperimentError(ReproError, RuntimeError):
     """An experiment harness failure (unknown figure id, empty sweep...)."""
 

@@ -17,13 +17,25 @@ layer:
   retry with deterministic seeded backoff for
   :meth:`~repro.sos.protocol.SOSProtocol.send`;
 * :mod:`repro.resilience.checkpoint` — JSON checkpoint/resume state for
-  crash-tolerant Monte-Carlo campaigns.
+  crash-tolerant Monte-Carlo campaigns (corrupt files are quarantined,
+  never fatal);
+* :mod:`repro.resilience.breaker` — :class:`CircuitBreaker`, the
+  windowed closed/open/half-open state machine the evaluation service
+  (:mod:`repro.service`) wraps around its worker pool.
 
 Everything here is strictly opt-in: with a zero-churn plan, no detector,
 and no retry policy, every simulation reproduces the seed behavior
 bit-for-bit.
 """
 
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    LEGAL_TRANSITIONS,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
 from repro.resilience.checkpoint import CampaignCheckpoint
 from repro.resilience.detector import DetectorConfig, FailureDetector
 from repro.resilience.faults import (
@@ -37,6 +49,12 @@ from repro.resilience.faults import (
 from repro.resilience.retry import DEFAULT_RETRY, RetryPolicy
 
 __all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "LEGAL_TRANSITIONS",
     "CampaignCheckpoint",
     "DetectorConfig",
     "FailureDetector",

@@ -1,0 +1,237 @@
+"""Circuit breaker: windowed failure-rate tripping with half-open probes.
+
+Wraps an unreliable dependency (the evaluation service's worker pool)
+in the classic three-state machine:
+
+* **closed** — requests flow; outcomes land in a sliding window of the
+  last ``window`` calls. When the window holds at least ``min_volume``
+  outcomes and the failure fraction reaches ``failure_threshold``, the
+  breaker opens.
+* **open** — requests are refused instantly (the caller degrades:
+  stale cache, 503). After ``reset_timeout`` seconds the next
+  :meth:`allow` transitions to half-open.
+* **half-open** — up to ``half_open_max_calls`` probe requests pass;
+  ``half_open_successes`` consecutive successes close the breaker, any
+  failure re-opens it (and restarts the timeout).
+
+Transitions are **monotone** along the recovery path: the only edges
+are closed→open, open→half-open, half-open→closed and half-open→open —
+never open→closed directly, never closed→half-open. The full transition
+history is recorded for tests and the service's metrics endpoint.
+
+The clock is injected so tests can script time; nothing here sleeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import deque
+from typing import Callable, Deque, List, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Breaker state names (strings so they serialize straight into JSON).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: The only legal (from, to) edges; tests assert every recorded
+#: transition is one of these.
+LEGAL_TRANSITIONS = frozenset(
+    {
+        (CLOSED, OPEN),
+        (OPEN, HALF_OPEN),
+        (HALF_OPEN, CLOSED),
+        (HALF_OPEN, OPEN),
+    }
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs for :class:`CircuitBreaker`."""
+
+    window: int = 32
+    failure_threshold: float = 0.5
+    min_volume: int = 8
+    reset_timeout: float = 5.0
+    half_open_max_calls: int = 2
+    half_open_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {self.window}")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ConfigurationError(
+                f"failure_threshold must be in (0, 1], "
+                f"got {self.failure_threshold}"
+            )
+        if self.min_volume < 1:
+            raise ConfigurationError(
+                f"min_volume must be >= 1, got {self.min_volume}"
+            )
+        if self.reset_timeout <= 0:
+            raise ConfigurationError(
+                f"reset_timeout must be > 0, got {self.reset_timeout}"
+            )
+        if self.half_open_max_calls < 1:
+            raise ConfigurationError(
+                f"half_open_max_calls must be >= 1, "
+                f"got {self.half_open_max_calls}"
+            )
+        if self.half_open_successes < 1:
+            raise ConfigurationError(
+                f"half_open_successes must be >= 1, "
+                f"got {self.half_open_successes}"
+            )
+
+
+class CircuitBreaker:
+    """Three-state breaker over a sliding outcome window.
+
+    Usage::
+
+        breaker = CircuitBreaker(BreakerConfig())
+        if not breaker.allow():
+            ...degrade (serve stale / 503)...
+        else:
+            try:
+                result = call_dependency()
+            except Exception:
+                breaker.record_failure()
+                raise
+            else:
+                breaker.record_success()
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig = BreakerConfig(),
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self._clock = clock
+        self._state = CLOSED
+        self._window: Deque[bool] = deque(maxlen=config.window)
+        self._opened_at = 0.0
+        self._half_open_inflight = 0
+        self._half_open_streak = 0
+        #: ``(time, from_state, to_state)`` history, oldest first.
+        self.transitions: List[Tuple[float, str, str]] = []
+        self._open_count = 0
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def open_count(self) -> int:
+        """How many times the breaker has tripped over its lifetime."""
+        return self._open_count
+
+    def failure_rate(self) -> float:
+        """Failure fraction over the current window (0.0 when empty)."""
+        if not self._window:
+            return 0.0
+        return sum(1 for ok in self._window if not ok) / len(self._window)
+
+    def _transition(self, to_state: str) -> None:
+        from_state = self._state
+        if from_state == to_state:
+            return
+        if (from_state, to_state) not in LEGAL_TRANSITIONS:
+            raise ConfigurationError(
+                f"illegal breaker transition {from_state} -> {to_state}"
+            )
+        self._state = to_state
+        self.transitions.append((self._clock(), from_state, to_state))
+        if to_state == OPEN:
+            self._open_count += 1
+            self._opened_at = self._clock()
+            self._half_open_inflight = 0
+            self._half_open_streak = 0
+        elif to_state == HALF_OPEN:
+            self._half_open_inflight = 0
+            self._half_open_streak = 0
+        elif to_state == CLOSED:
+            self._window.clear()
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In the open state this is where the reset timeout is observed:
+        once it elapses the breaker moves to half-open and admits up to
+        ``half_open_max_calls`` concurrent probes.
+        """
+        if self._state == CLOSED:
+            return True
+        if self._state == OPEN:
+            if self._clock() - self._opened_at < self.config.reset_timeout:
+                return False
+            self._transition(HALF_OPEN)
+        # half-open: meter the probes.
+        if self._half_open_inflight >= self.config.half_open_max_calls:
+            return False
+        self._half_open_inflight += 1
+        return True
+
+    def record_success(self) -> None:
+        if self._state == HALF_OPEN:
+            self._half_open_inflight = max(0, self._half_open_inflight - 1)
+            self._half_open_streak += 1
+            if self._half_open_streak >= self.config.half_open_successes:
+                self._transition(CLOSED)
+            return
+        self._window.append(True)
+
+    def record_discard(self) -> None:
+        """An allowed call was never executed (shed by backpressure).
+
+        Sheds say nothing about dependency health, so the window is left
+        alone — but a half-open probe slot must be released, or discarded
+        probes would wedge the breaker open forever.
+        """
+        if self._state == HALF_OPEN:
+            self._half_open_inflight = max(0, self._half_open_inflight - 1)
+
+    def record_failure(self) -> None:
+        if self._state == HALF_OPEN:
+            # One bad probe is enough evidence the dependency is still
+            # sick; re-open and restart the timeout.
+            self._transition(OPEN)
+            return
+        if self._state == OPEN:
+            # Late failure from a call admitted before the trip: the
+            # breaker is already open, nothing more to learn.
+            return
+        self._window.append(False)
+        if (
+            len(self._window) >= self.config.min_volume
+            and self.failure_rate() >= self.config.failure_threshold
+        ):
+            self._transition(OPEN)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def seconds_until_half_open(self) -> float:
+        """Time left before an open breaker admits a probe (0 otherwise)."""
+        if self._state != OPEN:
+            return 0.0
+        remaining = self.config.reset_timeout - (self._clock() - self._opened_at)
+        return max(0.0, remaining)
+
+    def snapshot(self) -> dict:
+        """JSON-ready view for health/metrics endpoints."""
+        return {
+            "state": self._state,
+            "failure_rate": self.failure_rate(),
+            "window_size": len(self._window),
+            "open_count": self._open_count,
+            "seconds_until_half_open": self.seconds_until_half_open(),
+            "transitions": len(self.transitions),
+        }

@@ -18,12 +18,16 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
+import warnings
 from typing import Any, Dict, Optional
 
 from repro.errors import SimulationError
 
 _FORMAT_VERSION = 1
+
+_LOG = logging.getLogger(__name__)
 
 
 def fingerprint(payload: Dict[str, Any]) -> str:
@@ -57,22 +61,60 @@ class CampaignCheckpoint:
 
         A checkpoint written under a *different* configuration raises
         :class:`SimulationError` rather than silently mixing results.
+
+        A checkpoint that cannot be *parsed* — truncated by a crash that
+        beat the atomic rename of a prior format, a disk-full partial
+        write, stray bytes — is not fatal: the bad file is quarantined to
+        ``<path>.corrupt`` and the campaign starts fresh with a
+        degraded-coverage warning. Losing checkpointed trials only costs
+        recomputation; per-trial RNG streams keep the rerun bit-identical.
         """
         checkpoint = cls(path, config_fingerprint)
         if not os.path.exists(path):
             return checkpoint
-        with open(path, "r", encoding="utf-8") as handle:
-            state = json.load(handle)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                state = json.load(handle)
+            trials = {
+                int(index): record for index, record in state["trials"].items()
+            }
+        except (
+            json.JSONDecodeError,
+            UnicodeDecodeError,
+            KeyError,
+            TypeError,
+            ValueError,
+            AttributeError,
+        ) as exc:
+            cls._quarantine(path, exc)
+            return checkpoint
         if state.get("fingerprint") != config_fingerprint:
             raise SimulationError(
                 f"checkpoint {path} was written by a different experiment "
                 f"configuration (fingerprint {state.get('fingerprint')!r} != "
                 f"{config_fingerprint!r}); delete it or change the path"
             )
-        checkpoint.trials = {
-            int(index): record for index, record in state["trials"].items()
-        }
+        checkpoint.trials = trials
         return checkpoint
+
+    @staticmethod
+    def _quarantine(path: str, cause: Exception) -> None:
+        """Move an unparseable checkpoint aside and warn about coverage."""
+        quarantine_path = f"{path}.corrupt"
+        try:
+            os.replace(path, quarantine_path)
+        except OSError:
+            # Quarantine is best-effort: if even the rename fails the next
+            # save() will overwrite the bad file atomically anyway.
+            quarantine_path = "<unmovable>"
+        message = (
+            f"checkpoint {path} is corrupt ({type(cause).__name__}: {cause}); "
+            f"quarantined to {quarantine_path} and starting fresh — "
+            "previously checkpointed trials will be recomputed (degraded "
+            "coverage until the campaign catches back up)"
+        )
+        _LOG.warning(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=4)
 
     def save(self) -> None:
         """Atomically persist current state (write temp file, then rename)."""

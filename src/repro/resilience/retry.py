@@ -36,6 +36,19 @@ class RetryPolicy:
     jitter:
         Width of the uniform jitter added to every retry delay, drawn
         from the send RNG (deterministic under a fixed seed).
+    decorrelated:
+        When True, replace the exponential schedule with *decorrelated
+        jitter* (Exponential Backoff And Jitter, AWS Architecture blog):
+        each delay is drawn uniformly from ``[backoff_base,
+        previous_delay * backoff_factor]`` and capped at ``max_backoff``.
+        A population of retriers on independent streams spreads out
+        instead of synchronizing into retry storms — the failure mode the
+        deterministic schedule exhibits under shared-fate outages. Draws
+        flow through the caller's generator, so fixed seeds stay
+        reproducible.
+    max_backoff:
+        Upper cap on any single decorrelated delay (ignored by the
+        deterministic schedule, whose growth the attempt budget bounds).
     failover_all_contacts:
         When True, the access layer ignores the per-hop budget and fails
         over across the client's *entire* ``m_1`` contact list.
@@ -45,6 +58,8 @@ class RetryPolicy:
     backoff_base: float = 0.1
     backoff_factor: float = 2.0
     jitter: float = 0.0
+    decorrelated: bool = False
+    max_backoff: float = 30.0
     failover_all_contacts: bool = True
 
     def __post_init__(self) -> None:
@@ -63,9 +78,33 @@ class RetryPolicy:
             )
         if self.jitter < 0:
             raise ConfigurationError(f"jitter must be >= 0, got {self.jitter}")
+        if self.max_backoff <= 0:
+            raise ConfigurationError(
+                f"max_backoff must be > 0, got {self.max_backoff}"
+            )
+        if self.decorrelated and self.backoff_base <= 0:
+            raise ConfigurationError(
+                "decorrelated jitter needs backoff_base > 0 "
+                f"(got {self.backoff_base}): the base is the lower bound "
+                "of every uniform draw"
+            )
 
-    def delay(self, retry_index: int, generator) -> float:
-        """Backoff before retry number ``retry_index`` (0-based)."""
+    def delay(
+        self, retry_index: int, generator, previous: "float | None" = None
+    ) -> float:
+        """Backoff before retry number ``retry_index`` (0-based).
+
+        ``previous`` is the delay charged for the *prior* retry of the
+        same operation (None on the first). The deterministic schedule
+        ignores it; decorrelated jitter feeds on it, so callers running a
+        retry loop should thread each returned delay back in.
+        """
+        if self.decorrelated:
+            anchor = self.backoff_base if previous is None else previous
+            high = max(self.backoff_base, anchor * self.backoff_factor)
+            span = high - self.backoff_base
+            delay = self.backoff_base + span * float(generator.random())
+            return min(self.max_backoff, delay)
         delay = self.backoff_base * (self.backoff_factor**retry_index)
         if self.jitter > 0:
             delay += self.jitter * float(generator.random())

@@ -1,0 +1,90 @@
+"""SOS-as-a-service: a fault-tolerant evaluation server.
+
+Exposes the repo's ``P_S`` evaluation, design-space sweeps and
+checkpointed Monte-Carlo campaigns over a small stdlib-only HTTP
+façade, hardened with the robustness toolkit the paper's availability
+story motivates:
+
+* per-request **deadlines** propagated into worker processes with
+  cooperative cancellation (and a parent-side hard kill as backstop);
+* a bounded, priority-aware **admission queue** that sheds with
+  ``429 Retry-After`` instead of queueing unboundedly;
+* a **circuit breaker** that degrades to memoized
+  (stale-while-revalidate) answers while the worker pool is sick;
+* a **supervisor** that respawns crashed workers and resumes
+  interrupted campaigns from :class:`~repro.resilience.checkpoint.
+  CampaignCheckpoint` files bit-identically;
+* ``/healthz`` / ``/readyz`` / ``/metrics`` endpoints surfacing queue
+  depth, breaker state and shed counts.
+
+``tools/chaos_service.py`` drives the whole stack under worker kills,
+latency injection and flood load, and emits the committed SLO report.
+"""
+
+from repro.service.admission import (
+    PRIORITIES,
+    AdmissionQueue,
+    QueuedRequest,
+    QueueTimeout,
+    Shed,
+)
+from repro.service.app import ServiceConfig, SOSEvaluationService
+from repro.service.deadline import DEFAULT_GRACE, NO_DEADLINE, Deadline
+from repro.service.http import HttpServer, http_request
+from repro.service.jobs import (
+    JOB_KINDS,
+    build_architecture,
+    build_attack,
+    canonical_key,
+    execute_job,
+    validate_payload,
+)
+from repro.service.loadgen import (
+    SLO_REPORT_VERSION,
+    LoadPhase,
+    RequestRecord,
+    arrival_schedule,
+    hold,
+    ramp,
+    run_load,
+    slo_report,
+    spike,
+)
+from repro.service.metrics import LatencyWindow, ServiceMetrics, percentile
+from repro.service.pool import JobResult, PoolConfig, WorkerPool
+
+__all__ = [
+    "AdmissionQueue",
+    "DEFAULT_GRACE",
+    "Deadline",
+    "HttpServer",
+    "JOB_KINDS",
+    "JobResult",
+    "LatencyWindow",
+    "LoadPhase",
+    "NO_DEADLINE",
+    "PRIORITIES",
+    "PoolConfig",
+    "QueueTimeout",
+    "QueuedRequest",
+    "RequestRecord",
+    "SLO_REPORT_VERSION",
+    "SOSEvaluationService",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "Shed",
+    "WorkerPool",
+    "arrival_schedule",
+    "build_architecture",
+    "build_attack",
+    "canonical_key",
+    "execute_job",
+    "hold",
+    "http_request",
+    "percentile",
+    "ramp",
+    "run_load",
+    "slo_report",
+    "spike",
+    "validate_payload",
+]

@@ -1,0 +1,70 @@
+"""Run the evaluation service from the command line.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.service --port 8080 --workers 4
+
+Then::
+
+    curl -s localhost:8080/healthz
+    curl -s -X POST localhost:8080/eval -d '{
+        "architecture": {"layers": 3, "mapping": "one-to-two"},
+        "attack": {"kind": "one-burst"}}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+from typing import List, Optional
+
+from repro.service.app import ServiceConfig, SOSEvaluationService
+from repro.service.http import HttpServer
+
+
+def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro.service", description="SOS evaluation service"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--queue-capacity", type=int, default=64)
+    parser.add_argument("--spool-dir", default=None,
+                        help="campaign checkpoint directory")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args(argv)
+
+
+async def serve(args: argparse.Namespace) -> None:
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        spool_dir=args.spool_dir,
+        seed=args.seed,
+    )
+    server = HttpServer(
+        SOSEvaluationService(config), host=args.host, port=args.port
+    )
+    await server.start()
+    print(f"repro.service listening on http://{server.host}:{server.port} "
+          f"({args.workers} workers)")
+    try:
+        while True:
+            await asyncio.sleep(3600.0)
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        asyncio.run(serve(parse_args(argv)))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,233 @@
+"""Bounded admission with priority-aware load shedding.
+
+The queue between the HTTP front and the worker pool is the service's
+overload valve. Three properties are non-negotiable, and the overload
+property tests pin them:
+
+* **submission never blocks the event loop** — :meth:`try_submit` is a
+  plain synchronous call that either admits or sheds *now*;
+* **a shed request always gets an immediate answer** — its future is
+  completed with :class:`Shed` (the HTTP layer turns that into
+  ``429 Retry-After``) before ``try_submit`` returns;
+* **priorities preempt**: when the queue is full and a higher-priority
+  request arrives, the newest lowest-priority entry is evicted (shed)
+  to make room, so interactive traffic survives batch floods.
+
+Expired-deadline entries are skipped (and answered with a timeout
+marker) at dequeue time, so dead work never reaches a worker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.service.deadline import Deadline
+
+#: Priority classes, highest first. Interactive evaluation outranks
+#: batch sweeps/campaigns; health probes outrank everything.
+PRIORITIES: Tuple[str, ...] = ("probe", "interactive", "batch")
+_PRIORITY_RANK: Dict[str, int] = {name: i for i, name in enumerate(PRIORITIES)}
+
+
+@dataclasses.dataclass(frozen=True)
+class Shed:
+    """Completion value for a request refused by backpressure."""
+
+    reason: str
+    retry_after: float
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueTimeout:
+    """Completion value for a request whose deadline expired in-queue."""
+
+    waited: float
+
+
+@dataclasses.dataclass
+class QueuedRequest:
+    """One admitted unit of work awaiting a worker."""
+
+    payload: Any
+    priority: str
+    deadline: Deadline
+    future: "asyncio.Future[Any]"
+    enqueued_at: float
+
+
+class AdmissionQueue:
+    """Bounded multi-class FIFO with shed-don't-block semantics.
+
+    ``capacity`` bounds the *total* queued entries across classes.
+    ``retry_after`` hints are derived from queue depth and the EMA of
+    recent service times, so clients back off roughly as long as the
+    backlog needs to drain.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        workers: int = 1,
+        default_service_time: float = 0.05,
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError(f"capacity must be >= 1, got {capacity}")
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        self.capacity = capacity
+        self._workers = workers
+        self._queues: Dict[str, Deque[QueuedRequest]] = {
+            name: deque() for name in PRIORITIES
+        }
+        self._waiters: Deque["asyncio.Future[None]"] = deque()
+        self._service_time_ema = default_service_time
+        self.shed_total = 0
+        self.evicted_total = 0
+        self.expired_in_queue_total = 0
+        self.admitted_total = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def depth(self) -> int:
+        return len(self)
+
+    def depth_by_class(self) -> Dict[str, int]:
+        return {name: len(q) for name, q in self._queues.items()}
+
+    def observe_service_time(self, seconds: float) -> None:
+        """Feed a completed request's service time into the EMA."""
+        self._service_time_ema = 0.8 * self._service_time_ema + 0.2 * seconds
+
+    def retry_after_hint(self) -> float:
+        """Suggested client backoff: time to drain the current backlog."""
+        backlog = len(self) + 1
+        estimate = backlog * self._service_time_ema / self._workers
+        return max(1.0, min(60.0, estimate))
+
+    # ------------------------------------------------------------------
+    # Producer side (event loop; must never block)
+    # ------------------------------------------------------------------
+    def try_submit(
+        self,
+        payload: Any,
+        priority: str,
+        deadline: Deadline,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+    ) -> QueuedRequest:
+        """Admit or shed ``payload``; the returned request's future is
+        already resolved (with :class:`Shed`) when shedding happened."""
+        if priority not in _PRIORITY_RANK:
+            raise ServiceError(
+                f"unknown priority {priority!r}; expected one of {PRIORITIES}"
+            )
+        if loop is None:
+            loop = asyncio.get_running_loop()
+        request = QueuedRequest(
+            payload=payload,
+            priority=priority,
+            deadline=deadline,
+            future=loop.create_future(),
+            enqueued_at=loop.time(),
+        )
+        if deadline.expired:
+            # Dead on arrival: answer instantly, never queue.
+            self.expired_in_queue_total += 1
+            request.future.set_result(QueueTimeout(waited=0.0))
+            return request
+        if len(self) >= self.capacity and not self._evict_for(priority):
+            self.shed_total += 1
+            request.future.set_result(
+                Shed(reason="queue_full", retry_after=self.retry_after_hint())
+            )
+            return request
+        self._queues[priority].append(request)
+        self.admitted_total += 1
+        self._wake_one()
+        return request
+
+    def _evict_for(self, priority: str) -> bool:
+        """Make room for ``priority`` by shedding strictly lower-priority
+        work (newest first, so older batch work keeps its place)."""
+        rank = _PRIORITY_RANK[priority]
+        for victim_class in reversed(PRIORITIES):
+            if _PRIORITY_RANK[victim_class] <= rank:
+                break
+            queue = self._queues[victim_class]
+            if queue:
+                victim = queue.pop()
+                self.evicted_total += 1
+                self.shed_total += 1
+                if not victim.future.done():
+                    victim.future.set_result(
+                        Shed(
+                            reason="evicted_by_higher_priority",
+                            retry_after=self.retry_after_hint(),
+                        )
+                    )
+                return True
+        return False
+
+    def _wake_one(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                return
+
+    # ------------------------------------------------------------------
+    # Consumer side (worker dispatch tasks)
+    # ------------------------------------------------------------------
+    def _pop_ready(self) -> Optional[QueuedRequest]:
+        """Highest-priority non-expired entry, answering expired ones."""
+        for name in PRIORITIES:
+            queue = self._queues[name]
+            while queue:
+                request = queue.popleft()
+                if request.future.done():
+                    continue  # cancelled/answered while queued
+                if request.deadline.expired:
+                    self.expired_in_queue_total += 1
+                    loop = request.future.get_loop()
+                    request.future.set_result(
+                        QueueTimeout(waited=loop.time() - request.enqueued_at)
+                    )
+                    continue
+                return request
+        return None
+
+    async def get(self) -> QueuedRequest:
+        """Await the next dispatchable request (FIFO within class)."""
+        while True:
+            request = self._pop_ready()
+            if request is not None:
+                return request
+            loop = asyncio.get_running_loop()
+            waiter: "asyncio.Future[None]" = loop.create_future()
+            self._waiters.append(waiter)
+            try:
+                await waiter
+            finally:
+                if not waiter.done():
+                    waiter.cancel()
+
+    def drain(self) -> int:
+        """Answer everything still queued (shutdown); returns the count."""
+        drained = 0
+        for queue in self._queues.values():
+            while queue:
+                request = queue.popleft()
+                if not request.future.done():
+                    request.future.set_result(
+                        Shed(reason="shutting_down", retry_after=1.0)
+                    )
+                drained += 1
+        return drained

@@ -1,0 +1,224 @@
+"""Open-loop load generation and SLO reporting for the service.
+
+The generator is **open-loop**: request launch times come from a
+precomputed arrival schedule, not from when earlier responses return.
+A closed-loop client (wait for reply, send next) self-throttles when
+the server slows down and hides exactly the overload behaviour this
+harness exists to measure; open-loop arrivals keep the pressure honest
+(see the coordinated-omission argument in the performance docs).
+
+A load shape is a list of :class:`LoadPhase` segments. Within a phase
+the arrival rate interpolates linearly from ``start_rps`` to
+``end_rps``, so ramps are first-class; holds set the two equal; spikes
+are short holds at a high rate. Arrival times are deterministic given
+the shape — no RNG — so two runs of the same shape issue requests at
+identical offsets.
+
+The output is an SLO report dict in the repo's ``BENCH_*.json`` style:
+throughput, latency quantiles (p50/p95/p99), error rate and shed rate,
+plus a status histogram, ready to be committed next to the benchmark
+trajectory and compared by ``tools/bench_compare.py``-style tooling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.service.http import http_request
+from repro.service.metrics import percentile
+
+#: Report schema version (bumped on incompatible field changes).
+SLO_REPORT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadPhase:
+    """One segment of a load shape.
+
+    ``start_rps``/``end_rps`` interpolate linearly over ``duration``
+    seconds; a constant-rate hold sets them equal.
+    """
+
+    name: str
+    duration: float
+    start_rps: float
+    end_rps: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"phase {self.name!r}: duration must be > 0, "
+                f"got {self.duration}"
+            )
+        if self.start_rps < 0 or self.end_rps < 0:
+            raise ConfigurationError(
+                f"phase {self.name!r}: rates must be >= 0, got "
+                f"{self.start_rps}->{self.end_rps}"
+            )
+
+    def rate_at(self, elapsed: float) -> float:
+        """Arrival rate ``elapsed`` seconds into the phase."""
+        fraction = min(1.0, max(0.0, elapsed / self.duration))
+        return self.start_rps + (self.end_rps - self.start_rps) * fraction
+
+
+def ramp(duration: float, to_rps: float, from_rps: float = 0.0) -> LoadPhase:
+    return LoadPhase("ramp", duration, from_rps, to_rps)
+
+
+def hold(duration: float, rps: float) -> LoadPhase:
+    return LoadPhase("hold", duration, rps, rps)
+
+
+def spike(duration: float, rps: float) -> LoadPhase:
+    return LoadPhase("spike", duration, rps, rps)
+
+
+def arrival_schedule(phases: Sequence[LoadPhase]) -> List[float]:
+    """Deterministic request launch offsets (seconds from start).
+
+    Integrates the (piecewise-linear) rate curve: each request fires
+    when cumulative expected arrivals cross the next integer. Quadratic
+    solve per phase is overkill for a harness; a fine fixed step keeps
+    it simple and exact to ~1 ms.
+    """
+    offsets: List[float] = []
+    base = 0.0
+    accumulated = 0.0
+    emitted = 0
+    step = 0.001
+    for phase in phases:
+        ticks = int(round(phase.duration / step))
+        for tick in range(ticks):
+            elapsed = (tick + 0.5) * step
+            accumulated += phase.rate_at(elapsed) * step
+            while emitted < accumulated:
+                offsets.append(base + elapsed)
+                emitted += 1
+        base += phase.duration
+    return offsets
+
+
+@dataclasses.dataclass
+class RequestRecord:
+    """Outcome of one generated request."""
+
+    offset: float
+    status: int
+    latency: float
+    error: Optional[str] = None
+
+
+async def run_load(
+    host: str,
+    port: int,
+    phases: Sequence[LoadPhase],
+    request_factory: Callable[[int], Dict[str, Any]],
+    path: str = "/eval",
+    method: str = "POST",
+    timeout: float = 30.0,
+    headers: Optional[Dict[str, str]] = None,
+) -> List[RequestRecord]:
+    """Drive the shape against a running server; returns all records.
+
+    ``request_factory(i)`` builds the JSON body for the ``i``-th request
+    (lets callers vary payloads deterministically, e.g. cycling through
+    a handful of architectures to exercise the result store).
+    """
+    offsets = arrival_schedule(phases)
+    records: List[RequestRecord] = []
+    started = time.monotonic()
+
+    async def _one(index: int, offset: float) -> None:
+        delay = offset - (time.monotonic() - started)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        body = request_factory(index)
+        begin = time.monotonic()
+        try:
+            status, _resp_headers, _resp = await http_request(
+                host, port, method, path, body=body,
+                headers=headers, timeout=timeout,
+            )
+            records.append(
+                RequestRecord(offset, status, time.monotonic() - begin)
+            )
+        except (OSError, asyncio.TimeoutError, ValueError) as exc:
+            records.append(
+                RequestRecord(
+                    offset, 0, time.monotonic() - begin,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+
+    tasks = [
+        asyncio.ensure_future(_one(index, offset))
+        for index, offset in enumerate(offsets)
+    ]
+    if tasks:
+        await asyncio.gather(*tasks)
+    return records
+
+
+def slo_report(
+    records: Sequence[RequestRecord],
+    phases: Sequence[LoadPhase],
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Summarize a load run as a committed-artifact-ready report."""
+    duration = sum(phase.duration for phase in phases)
+    latencies = sorted(record.latency for record in records)
+    statuses: Dict[str, int] = {}
+    for record in records:
+        key = str(record.status) if record.status else "transport_error"
+        statuses[key] = statuses.get(key, 0) + 1
+    total = len(records)
+    # Sheds (429) are the backpressure design working as intended;
+    # errors are 5xx and transport failures.
+    shed = statuses.get("429", 0)
+    errors = sum(
+        count
+        for key, count in statuses.items()
+        if key == "transport_error" or key.startswith("5")
+    )
+    succeeded = statuses.get("200", 0) + statuses.get("202", 0)
+    report: Dict[str, Any] = {
+        "version": SLO_REPORT_VERSION,
+        "source": "slo-loadgen",
+        "phases": [dataclasses.asdict(phase) for phase in phases],
+        "requests": {
+            "total": total,
+            "succeeded": succeeded,
+            "by_status": dict(sorted(statuses.items())),
+        },
+        "slo": {
+            "throughput_rps": (succeeded / duration) if duration > 0 else 0.0,
+            "offered_rps": (total / duration) if duration > 0 else 0.0,
+            "p50_ms": percentile(latencies, 50.0) * 1000.0,
+            "p95_ms": percentile(latencies, 95.0) * 1000.0,
+            "p99_ms": percentile(latencies, 99.0) * 1000.0,
+            "max_ms": (latencies[-1] * 1000.0) if latencies else 0.0,
+            "error_rate": (errors / total) if total else 0.0,
+            "shed_rate": (shed / total) if total else 0.0,
+        },
+    }
+    if extra:
+        report.update(extra)
+    return report
+
+
+__all__ = [
+    "SLO_REPORT_VERSION",
+    "LoadPhase",
+    "RequestRecord",
+    "arrival_schedule",
+    "hold",
+    "ramp",
+    "run_load",
+    "slo_report",
+    "spike",
+]

@@ -1,0 +1,97 @@
+"""Service metrics: counters, latency quantiles, SLO snapshots.
+
+Everything the health endpoints, the load generator, and the chaos
+harness report flows through :class:`ServiceMetrics` — a plain
+in-process recorder (the service touches it only from the event-loop
+thread, so no locking). Latencies are kept in a bounded ring per
+endpoint: at the scales the SLO harness drives (tens of thousands of
+requests) that is exact; beyond the cap the window covers the most
+recent requests, which is what an operator wants from a live quantile
+anyway.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import Counter, deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.errors import ServiceError
+
+#: Default per-endpoint latency window.
+DEFAULT_WINDOW = 65536
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list (q in [0, 100])."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ServiceError(f"percentile q must be in [0, 100], got {q}")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class LatencyWindow:
+    """Bounded window of request latencies with streaming totals."""
+
+    def __init__(self, maxlen: int = DEFAULT_WINDOW) -> None:
+        self._window: Deque[float] = deque(maxlen=maxlen)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._window.append(seconds)
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def quantiles(self) -> Dict[str, float]:
+        ordered = sorted(self._window)
+        return {
+            "p50": percentile(ordered, 50.0),
+            "p95": percentile(ordered, 95.0),
+            "p99": percentile(ordered, 99.0),
+            "max": self.max,
+            "mean": (self.total / self.count) if self.count else 0.0,
+            "count": float(self.count),
+        }
+
+
+class ServiceMetrics:
+    """Counter + latency registry backing ``/metrics`` and SLO reports."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self.started_at = clock()
+        self.counters: Counter = Counter()
+        self.latencies: Dict[str, LatencyWindow] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def observe(self, endpoint: str, seconds: float) -> None:
+        window = self.latencies.get(endpoint)
+        if window is None:
+            window = self.latencies[endpoint] = LatencyWindow()
+        window.record(seconds)
+
+    def count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def snapshot(self, extra: Optional[Dict[str, object]] = None) -> dict:
+        """JSON-ready view of every counter and latency window."""
+        body: dict = {
+            "uptime_seconds": self._clock() - self.started_at,
+            "counters": dict(sorted(self.counters.items())),
+            "latency_seconds": {
+                endpoint: window.quantiles()
+                for endpoint, window in sorted(self.latencies.items())
+            },
+        }
+        if extra:
+            body.update(extra)
+        return body

@@ -27,14 +27,23 @@ import dataclasses
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from repro.attacks.attacker import IntelligentAttacker
 from repro.core.architecture import SOSArchitecture
 from repro.core.attack_models import OneBurstAttack, SuccessiveAttack
-from repro.errors import SimulationError
+from repro.errors import CampaignInterrupted, SimulationError
 from repro.overlay.network import OverlayNetwork
 from repro.resilience.checkpoint import CampaignCheckpoint, fingerprint
 from repro.simulation.results import PsEstimate, summarize_indicators
@@ -256,7 +265,10 @@ class MonteCarloEstimator:
         )
 
     def estimate(
-        self, architecture: SOSArchitecture, attack: Attack
+        self,
+        architecture: SOSArchitecture,
+        attack: Attack,
+        abort_check: Optional[Callable[[], bool]] = None,
     ) -> PsEstimate:
         """Run the configured number of trials and summarize.
 
@@ -267,6 +279,15 @@ class MonteCarloEstimator:
         are dispatched over a process pool; because trial streams are
         pre-spawned here in trial order and results are aggregated in
         trial order, the estimate is bit-identical to the serial path.
+
+        ``abort_check`` makes the campaign cooperatively cancellable: it
+        is polled between trials (serial) or completed chunks (parallel),
+        and when it returns True the run flushes every completed trial to
+        the checkpoint and raises
+        :class:`~repro.errors.CampaignInterrupted`. A later ``estimate``
+        with the same checkpoint resumes the remaining trials on their
+        original RNG streams, so the final aggregates stay bit-identical
+        to an uninterrupted run.
         """
         config = self.config
         factory = SeedSequenceFactory(config.seed)
@@ -296,11 +317,11 @@ class MonteCarloEstimator:
             if pending:
                 if config.resolved_workers > 1:
                     outcomes = self._run_parallel(
-                        architecture, attack, network_seed, pending
+                        architecture, attack, network_seed, pending, abort_check
                     )
                 else:
                     outcomes = self._run_serial(
-                        architecture, attack, network_seed, pending
+                        architecture, attack, network_seed, pending, abort_check
                     )
                 for trial, success, per_layer_bad, error in outcomes:
                     if error is not None or success is None or per_layer_bad is None:
@@ -343,6 +364,7 @@ class MonteCarloEstimator:
         attack: Attack,
         network_seed: np.random.SeedSequence,
         jobs: List[TrialJob],
+        abort_check: Optional[Callable[[], bool]] = None,
     ) -> Iterator[TrialOutcome]:
         """Run pending trials in-process, yielding outcomes in order."""
         # One overlay population reused across trials; deploy() rewires
@@ -352,6 +374,12 @@ class MonteCarloEstimator:
             architecture.total_overlay_nodes, rng=make_rng(network_seed)
         )
         for trial, seed in jobs:
+            if abort_check is not None and abort_check():
+                raise CampaignInterrupted(
+                    f"campaign aborted before trial {trial} "
+                    f"({len(jobs)} were pending); completed trials are "
+                    "checkpointed and resumable"
+                )
             rng = make_rng(seed)
             try:
                 success, per_layer_bad = _run_trial(
@@ -370,12 +398,16 @@ class MonteCarloEstimator:
         attack: Attack,
         network_seed: np.random.SeedSequence,
         jobs: List[TrialJob],
+        abort_check: Optional[Callable[[], bool]] = None,
     ) -> Iterator[TrialOutcome]:
         """Dispatch pending trials over a process pool in chunks.
 
         The attacker travels to each worker by pickling (so injected test
         doubles keep working); chunks default to ~4 tasks per worker to
-        amortize task overhead while keeping the pool busy.
+        amortize task overhead while keeping the pool busy. Cancellation
+        granularity is one chunk: ``abort_check`` is polled between
+        completed chunks, and an abort cancels every not-yet-started
+        chunk before raising.
         """
         workers = self.config.resolved_workers
         chunk = self.config.chunk_size or max(
@@ -389,6 +421,13 @@ class MonteCarloEstimator:
         ) as pool:
             futures = [pool.submit(_run_trial_chunk, part) for part in chunks]
             for future in as_completed(futures):
+                if abort_check is not None and abort_check():
+                    for pending_future in futures:
+                        pending_future.cancel()
+                    raise CampaignInterrupted(
+                        "campaign aborted between parallel chunks; "
+                        "completed trials are checkpointed and resumable"
+                    )
                 for outcome in future.result():
                     yield outcome
 

@@ -204,6 +204,7 @@ class SOSProtocol:
         attempts = 0
         retries = 0
         backoff = 0.0
+        last_delay: Optional[float] = None
         while remaining and attempts < budget:
             index = int(generator.integers(0, len(remaining)))
             chosen = remaining.pop(index)
@@ -211,7 +212,8 @@ class SOSProtocol:
             if self.deployment.resolve(chosen).is_good:
                 return chosen, (attempts, retries, backoff)
             if remaining and attempts < budget:
-                backoff += policy.delay(retries, generator)
+                last_delay = policy.delay(retries, generator, previous=last_delay)
+                backoff += last_delay
                 retries += 1
         return None, (attempts, retries, backoff)
 

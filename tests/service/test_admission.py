@@ -1,0 +1,248 @@
+"""Overload properties of the admission queue.
+
+The three contracts the ISSUE pins as property tests:
+
+* a full queue **never blocks the event loop** — submission is a
+  synchronous admit-or-shed decision, measured here with a heartbeat
+  task whose gaps must stay tiny while thousands of requests hammer a
+  full queue;
+* a shed request **always receives an answer** (``Shed`` → 429) —
+  its future is already resolved when ``try_submit`` returns, so no
+  client can hang on backpressure;
+* priority classes preempt: interactive work evicts queued batch work
+  instead of being shed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServiceError
+from repro.service.admission import (
+    PRIORITIES,
+    AdmissionQueue,
+    QueueTimeout,
+    Shed,
+)
+from repro.service.deadline import NO_DEADLINE, Deadline
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestShedNeverHangs:
+    def test_shed_future_is_resolved_before_try_submit_returns(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=1)
+            queue.try_submit({"n": 0}, "batch", NO_DEADLINE)
+            shed = queue.try_submit({"n": 1}, "batch", NO_DEADLINE)
+            assert shed.future.done()
+            outcome = shed.future.result()
+            assert isinstance(outcome, Shed)
+            assert outcome.reason == "queue_full"
+            assert outcome.retry_after >= 1.0
+
+        run(scenario())
+
+    def test_expired_deadline_is_answered_instantly(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=4)
+            clock_skewed = Deadline.after(0.001)
+            await asyncio.sleep(0.01)
+            request = queue.try_submit({}, "interactive", clock_skewed)
+            assert request.future.done()
+            assert isinstance(request.future.result(), QueueTimeout)
+            assert queue.depth == 0
+
+        run(scenario())
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        submissions=st.lists(
+            st.sampled_from(PRIORITIES), min_size=1, max_size=64
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_submission_gets_admitted_or_answered(
+        self, capacity, submissions
+    ):
+        """Invariant: after any submission burst, every future is either
+        queued (pending, will reach a worker) or already resolved."""
+
+        async def scenario():
+            queue = AdmissionQueue(capacity=capacity)
+            requests = [
+                queue.try_submit({"i": i}, priority, NO_DEADLINE)
+                for i, priority in enumerate(submissions)
+            ]
+            unresolved = [r for r in requests if not r.future.done()]
+            assert len(unresolved) == queue.depth
+            assert queue.depth <= capacity
+            for request in requests:
+                if request.future.done():
+                    assert isinstance(request.future.result(), Shed)
+
+        run(scenario())
+
+
+class TestEventLoopNeverBlocks:
+    def test_flooding_a_full_queue_keeps_heartbeat_gaps_small(self):
+        """Submit 5000 requests into a full queue while a heartbeat task
+        samples loop latency; the largest gap must stay far below any
+        human-visible stall."""
+
+        async def scenario():
+            queue = AdmissionQueue(capacity=4)
+            for i in range(4):
+                queue.try_submit({"fill": i}, "batch", NO_DEADLINE)
+
+            gaps = []
+            stop = asyncio.Event()
+
+            async def heartbeat():
+                last = time.monotonic()
+                while not stop.is_set():
+                    await asyncio.sleep(0.001)
+                    now = time.monotonic()
+                    gaps.append(now - last)
+                    last = now
+
+            beat = asyncio.ensure_future(heartbeat())
+            await asyncio.sleep(0.01)  # let the heartbeat settle
+            for i in range(5000):
+                request = queue.try_submit({"n": i}, "batch", NO_DEADLINE)
+                assert request.future.done()
+                if i % 500 == 0:
+                    await asyncio.sleep(0)  # yield like the HTTP layer does
+            stop.set()
+            await beat
+            assert max(gaps) < 0.25
+            assert queue.shed_total == 5000
+
+        run(scenario())
+
+
+class TestPriorityEviction:
+    def test_interactive_evicts_newest_batch(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=2)
+            old_batch = queue.try_submit({"n": "old"}, "batch", NO_DEADLINE)
+            new_batch = queue.try_submit({"n": "new"}, "batch", NO_DEADLINE)
+            interactive = queue.try_submit({}, "interactive", NO_DEADLINE)
+            assert not interactive.future.done()      # admitted
+            assert not old_batch.future.done()        # kept its place
+            assert new_batch.future.done()            # evicted
+            outcome = new_batch.future.result()
+            assert isinstance(outcome, Shed)
+            assert outcome.reason == "evicted_by_higher_priority"
+            assert queue.evicted_total == 1
+
+        run(scenario())
+
+    def test_batch_cannot_evict_interactive(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=1)
+            queue.try_submit({}, "interactive", NO_DEADLINE)
+            batch = queue.try_submit({}, "batch", NO_DEADLINE)
+            assert batch.future.done()
+            assert batch.future.result().reason == "queue_full"
+
+        run(scenario())
+
+    def test_probe_outranks_everything(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=1)
+            interactive = queue.try_submit({}, "interactive", NO_DEADLINE)
+            probe = queue.try_submit({}, "probe", NO_DEADLINE)
+            assert not probe.future.done()
+            assert interactive.future.done()
+
+        run(scenario())
+
+    def test_unknown_priority_rejected(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=1)
+            with pytest.raises(ServiceError):
+                queue.try_submit({}, "vip", NO_DEADLINE)
+
+        run(scenario())
+
+
+class TestConsumerSide:
+    def test_get_serves_highest_priority_first(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=8)
+            queue.try_submit({"n": "b"}, "batch", NO_DEADLINE)
+            queue.try_submit({"n": "i"}, "interactive", NO_DEADLINE)
+            queue.try_submit({"n": "p"}, "probe", NO_DEADLINE)
+            order = [
+                (await queue.get()).payload["n"],
+                (await queue.get()).payload["n"],
+                (await queue.get()).payload["n"],
+            ]
+            assert order == ["p", "i", "b"]
+
+        run(scenario())
+
+    def test_expired_entries_are_answered_at_dequeue(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=8)
+            doomed = queue.try_submit({}, "batch", Deadline.after(0.01))
+            live = queue.try_submit({}, "batch", NO_DEADLINE)
+            await asyncio.sleep(0.05)
+            served = await queue.get()
+            assert served is live
+            assert doomed.future.done()
+            outcome = doomed.future.result()
+            assert isinstance(outcome, QueueTimeout)
+            assert outcome.waited >= 0.0
+            assert queue.expired_in_queue_total == 1
+
+        run(scenario())
+
+    def test_get_wakes_on_late_submission(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=2)
+            getter = asyncio.ensure_future(queue.get())
+            await asyncio.sleep(0.01)
+            assert not getter.done()
+            queue.try_submit({"n": 1}, "batch", NO_DEADLINE)
+            served = await asyncio.wait_for(getter, timeout=1.0)
+            assert served.payload == {"n": 1}
+
+        run(scenario())
+
+    def test_drain_answers_everything(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=4)
+            requests = [
+                queue.try_submit({"n": i}, "batch", NO_DEADLINE)
+                for i in range(3)
+            ]
+            assert queue.drain() == 3
+            for request in requests:
+                assert isinstance(request.future.result(), Shed)
+                assert request.future.result().reason == "shutting_down"
+
+        run(scenario())
+
+
+class TestRetryAfterHint:
+    def test_hint_scales_with_backlog_and_is_clamped(self):
+        async def scenario():
+            queue = AdmissionQueue(capacity=1000, workers=2)
+            queue.observe_service_time(1.0)
+            sparse = queue.retry_after_hint()
+            for i in range(100):
+                queue.try_submit({"n": i}, "batch", NO_DEADLINE)
+            busy = queue.retry_after_hint()
+            assert busy > sparse
+            assert 1.0 <= busy <= 60.0
+
+        run(scenario())

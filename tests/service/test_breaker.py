@@ -1,0 +1,218 @@
+"""Circuit breaker: trip conditions, recovery path, monotone transitions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    LEGAL_TRANSITIONS,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(clock, **overrides):
+    config = dict(
+        window=8,
+        failure_threshold=0.5,
+        min_volume=4,
+        reset_timeout=5.0,
+        half_open_max_calls=2,
+        half_open_successes=2,
+    )
+    config.update(overrides)
+    return CircuitBreaker(BreakerConfig(**config), clock=clock)
+
+
+class TestTripAndRecovery:
+    def test_stays_closed_below_min_volume(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_trips_at_threshold_with_volume(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(2):
+            breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.open_count == 1
+        assert not breaker.allow()
+
+    def test_open_waits_out_reset_timeout(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(4.9)
+        assert not breaker.allow()
+        assert breaker.seconds_until_half_open() == pytest.approx(0.1)
+        clock.advance(0.2)
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_success_streak_closes(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        # Window cleared on close: old failures no longer count.
+        assert breaker.failure_rate() == 0.0
+
+    def test_half_open_failure_reopens_and_restarts_timer(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.open_count == 2
+        assert breaker.seconds_until_half_open() == pytest.approx(5.0)
+
+    def test_half_open_meters_probe_slots(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock, half_open_max_calls=1)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.allow()
+        assert not breaker.allow()  # slot taken
+
+    def test_discard_releases_a_probe_slot(self):
+        """A shed request must not wedge the breaker half-open forever."""
+        clock = FakeClock()
+        breaker = make_breaker(clock, half_open_max_calls=1)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.allow()
+        breaker.record_discard()  # the allowed call was shed, not executed
+        assert breaker.allow()    # slot is free again
+        assert breaker.state == HALF_OPEN
+
+    def test_late_failure_while_open_is_ignored(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        transitions_before = len(breaker.transitions)
+        breaker.record_failure()  # in-flight call admitted pre-trip
+        assert breaker.state == OPEN
+        assert len(breaker.transitions) == transitions_before
+
+    def test_illegal_transition_rejected(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        with pytest.raises(ConfigurationError):
+            breaker._transition(HALF_OPEN)  # closed -> half_open is illegal
+
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        snap = breaker.snapshot()
+        assert snap["state"] == CLOSED
+        assert set(snap) == {
+            "state",
+            "failure_rate",
+            "window_size",
+            "open_count",
+            "seconds_until_half_open",
+            "transitions",
+        }
+
+
+# Scripted-event property: whatever the interleaving of outcomes, probe
+# grants and clock advances, every recorded transition is a legal edge —
+# the breaker can only move closed->open->half_open->{closed,open}.
+_EVENTS = st.lists(
+    st.sampled_from(["success", "failure", "allow", "discard", "tick"]),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestTransitionMonotonicity:
+    @given(events=_EVENTS)
+    def test_all_transitions_are_legal_edges(self, events):
+        clock = FakeClock()
+        breaker = make_breaker(clock, reset_timeout=2.0)
+        for event in events:
+            if event == "success":
+                breaker.record_success()
+            elif event == "failure":
+                breaker.record_failure()
+            elif event == "allow":
+                breaker.allow()
+            elif event == "discard":
+                breaker.record_discard()
+            else:
+                clock.advance(1.0)
+        for _time, from_state, to_state in breaker.transitions:
+            assert (from_state, to_state) in LEGAL_TRANSITIONS
+
+    @given(events=_EVENTS)
+    def test_recovery_always_passes_through_half_open(self, events):
+        """closed is only ever re-entered from half_open, never from open."""
+        clock = FakeClock()
+        breaker = make_breaker(clock, reset_timeout=2.0)
+        for event in events:
+            if event == "success":
+                breaker.record_success()
+            elif event == "failure":
+                breaker.record_failure()
+            elif event == "allow":
+                breaker.allow()
+            elif event == "discard":
+                breaker.record_discard()
+            else:
+                clock.advance(1.0)
+        for _time, from_state, to_state in breaker.transitions:
+            if to_state == CLOSED:
+                assert from_state == HALF_OPEN
+
+    @given(events=_EVENTS)
+    def test_transition_times_are_monotone(self, events):
+        clock = FakeClock()
+        breaker = make_breaker(clock, reset_timeout=2.0)
+        for event in events:
+            if event == "failure":
+                breaker.record_failure()
+            elif event == "allow":
+                breaker.allow()
+            elif event == "success":
+                breaker.record_success()
+            else:
+                clock.advance(0.5)
+        times = [entry[0] for entry in breaker.transitions]
+        assert times == sorted(times)

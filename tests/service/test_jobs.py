@@ -1,0 +1,147 @@
+"""Job payload validation, canonical keys, and worker-side execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attack_models import OneBurstAttack, SuccessiveAttack
+from repro.core.model import evaluate
+from repro.errors import ReproError, ServiceError
+from repro.service.jobs import (
+    build_architecture,
+    build_attack,
+    canonical_key,
+    execute_job,
+    validate_payload,
+)
+
+ARCH = {
+    "layers": 3,
+    "mapping": "one-to-two",
+    "total_overlay_nodes": 300,
+    "sos_nodes": 30,
+}
+ATTACK = {"kind": "one-burst", "break_in_budget": 20, "congestion_budget": 50}
+
+
+class TestBuilders:
+    def test_architecture_roundtrip(self):
+        arch = build_architecture(ARCH)
+        assert arch.layers == 3
+        assert arch.mapping == "one-to-two"
+
+    def test_unknown_architecture_field_rejected(self):
+        with pytest.raises(ServiceError, match="unknown architecture"):
+            build_architecture({**ARCH, "bogus": 1})
+
+    def test_attack_kinds(self):
+        assert isinstance(build_attack(ATTACK), OneBurstAttack)
+        assert isinstance(build_attack({**ATTACK, "kind": "one_burst"}),
+                          OneBurstAttack)
+        successive = build_attack(
+            {**ATTACK, "kind": "successive", "rounds": 4}
+        )
+        assert isinstance(successive, SuccessiveAttack)
+
+    def test_unknown_attack_kind_and_fields_rejected(self):
+        with pytest.raises(ServiceError, match="unknown attack kind"):
+            build_attack({"kind": "zero-day"})
+        with pytest.raises(ServiceError, match="unknown one-burst fields"):
+            build_attack({**ATTACK, "rounds": 3})
+
+
+class TestValidation:
+    def test_valid_eval_passes(self):
+        validate_payload("eval", {"architecture": ARCH, "attack": ATTACK})
+
+    def test_campaign_requires_explicit_seed(self):
+        with pytest.raises(ServiceError, match="seed"):
+            validate_payload(
+                "campaign",
+                {"architecture": ARCH, "attack": ATTACK, "trials": 4},
+            )
+
+    def test_sweep_requires_scenarios(self):
+        with pytest.raises(ServiceError, match="scenarios"):
+            validate_payload("sweep", {"layers": [1, 2]})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            validate_payload("mine-bitcoin", {})
+
+    def test_validation_errors_are_repro_errors(self):
+        """The 400 path catches ReproError; every rejection must be one."""
+        with pytest.raises(ReproError):
+            validate_payload("eval", {"architecture": {"layers": -3},
+                                      "attack": ATTACK})
+
+
+class TestCanonicalKey:
+    def test_execution_knobs_do_not_change_the_key(self):
+        base = {"architecture": ARCH, "attack": ATTACK}
+        with_knobs = {
+            **base,
+            "deadline_ms": 250.0,
+            "priority": "interactive",
+            "checkpoint_every": 2,
+        }
+        assert canonical_key("eval", base) == canonical_key("eval", with_knobs)
+
+    def test_kind_and_payload_change_the_key(self):
+        base = {"architecture": ARCH, "attack": ATTACK}
+        other = {"architecture": {**ARCH, "sos_nodes": 40}, "attack": ATTACK}
+        assert canonical_key("eval", base) != canonical_key("eval", other)
+        assert canonical_key("eval", base) != canonical_key("sweep", base)
+
+
+class TestExecution:
+    def test_eval_matches_direct_evaluation(self):
+        result = execute_job(
+            "eval", {"architecture": ARCH, "attack": ATTACK}
+        )
+        direct = evaluate(build_architecture(ARCH), build_attack(ATTACK))
+        assert result["p_s"] == direct.p_s
+        assert result["broken_in_total"] == direct.broken_in_total
+
+    def test_ping(self):
+        assert execute_job("ping", {}) == {"pong": True}
+
+    def test_sweep_returns_ranked_scores(self):
+        result = execute_job(
+            "sweep",
+            {
+                "layers": [2, 3],
+                "mappings": ["one-to-two"],
+                "total_overlay_nodes": 200,
+                "sos_nodes": 20,
+                "scenarios": {"burst": ATTACK},
+                "top": 2,
+            },
+        )
+        assert result["designs_evaluated"] >= 2
+        assert len(result["scores"]) == 2
+        aggregates = [score["aggregate"] for score in result["scores"]]
+        assert aggregates == sorted(aggregates, reverse=True)
+
+    def test_chaos_fail_hook_raises(self):
+        with pytest.raises(ServiceError, match="chaos-injected"):
+            execute_job("ping", {"chaos_fail": "drill"})
+
+    def test_campaign_without_abort_matches_reference(self, tmp_path):
+        payload = {
+            "architecture": ARCH,
+            "attack": ATTACK,
+            "trials": 6,
+            "clients_per_trial": 4,
+            "seed": 5,
+        }
+        first = execute_job(
+            "campaign", payload,
+            checkpoint_path=str(tmp_path / "a.json"),
+        )
+        second = execute_job(
+            "campaign", payload,
+            checkpoint_path=str(tmp_path / "b.json"),
+        )
+        assert first == second
+        assert first["trials"] == 6

@@ -1,0 +1,114 @@
+"""Load shapes, arrival schedules, and SLO report arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.loadgen import (
+    LoadPhase,
+    RequestRecord,
+    arrival_schedule,
+    hold,
+    ramp,
+    slo_report,
+    spike,
+)
+from repro.service.metrics import percentile
+
+
+class TestPhases:
+    def test_shape_helpers(self):
+        assert ramp(2.0, to_rps=10.0).start_rps == 0.0
+        assert hold(3.0, rps=5.0).start_rps == hold(3.0, rps=5.0).end_rps
+        assert spike(1.0, rps=50.0).name == "spike"
+
+    def test_rate_interpolates_linearly(self):
+        phase = LoadPhase("ramp", 10.0, 0.0, 10.0)
+        assert phase.rate_at(0.0) == pytest.approx(0.0)
+        assert phase.rate_at(5.0) == pytest.approx(5.0)
+        assert phase.rate_at(10.0) == pytest.approx(10.0)
+        assert phase.rate_at(25.0) == pytest.approx(10.0)  # clamped
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LoadPhase("bad", 0.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            LoadPhase("bad", 1.0, -1.0, 1.0)
+
+
+class TestArrivalSchedule:
+    def test_hold_emits_rate_times_duration(self):
+        offsets = arrival_schedule([hold(4.0, rps=10.0)])
+        assert len(offsets) == pytest.approx(40, abs=1)
+        assert offsets == sorted(offsets)
+        assert all(0.0 <= value <= 4.0 for value in offsets)
+
+    def test_ramp_back_loads_the_interval(self):
+        offsets = arrival_schedule([ramp(4.0, to_rps=10.0)])
+        # Triangle: total = 0.5 * 10 * 4 = 20 requests, denser at the end.
+        assert len(offsets) == pytest.approx(20, abs=1)
+        first_half = sum(1 for value in offsets if value < 2.0)
+        second_half = len(offsets) - first_half
+        assert second_half > first_half
+
+    def test_deterministic(self):
+        phases = [ramp(1.0, to_rps=8.0), hold(2.0, rps=8.0), spike(0.5, 30.0)]
+        assert arrival_schedule(phases) == arrival_schedule(phases)
+
+    def test_phases_concatenate(self):
+        offsets = arrival_schedule([hold(1.0, rps=5.0), hold(1.0, rps=5.0)])
+        assert len(offsets) == pytest.approx(10, abs=1)
+        assert max(offsets) > 1.0
+
+
+class TestSLOReport:
+    def _records(self):
+        return [
+            RequestRecord(offset=0.0, status=200, latency=0.010),
+            RequestRecord(offset=0.1, status=200, latency=0.020),
+            RequestRecord(offset=0.2, status=429, latency=0.001),
+            RequestRecord(offset=0.3, status=504, latency=0.500),
+            RequestRecord(offset=0.4, status=0, latency=1.0, error="timeout"),
+        ]
+
+    def test_rates_and_histogram(self):
+        report = slo_report(self._records(), [hold(5.0, rps=1.0)])
+        assert report["requests"]["total"] == 5
+        assert report["requests"]["succeeded"] == 2
+        assert report["requests"]["by_status"]["429"] == 1
+        assert report["requests"]["by_status"]["transport_error"] == 1
+        slo = report["slo"]
+        assert slo["shed_rate"] == pytest.approx(1 / 5)
+        # 504 + transport error are errors; 429 is not.
+        assert slo["error_rate"] == pytest.approx(2 / 5)
+        assert slo["throughput_rps"] == pytest.approx(2 / 5.0)
+        assert slo["offered_rps"] == pytest.approx(1.0)
+
+    def test_latency_quantiles_in_ms(self):
+        report = slo_report(self._records(), [hold(5.0, rps=1.0)])
+        slo = report["slo"]
+        assert slo["p50_ms"] == pytest.approx(20.0)
+        assert slo["max_ms"] == pytest.approx(1000.0)
+        assert slo["p99_ms"] == pytest.approx(1000.0)
+
+    def test_empty_run_is_all_zeros(self):
+        report = slo_report([], [hold(1.0, rps=0.0)])
+        assert report["slo"]["throughput_rps"] == 0.0
+        assert report["slo"]["error_rate"] == 0.0
+        assert report["slo"]["p50_ms"] == 0.0
+
+    def test_extra_fields_merge(self):
+        report = slo_report([], [hold(1.0, rps=0.0)], extra={"benchmark": "x"})
+        assert report["benchmark"] == "x"
+        assert report["source"] == "slo-loadgen"
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(values, 50.0) == 5.0
+        assert percentile(values, 95.0) == 10.0
+        assert percentile(values, 10.0) == 1.0
+        assert percentile([], 50.0) == 0.0
+        assert percentile([7.0], 99.0) == 7.0

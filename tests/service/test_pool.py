@@ -1,0 +1,194 @@
+"""Worker pool: crash respawn, checkpoint-resume bit-identity, deadlines.
+
+These tests spawn real worker processes (the ``spawn`` context the
+service uses in production), so they are the slowest in the service
+suite — each scenario boots its own pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import time
+
+import pytest
+
+from repro.service.admission import AdmissionQueue
+from repro.service.deadline import NO_DEADLINE, Deadline
+from repro.service.jobs import execute_job
+from repro.service.pool import JobResult, PoolConfig, WorkerPool
+
+ARCH = {
+    "layers": 2,
+    "mapping": "one-to-two",
+    "total_overlay_nodes": 200,
+    "sos_nodes": 20,
+}
+ATTACK = {"kind": "one-burst", "break_in_budget": 15, "congestion_budget": 40}
+
+#: Sized so the campaign runs for >1s in a worker: the SIGKILL in the
+#: crash-recovery test must land *mid*-campaign, not after it finished.
+CAMPAIGN = {
+    "architecture": ARCH,
+    "attack": ATTACK,
+    "trials": 400,
+    "clients_per_trial": 8,
+    "seed": 13,
+    "checkpoint_every": 8,
+}
+
+
+async def _with_pool(workers, scenario, **config_overrides):
+    queue = AdmissionQueue(capacity=16, workers=workers)
+    pool = WorkerPool(
+        PoolConfig(workers=workers, **config_overrides)
+    )
+    await pool.start(queue)
+    try:
+        return await scenario(queue, pool)
+    finally:
+        await pool.stop()
+
+
+class TestHappyPath:
+    def test_ping_round_trip(self, tmp_path):
+        async def scenario(queue, pool):
+            request = queue.try_submit(
+                {"kind": "ping"}, "probe", Deadline.after(10.0)
+            )
+            result = await asyncio.wait_for(request.future, timeout=30.0)
+            assert isinstance(result, JobResult)
+            assert result.ok
+            assert result.result == {"pong": True}
+            assert result.restarts == 0
+
+        asyncio.run(
+            _with_pool(1, scenario, spool_dir=str(tmp_path))
+        )
+
+    def test_run_direct_bypasses_the_queue(self, tmp_path):
+        async def scenario(queue, pool):
+            result = await pool.run_direct("ping", {}, Deadline.after(5.0))
+            assert result.ok
+
+        asyncio.run(_with_pool(1, scenario, spool_dir=str(tmp_path)))
+
+
+class TestCrashRecovery:
+    def test_killed_worker_is_respawned_and_campaign_resumes_bit_identical(
+        self, tmp_path
+    ):
+        """SIGKILL the only worker mid-campaign: the supervisor respawns
+        it, the job re-dispatches, the campaign resumes from its spool
+        checkpoint, and the aggregates equal an undisturbed run."""
+        baseline = execute_job(
+            "campaign", CAMPAIGN,
+            checkpoint_path=str(tmp_path / "baseline.json"),
+        )
+
+        async def scenario(queue, pool):
+            payload = {
+                **CAMPAIGN,
+                "kind": "campaign",
+                "checkpoint_path": str(tmp_path / "chaos.json"),
+            }
+            request = queue.try_submit(payload, "batch", NO_DEADLINE)
+            # Let the campaign get some trials into the checkpoint, then
+            # kill the worker under it.
+            await asyncio.sleep(0.5)
+            pids = pool.worker_pids
+            assert pids, "worker should be alive and running the campaign"
+            for pid in pids:
+                os.kill(pid, signal.SIGKILL)
+            result = await asyncio.wait_for(request.future, timeout=120.0)
+            assert result.ok, result.error
+            assert result.restarts >= 1
+            assert result.result == baseline
+
+        asyncio.run(_with_pool(1, scenario, spool_dir=str(tmp_path)))
+
+    def test_idle_dead_worker_is_respawned_by_supervisor(self, tmp_path):
+        async def scenario(queue, pool):
+            pids = pool.worker_pids
+            assert len(pids) == 1
+            os.kill(pids[0], signal.SIGKILL)
+            for _ in range(100):
+                if pool.live_workers == 1 and pool.worker_pids != pids:
+                    break
+                await asyncio.sleep(0.1)
+            assert pool.live_workers == 1
+            assert pool.worker_pids != pids
+            # And the respawned worker serves jobs.
+            request = queue.try_submit(
+                {"kind": "ping"}, "probe", Deadline.after(10.0)
+            )
+            result = await asyncio.wait_for(request.future, timeout=30.0)
+            assert result.ok
+
+        asyncio.run(
+            _with_pool(1, scenario, spool_dir=str(tmp_path),
+                       supervisor_interval=0.1)
+        )
+
+
+class TestDeadlines:
+    def test_wedged_worker_is_killed_at_deadline_plus_grace(self, tmp_path):
+        """A job sleeping through cooperative cancellation is terminated
+        by the parent and reported as a timeout — requests cannot hang."""
+
+        async def scenario(queue, pool):
+            started = time.monotonic()
+            request = queue.try_submit(
+                {"kind": "ping", "chaos_sleep_ms": 30_000},
+                "probe",
+                Deadline.after(0.4),
+            )
+            result = await asyncio.wait_for(request.future, timeout=30.0)
+            elapsed = time.monotonic() - started
+            assert result.status == "timeout"
+            # deadline (0.4) + grace (0.3) + scheduling slack
+            assert elapsed < 5.0
+
+        asyncio.run(
+            _with_pool(1, scenario, spool_dir=str(tmp_path),
+                       deadline_grace=0.3)
+        )
+
+    def test_cooperative_cancel_between_trials(self, tmp_path):
+        """A campaign overrunning its deadline aborts between trials via
+        abort_check (no kill needed) and reports a timeout."""
+
+        async def scenario(queue, pool):
+            payload = {
+                **CAMPAIGN,
+                "trials": 2000,
+                "kind": "campaign",
+                "checkpoint_path": str(tmp_path / "doomed.json"),
+            }
+            request = queue.try_submit(payload, "batch", Deadline.after(1.0))
+            result = await asyncio.wait_for(request.future, timeout=60.0)
+            assert result.status == "timeout"
+
+        asyncio.run(_with_pool(1, scenario, spool_dir=str(tmp_path)))
+
+
+class TestErrorContainment:
+    def test_job_error_does_not_kill_the_worker(self, tmp_path):
+        async def scenario(queue, pool):
+            bad = queue.try_submit(
+                {"kind": "ping", "chaos_fail": "drill"},
+                "probe",
+                Deadline.after(10.0),
+            )
+            result = await asyncio.wait_for(bad.future, timeout=30.0)
+            assert result.status == "error"
+            assert "chaos-injected" in (result.error or "")
+            assert pool.live_workers == 1
+            good = queue.try_submit(
+                {"kind": "ping"}, "probe", Deadline.after(10.0)
+            )
+            follow_up = await asyncio.wait_for(good.future, timeout=30.0)
+            assert follow_up.ok
+
+        asyncio.run(_with_pool(1, scenario, spool_dir=str(tmp_path)))

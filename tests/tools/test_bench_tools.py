@@ -127,8 +127,19 @@ class TestCompare:
         self._snapshot_pair(tmp_path, regression_factor=1.25)
         assert bench_compare.main(["--root", str(tmp_path)]) == 1
 
-    def test_auto_mode_needs_two_snapshots(self, tmp_path):
-        assert bench_compare.main(["--root", str(tmp_path)]) == 2
+    def test_auto_mode_without_baseline_is_a_clean_noop(self, tmp_path, capsys):
+        """Fresh clones / new branches have no trajectory: exit 0, say why."""
+        assert bench_compare.main(["--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "no baseline snapshot found" in out
+
+    def test_auto_mode_with_single_snapshot_is_a_clean_noop(
+        self, tmp_path, capsys
+    ):
+        raw = _write_raw(tmp_path, MEANS)
+        bench_snapshot.main([raw, "--root", str(tmp_path)])
+        assert bench_compare.main(["--root", str(tmp_path)]) == 0
+        assert "no baseline snapshot found" in capsys.readouterr().out
 
     def test_disjoint_snapshots_error(self, tmp_path):
         raw_a = _write_raw(tmp_path, {"a::one": 1.0}, "a.json")

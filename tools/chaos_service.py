@@ -1,0 +1,430 @@
+#!/usr/bin/env python
+"""Chaos-test the evaluation service and emit a committed SLO report.
+
+The drill runs everything in one process so it can reach past the HTTP
+surface for fault injection (worker PIDs, latency hooks) while still
+driving all *traffic* through the real TCP stack:
+
+1. compute the campaign answer **undisturbed** (same payload, in
+   process) — the bit-identity baseline;
+2. boot the HTTP service on an ephemeral port;
+3. submit the campaign, then drive a ramp/hold/spike eval load;
+4. meanwhile: SIGKILL every live worker (twice), and inject worker-side
+   latency for a window mid-run;
+5. assert the robustness contract:
+   * **zero 5xx** across the load (sheds are 429 — the design working,
+     not an error),
+   * the chaos-ridden campaign's aggregates are **bit-identical** to the
+     undisturbed baseline (checkpoint resume correctness),
+   * **no request outlives its deadline** plus the kill grace and a
+     scheduling slack,
+   * ``/readyz`` returns 200 again within the recovery window;
+6. write the SLO report (throughput, p50/p95/p99, error/shed rate) in
+   the repo's ``BENCH_*.json`` style.
+
+Exit status 0 iff every assertion holds — CI runs this as the
+``service-smoke`` job.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_service.py --output SLO_1.json
+    PYTHONPATH=src python tools/chaos_service.py --quick   # fast CI drill
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.service import (  # noqa: E402 — after sys.path setup
+    HttpServer,
+    ServiceConfig,
+    SOSEvaluationService,
+    hold,
+    http_request,
+    ramp,
+    run_load,
+    slo_report,
+    spike,
+)
+from repro.service.jobs import execute_job  # noqa: E402
+
+#: Architecture/attack under test: the paper's baseline 3-layer SOS
+#: deployment facing a one-burst attacker.
+ARCHITECTURE = {
+    "layers": 3,
+    "mapping": "one-to-two",
+    "total_overlay_nodes": 300,
+    "sos_nodes": 30,
+}
+ATTACK = {"kind": "one-burst", "break_in_budget": 20, "congestion_budget": 50}
+
+#: Small payload variations for the eval load; cycling through them
+#: exercises both cache hits (repeats) and misses (distinct keys).
+EVAL_VARIANTS = [10, 20, 30, 40, 50, 30, 20, 10]
+
+
+def campaign_payload(args: argparse.Namespace) -> Dict[str, Any]:
+    return {
+        "architecture": dict(ARCHITECTURE),
+        "attack": dict(ATTACK),
+        "trials": args.trials,
+        "clients_per_trial": args.clients_per_trial,
+        "seed": args.seed,
+        "checkpoint_every": args.checkpoint_every,
+    }
+
+
+def eval_factory(deadline_ms: float):
+    def factory(index: int) -> Dict[str, Any]:
+        body = {
+            "architecture": dict(ARCHITECTURE),
+            "attack": dict(ATTACK),
+            "deadline_ms": deadline_ms,
+        }
+        body["architecture"]["sos_nodes"] = EVAL_VARIANTS[
+            index % len(EVAL_VARIANTS)
+        ]
+        return body
+
+    return factory
+
+
+async def _kill_workers_mid_campaign(
+    service: SOSEvaluationService,
+    campaign_id: str,
+    kills: int,
+    kill_gap: float,
+    events: List[Dict[str, Any]],
+) -> int:
+    """SIGKILL every live worker once the campaign is running.
+
+    Killing the whole pool guarantees the campaign worker dies mid-job;
+    the supervisor + re-dispatch path must resume it from its
+    checkpoint.
+    """
+    killed = 0
+    for _ in range(200):
+        record = service._campaigns.get(campaign_id)
+        if record is not None and record["status"] == "running":
+            break
+        await asyncio.sleep(0.05)
+    for round_index in range(kills):
+        pids = list(service.pool.worker_pids)
+        for pid in pids:
+            try:
+                os.kill(pid, signal.SIGKILL)
+                killed += 1
+            except (ProcessLookupError, PermissionError):
+                pass
+        events.append(
+            {
+                "t": time.monotonic(),
+                "event": "kill_workers",
+                "round": round_index,
+                "pids": pids,
+            }
+        )
+        await asyncio.sleep(kill_gap)
+    return killed
+
+
+async def _latency_window(
+    service: SOSEvaluationService,
+    delay: float,
+    latency_ms: float,
+    duration: float,
+    events: List[Dict[str, Any]],
+) -> None:
+    await asyncio.sleep(delay)
+    service.set_chaos(latency_ms=latency_ms)
+    events.append(
+        {"t": time.monotonic(), "event": "latency_on", "ms": latency_ms}
+    )
+    await asyncio.sleep(duration)
+    service.set_chaos()
+    events.append({"t": time.monotonic(), "event": "latency_off"})
+
+
+async def _await_campaign(
+    port: int, campaign_id: str, timeout: float
+) -> Optional[Dict[str, Any]]:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _status, _headers, body = await http_request(
+            "127.0.0.1", port, "GET", f"/campaign/{campaign_id}"
+        )
+        if body.get("status") in ("completed", "failed", "timeout", "shed",
+                                  "cancelled"):
+            return body
+        await asyncio.sleep(0.2)
+    return None
+
+
+async def _await_ready(port: int, timeout: float) -> float:
+    """Seconds until /readyz returns 200 (or -1 on timeout)."""
+    started = time.monotonic()
+    while time.monotonic() - started < timeout:
+        try:
+            status, _headers, _body = await http_request(
+                "127.0.0.1", port, "GET", "/readyz", timeout=5.0
+            )
+        except (OSError, asyncio.TimeoutError):
+            status = 0
+        if status == 200:
+            return time.monotonic() - started
+        await asyncio.sleep(0.25)
+    return -1.0
+
+
+async def drill(args: argparse.Namespace) -> Dict[str, Any]:
+    failures: List[str] = []
+    events: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # 1. Undisturbed baseline (same config the service will use).
+    # ------------------------------------------------------------------
+    payload = campaign_payload(args)
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline_started = time.monotonic()
+        baseline = execute_job(
+            "campaign", payload,
+            checkpoint_path=os.path.join(tmp, "baseline.json"),
+        )
+        baseline_seconds = time.monotonic() - baseline_started
+
+    # ------------------------------------------------------------------
+    # 2-4. Boot, load, chaos.
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory() as spool:
+        config = ServiceConfig(
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            spool_dir=spool,
+            seed=args.seed,
+        )
+        server = HttpServer(SOSEvaluationService(config))
+        async with server:
+            port = server.port
+            service = server.service
+
+            _status, _headers, submitted = await http_request(
+                "127.0.0.1", port, "POST", "/campaign", body=payload
+            )
+            campaign_id = submitted.get("campaign_id")
+            if not campaign_id:
+                failures.append(f"campaign submission failed: {submitted}")
+                return {"failures": failures}
+
+            phases = [
+                ramp(args.ramp_seconds, to_rps=args.hold_rps),
+                hold(args.hold_seconds, rps=args.hold_rps),
+                spike(args.spike_seconds, rps=args.spike_rps),
+                hold(args.ramp_seconds, rps=args.hold_rps / 2),
+            ]
+            chaos_tasks = [
+                asyncio.ensure_future(
+                    _kill_workers_mid_campaign(
+                        service, campaign_id, args.kills, args.kill_gap, events
+                    )
+                ),
+                asyncio.ensure_future(
+                    _latency_window(
+                        service,
+                        delay=args.ramp_seconds + 0.5,
+                        latency_ms=args.latency_ms,
+                        duration=args.latency_seconds,
+                        events=events,
+                    )
+                ),
+            ]
+            records = await run_load(
+                "127.0.0.1",
+                port,
+                phases,
+                eval_factory(args.deadline_ms),
+                timeout=args.deadline_ms / 1000.0 + 10.0,
+            )
+            workers_killed = await chaos_tasks[0]
+            await chaos_tasks[1]
+
+            campaign = await _await_campaign(
+                port, campaign_id, timeout=args.campaign_timeout
+            )
+            ready_after = await _await_ready(port, timeout=10.0)
+            _status, _headers, metrics = await http_request(
+                "127.0.0.1", port, "GET", "/metrics"
+            )
+
+    # ------------------------------------------------------------------
+    # 5. Assertions.
+    # ------------------------------------------------------------------
+    statuses: Dict[str, int] = {}
+    for record in records:
+        key = str(record.status) if record.status else "transport_error"
+        statuses[key] = statuses.get(key, 0) + 1
+    bad = {
+        key: count
+        for key, count in statuses.items()
+        if key == "transport_error" or key.startswith("5")
+    }
+    if bad:
+        failures.append(f"load saw 5xx/transport errors: {bad}")
+
+    bit_identical = False
+    restarts = 0
+    if campaign is None:
+        failures.append("campaign did not finish within the drill window")
+    elif campaign.get("status") != "completed":
+        failures.append(
+            f"campaign ended {campaign.get('status')!r}: "
+            f"{campaign.get('error')}"
+        )
+    else:
+        restarts = int(campaign.get("worker_restarts", 0))
+        bit_identical = campaign.get("result") == baseline
+        if not bit_identical:
+            failures.append(
+                "campaign aggregates diverged from the undisturbed baseline: "
+                f"{campaign.get('result')} != {baseline}"
+            )
+
+    latency_budget = args.deadline_ms / 1000.0 + config.deadline_grace + 2.0
+    worst = max((record.latency for record in records), default=0.0)
+    if worst > latency_budget:
+        failures.append(
+            f"a request took {worst:.2f}s, past deadline+grace+slack "
+            f"({latency_budget:.2f}s)"
+        )
+
+    if ready_after < 0:
+        failures.append("/readyz never recovered after the chaos window")
+
+    if workers_killed == 0:
+        failures.append("chaos killed no workers (drill did not bite)")
+
+    # ------------------------------------------------------------------
+    # 6. Report.
+    # ------------------------------------------------------------------
+    report = slo_report(
+        records,
+        phases,
+        extra={
+            "benchmark": "chaos_service",
+            "config": {
+                "workers": args.workers,
+                "queue_capacity": args.queue_capacity,
+                "deadline_ms": args.deadline_ms,
+                "trials": args.trials,
+                "clients_per_trial": args.clients_per_trial,
+                "seed": args.seed,
+                "checkpoint_every": args.checkpoint_every,
+            },
+            "chaos": {
+                "workers_killed": workers_killed,
+                "kill_rounds": args.kills,
+                "latency_injected_ms": args.latency_ms,
+                "latency_window_seconds": args.latency_seconds,
+            },
+            "campaign": {
+                "status": (campaign or {}).get("status"),
+                "worker_restarts": restarts,
+                "bit_identical_to_baseline": bit_identical,
+                "undisturbed_seconds": baseline_seconds,
+            },
+            "recovery": {"readyz_seconds": ready_after},
+            "pool": metrics.get("pool", {}),
+            "breaker": metrics.get("breaker", {}),
+            "queue": metrics.get("queue", {}),
+            "assertions": {
+                "passed": not failures,
+                "failures": failures,
+            },
+        },
+    )
+    return report
+
+
+def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--queue-capacity", type=int, default=64)
+    parser.add_argument("--trials", type=int, default=96,
+                        help="campaign Monte-Carlo trials")
+    parser.add_argument("--clients-per-trial", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--checkpoint-every", type=int, default=4)
+    parser.add_argument("--deadline-ms", type=float, default=10_000.0,
+                        help="per-eval-request deadline")
+    parser.add_argument("--hold-rps", type=float, default=8.0)
+    parser.add_argument("--spike-rps", type=float, default=30.0)
+    parser.add_argument("--ramp-seconds", type=float, default=2.0)
+    parser.add_argument("--hold-seconds", type=float, default=6.0)
+    parser.add_argument("--spike-seconds", type=float, default=2.0)
+    parser.add_argument("--kills", type=int, default=2,
+                        help="rounds of kill-every-worker")
+    parser.add_argument("--kill-gap", type=float, default=1.5)
+    parser.add_argument("--latency-ms", type=float, default=100.0)
+    parser.add_argument("--latency-seconds", type=float, default=2.0)
+    parser.add_argument("--campaign-timeout", type=float, default=300.0)
+    parser.add_argument("--output", default=None,
+                        help="write the SLO report JSON here")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the drill for CI smoke runs")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.trials = min(args.trials, 48)
+        args.hold_seconds = min(args.hold_seconds, 4.0)
+        args.hold_rps = min(args.hold_rps, 6.0)
+        args.spike_rps = min(args.spike_rps, 20.0)
+    return args
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = parse_args(argv)
+    report = asyncio.run(drill(args))
+    assertions = report.get("assertions", {"passed": False,
+                                           "failures": ["drill aborted"]})
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"chaos-service: report written to {args.output}")
+    slo = report.get("slo", {})
+    print(
+        "chaos-service: "
+        f"requests={report.get('requests', {}).get('total', 0)} "
+        f"throughput={slo.get('throughput_rps', 0):.1f}rps "
+        f"p50={slo.get('p50_ms', 0):.0f}ms "
+        f"p99={slo.get('p99_ms', 0):.0f}ms "
+        f"error_rate={slo.get('error_rate', 0):.3f} "
+        f"shed_rate={slo.get('shed_rate', 0):.3f}"
+    )
+    campaign = report.get("campaign", {})
+    print(
+        "chaos-service: campaign "
+        f"status={campaign.get('status')} "
+        f"restarts={campaign.get('worker_restarts')} "
+        f"bit_identical={campaign.get('bit_identical_to_baseline')}"
+    )
+    if assertions["passed"]:
+        print("chaos-service: PASS — all robustness assertions held")
+        return 0
+    for failure in assertions["failures"]:
+        print(f"chaos-service: FAIL — {failure}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
