@@ -28,7 +28,7 @@ import asyncio
 import dataclasses
 import os
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.result_store import FRESH, ResultStore
 from repro.errors import ReproError, ServiceError
@@ -458,7 +458,7 @@ class SOSEvaluationService:
         next readiness poll after ``reset_timeout`` drives the half-open
         transition and, on success, closes the breaker.
         """
-        reasons = []
+        reasons: List[str] = []
         if self.pool.live_workers == 0:
             reasons.append("no live workers")
         if self.queue.depth >= self.queue.capacity:

@@ -194,7 +194,10 @@ def execute_job(
     """
     chaos_sleep_ms = payload.get("chaos_sleep_ms")
     if chaos_sleep_ms:
-        time.sleep(float(chaos_sleep_ms) / 1000.0)
+        # Runs inside a worker process (dispatched via Process(target=...)),
+        # never on the service event loop, so sleeping here stalls only the
+        # one worker the chaos harness aimed at.
+        time.sleep(float(chaos_sleep_ms) / 1000.0)  # repro-lint: disable=async-blocking -- worker-side chaos hook; executes past the process boundary, not on the event loop
     chaos_fail = payload.get("chaos_fail")
     if chaos_fail:
         raise ServiceError(f"chaos-injected failure: {chaos_fail}")

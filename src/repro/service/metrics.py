@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 import time
 from collections import Counter, deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.errors import ServiceError
 
@@ -67,7 +67,7 @@ class ServiceMetrics:
     def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
         self._clock = clock
         self.started_at = clock()
-        self.counters: Counter = Counter()
+        self.counters: Counter[str] = Counter()
         self.latencies: Dict[str, LatencyWindow] = {}
 
     def incr(self, name: str, amount: int = 1) -> None:
@@ -82,9 +82,9 @@ class ServiceMetrics:
     def count(self, name: str) -> int:
         return self.counters.get(name, 0)
 
-    def snapshot(self, extra: Optional[Dict[str, object]] = None) -> dict:
+    def snapshot(self, extra: Optional[Dict[str, object]] = None) -> Dict[str, Any]:
         """JSON-ready view of every counter and latency window."""
-        body: dict = {
+        body: Dict[str, Any] = {
             "uptime_seconds": self._clock() - self.started_at,
             "counters": dict(sorted(self.counters.items())),
             "latency_seconds": {

@@ -262,18 +262,32 @@ class WorkerPool:
                     handle.conn.send({"cmd": "shutdown"})
                 except (BrokenPipeError, OSError):
                     pass
+        loop = asyncio.get_running_loop()
         for handle in self._handles:
             process = handle.process
             if process is None:
                 continue
-            process.join(timeout=max(0.0, deadline - time.monotonic()))
-            if process.is_alive():
-                process.kill()
-                process.join(timeout=1.0)
+            await loop.run_in_executor(
+                self._executor, self._reap, process, deadline
+            )
             if handle.conn is not None:
                 handle.conn.close()
                 handle.conn = None
         self._executor.shutdown(wait=False, cancel_futures=True)
+
+    @staticmethod
+    def _reap(
+        process: multiprocessing.process.BaseProcess, deadline: float
+    ) -> None:
+        """(Blocking) join a worker by ``deadline``, killing stragglers.
+
+        Runs on the pool's thread executor so :meth:`stop` never parks
+        the event loop on a ``Process.join``.
+        """
+        process.join(timeout=max(0.0, deadline - time.monotonic()))
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=1.0)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -292,7 +306,7 @@ class WorkerPool:
             and handle.process.pid is not None
         ]
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         return {
             "workers": self.config.workers,
             "live_workers": self.live_workers,

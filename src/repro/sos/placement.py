@@ -53,7 +53,7 @@ def diverse_enrollment(
         router = topology.router_of(node.node_id)
         by_router.setdefault(router, []).append(node.node_id)
     for members in by_router.values():
-        generator.shuffle(members)
+        generator.shuffle(members)  # repro-lint: disable=rng-unordered-iter -- by_router insertion order follows the network's node order, which is deterministic; sorting the view would change the committed draw sequence
 
     chosen: List[int] = []
     routers = list(by_router)

@@ -1,0 +1,27 @@
+"""Guarded false positives: disciplined stream handling around boundaries."""
+
+import numpy as np
+
+
+def spawn_per_submission(pool, run_task, tasks, seed_sequence):
+    # One child stream per worker: created inside the loop, handed off
+    # exactly once each.
+    for task, child in zip(tasks, seed_sequence.spawn(len(tasks))):
+        rng = np.random.default_rng(child)
+        pool.submit(run_task, task, rng)
+
+
+def draw_then_hand_off(pool, run_task, seed_sequence):
+    # Drawing *before* the handoff is deterministic: the stream state the
+    # worker receives is a pure function of the seed.
+    rng = np.random.default_rng(seed_sequence)
+    warmup = rng.random()
+    pool.submit(run_task, rng)
+    return warmup
+
+
+def spawn_is_not_a_draw(pool, run_task, rng: np.random.Generator):
+    # .spawn() is the sanctioned fork; it must not count as consumption.
+    pool.submit(run_task, rng)
+    children = rng.spawn(3)
+    return children

@@ -1,0 +1,21 @@
+"""True positives: one Generator shared across worker boundaries."""
+
+import numpy as np
+
+
+def draw_after_handoff(pool, run_task, seed_sequence):
+    rng = np.random.default_rng(seed_sequence)
+    pool.submit(run_task, rng)
+    return rng.random()  # TP anchor: parent draws after the handoff
+
+
+def double_handoff(pool, task_a, task_b, seed_sequence):
+    rng = np.random.default_rng(seed_sequence)
+    pool.submit(task_a, rng)
+    pool.submit(task_b, rng)  # TP anchor: second worker shares the stream
+
+
+def handoff_inside_loop(pool, run_task, tasks, seed_sequence):
+    rng = np.random.default_rng(seed_sequence)
+    for task in tasks:
+        pool.submit(run_task, task, rng)  # TP anchor: one stream, N workers

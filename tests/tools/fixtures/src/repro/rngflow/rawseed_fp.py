@@ -1,0 +1,22 @@
+"""Guarded false positives: Generators derived the sanctioned way."""
+
+import numpy as np
+
+from repro.utils.seeding import make_rng
+
+
+def from_spawned_sequence(seed_sequence):
+    rng = np.random.default_rng(seed_sequence)
+    return rng
+
+
+def from_variable(seed):
+    # A variable seed is a caller decision, not a hard-coded constant.
+    rng = np.random.default_rng(seed)
+    return rng
+
+
+def through_the_helper(seed):
+    # make_rng normalizes whatever it is given through a SeedSequence.
+    rng = make_rng(seed)
+    return rng

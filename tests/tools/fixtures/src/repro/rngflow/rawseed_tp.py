@@ -1,0 +1,13 @@
+"""True positives: Generators seeded with raw integer literals."""
+
+import numpy as np
+
+
+def positional_literal():
+    rng = np.random.default_rng(1234)  # TP anchor: raw positional seed
+    return rng
+
+
+def keyword_literal():
+    rng = np.random.default_rng(seed=7)  # TP anchor: raw keyword seed
+    return rng

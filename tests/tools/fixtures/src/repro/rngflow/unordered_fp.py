@@ -1,0 +1,27 @@
+"""Guarded false positives: draws whose order is pinned by sorted(...)."""
+
+import numpy as np
+
+
+def sample_sorted_set(members, rng: np.random.Generator):
+    weights = []
+    for member in sorted(set(members)):
+        weights.append(rng.random())
+        del member
+    return weights
+
+
+def sample_sorted_dict(table, rng: np.random.Generator):
+    draws = []
+    for key in sorted(table.keys()):
+        draws.append(rng.normal())
+        del key
+    return draws
+
+
+def iterate_set_without_draw(members):
+    # Unordered iteration is fine while no stream is consumed inside.
+    labels = []
+    for member in set(members):
+        labels.append(str(member))
+    return labels

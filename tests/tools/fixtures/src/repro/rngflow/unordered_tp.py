@@ -1,0 +1,19 @@
+"""True positives: RNG draws ordered by hash/iteration state."""
+
+import numpy as np
+
+
+def sample_from_set(members, rng: np.random.Generator):
+    weights = []
+    for member in set(members):
+        weights.append(rng.random())  # TP anchor: set order is hash-seeded
+        del member
+    return weights
+
+
+def sample_from_dict_view(table, rng: np.random.Generator):
+    draws = []
+    for key in table.keys():
+        draws.append(rng.normal())  # TP anchor: unsorted dict view
+        del key
+    return draws

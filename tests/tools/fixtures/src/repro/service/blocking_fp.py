@@ -1,0 +1,37 @@
+"""Guarded false positives: blocking-shaped code that never stalls the loop."""
+
+import asyncio
+import time
+
+
+async def executor_hop(delay: float) -> None:
+    loop = asyncio.get_running_loop()
+    # Sanctioned hop: time.sleep runs on a worker thread.
+    await loop.run_in_executor(None, time.sleep, delay)
+
+
+async def thread_hop(delay: float) -> None:
+    await asyncio.to_thread(time.sleep, delay)
+
+
+async def lambda_join(process) -> None:
+    loop = asyncio.get_running_loop()
+    # The join happens inside the lambda, which executes on the executor.
+    await loop.run_in_executor(None, lambda: process.join(timeout=1.0))
+
+
+async def format_names(separator: str, names) -> str:
+    # str.join takes an iterable argument; the heuristic must not
+    # mistake it for Process.join.
+    return separator.join(names)
+
+
+async def read_deadline() -> float:
+    # Wall-clock reads are *expected* in service code (deadlines, SLO
+    # reports); only simulation/detection/perf forbid them.
+    return time.time()
+
+
+def worker_side(delay: float) -> None:
+    # Sync function never reached from an async def in this module.
+    time.sleep(delay)

@@ -1,0 +1,11 @@
+"""Sync helper used by the async-blocking TP fixture (indirection hop)."""
+
+import time
+
+
+def settle(delay: float) -> None:
+    time.sleep(delay)  # TP anchor: reachable from handle_request
+
+
+def relabel(parts):
+    return "-".join(parts)

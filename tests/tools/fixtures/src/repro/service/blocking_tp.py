@@ -1,0 +1,27 @@
+"""True positives: blocking work reachable from service coroutines."""
+
+import subprocess
+import time
+
+from repro.service.blocking_helpers import settle
+
+
+async def handle_request(delay: float) -> None:
+    # The stall is two hops away: handle_request -> settle -> time.sleep.
+    settle(delay)
+
+
+async def shell_out(command) -> None:
+    subprocess.run(command)  # TP anchor: direct subprocess on the loop
+
+
+class Relay:
+    def __init__(self) -> None:
+        self._paused = False
+
+    def _throttle(self) -> None:
+        time.sleep(0.01)  # TP anchor: reached via self._throttle()
+
+    async def forward(self, packet) -> None:
+        self._throttle()
+        del packet

@@ -1,0 +1,15 @@
+"""Guarded false positives: sanctioned clocks in a deterministic package."""
+
+import time
+
+
+def measure(step):
+    # monotonic intervals are allowed: they never enter results, only
+    # perf telemetry, and cannot go backwards under NTP steps.
+    start = time.monotonic()
+    step()
+    return time.monotonic() - start
+
+
+def budget(deadline: float) -> float:
+    return max(0.0, deadline - time.perf_counter())

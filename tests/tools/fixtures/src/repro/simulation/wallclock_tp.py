@@ -1,0 +1,10 @@
+"""True positives: wall-clock reads inside a deterministic package."""
+
+import time
+from datetime import datetime
+
+
+def stamp_run(events):
+    started = time.time()  # TP anchor: host-clock read in simulation
+    stamped = [(event, datetime.now()) for event in events]  # TP anchor
+    return started, stamped

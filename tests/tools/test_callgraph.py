@@ -1,0 +1,210 @@
+"""Unit tests for the project module index / call graph."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro_lint.callgraph import (
+    ProjectGraph,
+    classify_boundary,
+    dotted_name,
+    module_name_for,
+)
+
+
+def build_graph(modules):
+    """``{relative_path: source}`` -> ProjectGraph (paths under a fake src)."""
+    files = []
+    for rel, source in modules.items():
+        files.append((Path("src") / rel, ast.parse(textwrap.dedent(source))))
+    return ProjectGraph.build(files)
+
+
+class TestModuleNames:
+    def test_src_relative(self):
+        name, is_pkg = module_name_for(Path("src/repro/service/pool.py"))
+        assert name == "repro.service.pool"
+        assert not is_pkg
+
+    def test_init_maps_to_package(self):
+        name, is_pkg = module_name_for(Path("src/repro/service/__init__.py"))
+        assert name == "repro.service"
+        assert is_pkg
+
+    def test_outside_src_uses_stem(self):
+        name, _ = module_name_for(Path("benchmarks/bench_lookup.py"))
+        assert name == "bench_lookup"
+
+    def test_last_src_segment_wins(self):
+        name, _ = module_name_for(
+            Path("tests/tools/fixtures/src/repro/rngflow/boundary_tp.py")
+        )
+        assert name == "repro.rngflow.boundary_tp"
+
+
+class TestImportResolution:
+    def test_from_import_cross_module(self):
+        graph = build_graph(
+            {
+                "repro/a.py": """
+                    def helper():
+                        pass
+                """,
+                "repro/b.py": """
+                    from repro.a import helper
+
+                    def caller():
+                        helper()
+                """,
+            }
+        )
+        (site,) = graph.function("repro.b.caller").calls
+        assert site.resolved == "repro.a.helper"
+        assert graph.resolve_to_function(site.resolved) is not None
+
+    def test_relative_import(self):
+        graph = build_graph(
+            {
+                "repro/pkg/a.py": """
+                    def helper():
+                        pass
+                """,
+                "repro/pkg/b.py": """
+                    from .a import helper
+
+                    def caller():
+                        helper()
+                """,
+            }
+        )
+        (site,) = graph.function("repro.pkg.b.caller").calls
+        assert site.resolved == "repro.pkg.a.helper"
+
+    def test_aliased_module_import(self):
+        graph = build_graph(
+            {
+                "repro/a.py": """
+                    def helper():
+                        pass
+                """,
+                "repro/b.py": """
+                    import repro.a as aa
+
+                    def caller():
+                        aa.helper()
+                """,
+            }
+        )
+        (site,) = graph.function("repro.b.caller").calls
+        assert site.resolved == "repro.a.helper"
+
+
+class TestReceiverResolution:
+    SOURCE = {
+        "repro/mod.py": """
+            class Engine:
+                def __init__(self):
+                    self.clock = Clock()
+
+                def step(self):
+                    self.advance()
+                    self.clock.tick()
+
+                def advance(self):
+                    pass
+
+            class Clock:
+                def __init__(self):
+                    pass
+
+                def tick(self):
+                    pass
+
+            def run(engine: Engine):
+                engine.step()
+                local = Clock()
+                local.tick()
+        """
+    }
+
+    def test_self_method(self):
+        graph = build_graph(self.SOURCE)
+        targets = {
+            s.resolved for s in graph.function("repro.mod.Engine.step").calls
+        }
+        assert "repro.mod.Engine.advance" in targets
+
+    def test_self_attr_type_from_init(self):
+        graph = build_graph(self.SOURCE)
+        targets = {
+            s.resolved for s in graph.function("repro.mod.Engine.step").calls
+        }
+        assert "repro.mod.Clock.tick" in targets
+
+    def test_param_annotation_and_local_assignment(self):
+        graph = build_graph(self.SOURCE)
+        targets = {s.resolved for s in graph.function("repro.mod.run").calls}
+        assert "repro.mod.Engine.step" in targets
+        assert "repro.mod.Clock.tick" in targets
+        # Calling a class resolves to its constructor.
+        assert "repro.mod.Clock.__init__" in targets
+
+
+class TestBoundariesAndNesting:
+    def test_boundary_classification(self):
+        call = ast.parse("loop.run_in_executor(None, f)").body[0].value
+        assert classify_boundary(dotted_name(call.func), call) == "executor"
+        call = ast.parse("ctx.Process(target=f)").body[0].value
+        assert classify_boundary(dotted_name(call.func), call) == "process"
+        call = ast.parse("queue.try_submit(item)").body[0].value
+        assert classify_boundary(dotted_name(call.func), call) is None
+
+    def test_lambda_bodies_are_not_enclosing_calls(self):
+        graph = build_graph(
+            {
+                "repro/mod.py": """
+                    def dispatch(loop, process):
+                        loop.run_in_executor(None, lambda: process.join(1.0))
+                """
+            }
+        )
+        raws = {
+            s.raw_name for s in graph.function("repro.mod.dispatch").calls
+        }
+        assert "loop.run_in_executor" in raws
+        assert "process.join" not in raws
+
+    def test_nested_defs_are_indexed_separately(self):
+        graph = build_graph(
+            {
+                "repro/mod.py": """
+                    def outer():
+                        def inner():
+                            blocked()
+                        return inner
+                """
+            }
+        )
+        outer = graph.function("repro.mod.outer")
+        assert outer.locals_functions == {
+            "inner": "repro.mod.outer.<locals>.inner"
+        }
+        inner = graph.function("repro.mod.outer.<locals>.inner")
+        assert {s.raw_name for s in inner.calls} == {"blocked"}
+        # The nested call does not leak into outer's own call list.
+        assert "blocked" not in {s.raw_name for s in outer.calls}
+
+    def test_async_functions_query(self):
+        graph = build_graph(
+            {
+                "repro/mod.py": """
+                    async def a():
+                        pass
+
+                    def b():
+                        pass
+                """
+            }
+        )
+        names = {f.qualname for f in graph.async_functions()}
+        assert names == {"repro.mod.a"}

@@ -1,0 +1,220 @@
+"""SARIF emission, baseline workflow, and pyproject config tests."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro_lint.analysis import analyze_paths
+from repro_lint.baseline import (
+    Baseline,
+    compute_fingerprints,
+    split_by_baseline,
+    write_baseline,
+)
+from repro_lint.cli import EXIT_CLEAN, EXIT_FINDINGS, main
+from repro_lint.config import load_config
+from repro_lint.passes import ALL_PASSES
+from repro_lint.rules import ALL_RULES
+from repro_lint.sarif import render_sarif
+
+BAD = "ok = x == 1.0\n"  # one float-equality finding
+
+
+def run_analysis(tmp_path, source=BAD, name="bad.py"):
+    target = tmp_path / name
+    target.write_text(source, encoding="utf-8")
+    return analyze_paths([target], ALL_RULES, ALL_PASSES)
+
+
+class TestSarif:
+    def test_log_structure(self, tmp_path):
+        result = run_analysis(tmp_path)
+        log = json.loads(render_sarif(result.findings, [*ALL_RULES, *ALL_PASSES]))
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {p.id for p in ALL_PASSES} <= rule_ids
+        assert {r.id for r in ALL_RULES} <= rule_ids
+
+    def test_result_location_and_level(self, tmp_path):
+        result = run_analysis(tmp_path)
+        log = json.loads(render_sarif(result.findings, ALL_RULES))
+        (entry,) = log["runs"][0]["results"]
+        assert entry["ruleId"] == "float-equality"
+        assert entry["level"] == "error"
+        region = entry["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 1
+        uri = entry["locations"][0]["physicalLocation"]["artifactLocation"]
+        assert uri["uri"].endswith("bad.py")
+
+    def test_baselined_results_are_marked_unchanged(self, tmp_path):
+        result = run_analysis(tmp_path)
+        fingerprints = compute_fingerprints(result.findings, result.sources)
+        log = json.loads(
+            render_sarif(
+                [],
+                ALL_RULES,
+                fingerprints=fingerprints,
+                baselined=result.findings,
+            )
+        )
+        (entry,) = log["runs"][0]["results"]
+        assert entry["baselineState"] == "unchanged"
+        assert entry["partialFingerprints"]["reproLint/v1"]
+
+    def test_cli_sarif_format_is_valid_json(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(BAD, encoding="utf-8")
+        assert main(["--format", "sarif", str(target)]) == EXIT_FINDINGS
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"]
+
+
+class TestFingerprints:
+    def test_stable_under_line_shift(self, tmp_path):
+        before = run_analysis(tmp_path, source=BAD)
+        fp_before = set(
+            compute_fingerprints(before.findings, before.sources).values()
+        )
+        shifted = "# a new leading comment\n\n" + BAD
+        after = run_analysis(tmp_path, source=shifted)
+        fp_after = set(
+            compute_fingerprints(after.findings, after.sources).values()
+        )
+        assert before.findings[0].line != after.findings[0].line
+        assert fp_before == fp_after
+
+    def test_duplicate_lines_get_distinct_fingerprints(self, tmp_path):
+        result = run_analysis(tmp_path, source=BAD + BAD)
+        values = list(
+            compute_fingerprints(result.findings, result.sources).values()
+        )
+        assert len(values) == 2
+        assert len(set(values)) == 2
+
+    def test_changed_line_text_retires_the_entry(self, tmp_path):
+        result = run_analysis(tmp_path)
+        fingerprints = compute_fingerprints(result.findings, result.sources)
+        write_baseline(tmp_path / "bl.json", result.findings, fingerprints)
+        edited = run_analysis(tmp_path, source="flag = y == 2.5\n")
+        new_fps = compute_fingerprints(edited.findings, edited.sources)
+        baseline = Baseline.load(tmp_path / "bl.json")
+        new, old = split_by_baseline(edited.findings, new_fps, baseline)
+        assert len(new) == 1 and old == []
+        assert baseline.stale(new_fps.values())  # old entry now stale
+
+
+class TestBaselineCli:
+    def test_write_then_pass(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(BAD, encoding="utf-8")
+        bl = tmp_path / "bl.json"
+        assert (
+            main(["--baseline", str(bl), "--write-baseline", str(target)])
+            == EXIT_CLEAN
+        )
+        assert bl.exists()
+        assert main(["--baseline", str(bl), str(target)]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_new_finding_still_fails(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(BAD, encoding="utf-8")
+        bl = tmp_path / "bl.json"
+        main(["--baseline", str(bl), "--write-baseline", str(target)])
+        target.write_text(BAD + "worse = y == 2.0\n", encoding="utf-8")
+        assert main(["--baseline", str(bl), str(target)]) == EXIT_FINDINGS
+
+    def test_no_baseline_flag_counts_everything(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(BAD, encoding="utf-8")
+        bl = tmp_path / "bl.json"
+        main(["--baseline", str(bl), "--write-baseline", str(target)])
+        assert (
+            main(["--baseline", str(bl), "--no-baseline", str(target)])
+            == EXIT_FINDINGS
+        )
+
+    def test_committed_repo_baseline_is_empty(self):
+        payload = json.loads(
+            (Path(__file__).parents[2] / ".repro-lint-baseline.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        assert payload["findings"] == {}
+
+
+class TestConfig:
+    def write_pyproject(self, tmp_path, body):
+        path = tmp_path / "pyproject.toml"
+        path.write_text(body, encoding="utf-8")
+        return path
+
+    def test_missing_file_degrades_to_defaults(self, tmp_path):
+        config = load_config(tmp_path / "nope.toml")
+        assert config.baseline is None
+        assert config.severity == {}
+
+    def test_severity_parsing(self, tmp_path):
+        path = self.write_pyproject(
+            tmp_path,
+            '[tool.repro-lint]\nbaseline = "bl.json"\n'
+            '[tool.repro-lint.severity]\n'
+            'float-equality = "off"\nrng-raw-seed = "error"\n'
+            'bogus-level = "loud"\n',
+        )
+        config = load_config(path)
+        assert config.baseline == "bl.json"
+        assert config.disabled_ids() == frozenset({"float-equality"})
+        assert config.overrides() == {"rng-raw-seed": "error"}
+
+    def test_off_disables_the_rule_via_cli(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(BAD, encoding="utf-8")
+        pyproject = self.write_pyproject(
+            tmp_path,
+            '[tool.repro-lint.severity]\nfloat-equality = "off"\n',
+        )
+        assert (
+            main(["--config", str(pyproject), str(target)]) == EXIT_CLEAN
+        )
+
+    def test_downgrade_to_warning_changes_exit_code(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(BAD, encoding="utf-8")
+        pyproject = self.write_pyproject(
+            tmp_path,
+            '[tool.repro-lint.severity]\nfloat-equality = "warning"\n',
+        )
+        assert (
+            main(["--config", str(pyproject), str(target)]) == EXIT_CLEAN
+        )
+        assert (
+            main(
+                [
+                    "--config",
+                    str(pyproject),
+                    "--strict-warnings",
+                    str(target),
+                ]
+            )
+            == EXIT_FINDINGS
+        )
+
+    def test_repo_pyproject_parses(self):
+        config = load_config(Path(__file__).parents[2] / "pyproject.toml")
+        assert config.baseline == ".repro-lint-baseline.json"
+        for level in config.severity.values():
+            assert level in ("off", "warning", "error")
+
+
+@pytest.mark.parametrize("fmt", ["text", "json", "sarif"])
+def test_formats_share_exit_semantics(tmp_path, capsys, fmt):
+    target = tmp_path / "clean.py"
+    target.write_text("x = 1\n", encoding="utf-8")
+    assert main(["--format", fmt, str(target)]) == EXIT_CLEAN
+    capsys.readouterr()

@@ -1,22 +1,35 @@
-"""repro-lint: AST-based correctness linter for the SOS reproduction.
+"""repro-lint: flow-aware correctness analyzer for the SOS reproduction.
 
 The analytical model's guarantees only hold under invariants that generic
 linters do not know about: probabilities must stay in ``[0, 1]``, every
 random draw must come from an explicitly seeded stream (checkpoint/resume
-is bit-identical only under that discipline), and invariants must survive
-``python -O``. This package encodes those invariants as AST rules.
+is bit-identical only under that discipline), the evaluation service must
+never block its event loop, and simulation results must be functions of
+the seed — not of the wall clock or the hash seed. This package encodes
+those invariants in two layers:
+
+* **statement rules** (:mod:`repro_lint.rules`) walk one module at a
+  time — RNG discipline, float equality, probability hygiene, bare
+  asserts, mutable defaults;
+* **project passes** (:mod:`repro_lint.passes`) walk a project-wide call
+  graph (:mod:`repro_lint.callgraph`) and an intraprocedural RNG
+  dataflow (:mod:`repro_lint.dataflow`) — async-safety reachability,
+  generator handoff/reuse, unordered-iteration draws, wall-clock reads.
 
 Usage::
 
     PYTHONPATH=tools python -m repro_lint src benchmarks examples
-    tools/repro-lint --format json src
+    tools/repro-lint --format sarif src > repro-lint.sarif
+    tools/repro-lint --write-baseline src   # ratify current findings
 
-See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and suppression
-syntax (``# repro-lint: disable=RULE``).
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue, baseline
+workflow, and suppression syntax (``# repro-lint: disable=RULE -- why``).
 """
 
 from __future__ import annotations
 
+from repro_lint.analysis import AnalysisResult, analyze_paths
+from repro_lint.callgraph import ProjectGraph
 from repro_lint.engine import (
     Finding,
     LintContext,
@@ -26,19 +39,26 @@ from repro_lint.engine import (
     lint_paths,
     lint_source,
 )
+from repro_lint.passes import ALL_PASSES, ProjectPass, pass_by_id
 from repro_lint.rules import ALL_RULES, rule_by_id
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "ALL_PASSES",
     "ALL_RULES",
+    "AnalysisResult",
     "Finding",
     "LintContext",
+    "ProjectGraph",
+    "ProjectPass",
     "Rule",
     "Severity",
+    "analyze_paths",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "pass_by_id",
     "rule_by_id",
     "__version__",
 ]

@@ -1,0 +1,112 @@
+"""Orchestration: parse once, run statement rules + project passes.
+
+``lint_source``/``lint_paths`` in :mod:`repro_lint.engine` stay the
+single-module API (rules only); :func:`analyze_paths` is the full
+pipeline the CLI uses — every file is parsed exactly once, the parsed
+modules feed both the per-file rules and the
+:class:`~repro_lint.callgraph.ProjectGraph` the passes walk, and pass
+findings are routed back through each file's inline suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro_lint.callgraph import ProjectGraph
+from repro_lint.engine import (
+    FileReport,
+    PathLike,
+    Rule,
+    Suppressions,
+    iter_python_files,
+    lint_source,
+)
+from repro_lint.passes import ProjectPass
+
+
+@dataclasses.dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced."""
+
+    reports: List[FileReport]
+    #: display path -> source text (baseline fingerprints need line text).
+    sources: Dict[str, str]
+
+    @property
+    def findings(self) -> List:
+        return [f for report in self.reports for f in report.findings]
+
+
+def analyze_paths(
+    paths: Iterable[PathLike],
+    rules: Sequence[Rule],
+    passes: Sequence[ProjectPass] = (),
+) -> AnalysisResult:
+    """Run ``rules`` per file and ``passes`` project-wide over ``paths``."""
+    sources: Dict[str, str] = {}
+    reports: Dict[str, FileReport] = {}
+    suppressions: Dict[str, Suppressions] = {}
+    parsed = []
+
+    for path in iter_python_files(paths):
+        source = Path(path).read_text(encoding="utf-8")
+        report = lint_source(source, path, rules)
+        sources[report.path] = source
+        reports[report.path] = report
+        if not report.parse_error:
+            suppressions[report.path] = Suppressions(source)
+            # lint_source already parsed successfully; parse again is
+            # avoided by rebuilding from the context lint_source used —
+            # cheaper to reparse than to change the public signature.
+            import ast
+
+            parsed.append((Path(path), ast.parse(source)))
+
+    if passes and parsed:
+        graph = ProjectGraph.build(parsed)
+        for project_pass in passes:
+            for finding in project_pass.run(graph):
+                report = reports.get(finding.path)
+                if report is None:  # pass emitted for an unscanned file
+                    continue
+                shield = suppressions.get(finding.path)
+                if shield is not None and shield.is_suppressed(
+                    finding.rule_id, finding.line
+                ):
+                    report.suppressed.append(finding)
+                else:
+                    report.findings.append(finding)
+
+    ordered = [reports[key] for key in sorted(reports)]
+    for report in ordered:
+        report.findings.sort(key=lambda f: f.sort_key)
+        report.suppressed.sort(key=lambda f: f.sort_key)
+    return AnalysisResult(reports=ordered, sources=sources)
+
+
+def relint_with(
+    result: AnalysisResult, severity_overrides: Optional[Dict[str, str]]
+) -> AnalysisResult:
+    """Apply config severity overrides (``"off"`` filtered upstream)."""
+    if not severity_overrides:
+        return result
+    from repro_lint.engine import Severity
+
+    remap = {
+        rule_id: Severity[value.upper()]
+        for rule_id, value in severity_overrides.items()
+        if value.lower() in ("warning", "error")
+    }
+    if not remap:
+        return result
+    for report in result.reports:
+        report.findings = [
+            dataclasses.replace(f, severity=remap[f.rule_id])
+            if f.rule_id in remap
+            else f
+            for f in report.findings
+        ]
+    return result

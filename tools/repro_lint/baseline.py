@@ -1,0 +1,137 @@
+"""Baseline workflow: gate on regressions, not on pre-existing findings.
+
+A committed ``.repro-lint-baseline.json`` records fingerprints of known
+findings; runs exit non-zero only for findings *not* in the baseline, so
+a new rule can land with its legacy findings ratified while every new
+violation still fails CI. Regenerate with ``repro-lint
+--write-baseline`` (``make lint-baseline``).
+
+Fingerprints must survive unrelated edits, so they hash the finding's
+rule id, file path, and the *text* of the flagged line (plus an
+occurrence counter for duplicate lines) — never the line number. Moving
+a finding without changing its line keeps it baselined; editing the
+flagged line retires the entry (stale entries are reported so the
+baseline never rots silently).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro_lint.engine import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def _normalize_path(path: str) -> str:
+    """Repo-relative posix path so fingerprints match across machines."""
+    p = Path(path)
+    if p.is_absolute():
+        try:
+            p = p.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def compute_fingerprints(
+    findings: Iterable[Finding], sources: Dict[str, str]
+) -> Dict[Finding, str]:
+    """Stable fingerprint per finding (line-number independent)."""
+    lines_by_path: Dict[str, List[str]] = {}
+    occurrence: Dict[Tuple[str, str, str], int] = {}
+    fingerprints: Dict[Finding, str] = {}
+    for finding in sorted(findings, key=lambda f: f.sort_key):
+        path = _normalize_path(finding.path)
+        if finding.path not in lines_by_path:
+            lines_by_path[finding.path] = sources.get(
+                finding.path, ""
+            ).splitlines()
+        lines = lines_by_path[finding.path]
+        text = (
+            lines[finding.line - 1].strip()
+            if 0 < finding.line <= len(lines)
+            else ""
+        )
+        key = (finding.rule_id, path, text)
+        index = occurrence.get(key, 0)
+        occurrence[key] = index + 1
+        digest = hashlib.sha256(
+            f"{finding.rule_id}::{path}::{text}::{index}".encode("utf-8")
+        ).hexdigest()[:20]
+        fingerprints[finding] = digest
+    return fingerprints
+
+
+@dataclasses.dataclass
+class Baseline:
+    """The committed set of ratified findings."""
+
+    path: Optional[Path]
+    entries: Dict[str, Dict[str, object]]
+
+    @classmethod
+    def load(cls, path: Optional[Path]) -> "Baseline":
+        if path is None or not Path(path).exists():
+            return cls(path=Path(path) if path else None, entries={})
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = payload.get("findings", {})
+        if isinstance(entries, list):  # tolerate list-shaped files
+            entries = {e["fingerprint"]: e for e in entries}
+        return cls(path=Path(path), entries=dict(entries))
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def stale(self, seen: Iterable[str]) -> List[str]:
+        """Baseline entries no longer produced by the analyzer."""
+        seen_set = set(seen)
+        return sorted(fp for fp in self.entries if fp not in seen_set)
+
+
+def split_by_baseline(
+    findings: Iterable[Finding],
+    fingerprints: Dict[Finding, str],
+    baseline: Baseline,
+) -> Tuple[List[Finding], List[Finding]]:
+    """``(new, baselined)`` partition of ``findings``."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        if fingerprints.get(finding) in baseline:
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old
+
+
+def write_baseline(
+    path: Path,
+    findings: Iterable[Finding],
+    fingerprints: Dict[Finding, str],
+) -> int:
+    """Serialize the current findings as the new baseline; returns count."""
+    entries = {
+        fingerprints[finding]: {
+            "rule": finding.rule_id,
+            "path": _normalize_path(finding.path),
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding in findings
+        if finding in fingerprints
+    }
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro-lint",
+        "findings": dict(sorted(entries.items())),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

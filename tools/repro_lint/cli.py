@@ -2,10 +2,22 @@
 
 Exit codes (stable, for CI):
 
-* ``0`` — no findings (suppressed findings do not fail the run);
-* ``1`` — at least one error-severity finding (or any finding with
-  ``--strict-warnings``);
+* ``0`` — no *new* findings (suppressed and baselined findings do not
+  fail the run);
+* ``1`` — at least one new error-severity finding (or any new finding
+  with ``--strict-warnings``);
 * ``2`` — usage error: unknown rule id, unreadable path.
+
+Statement rules run per file; flow-aware project passes (call graph +
+dataflow) run over all files together and are on by default
+(``--no-passes`` restricts the run to statement rules). ``--select`` /
+``--ignore`` address rules and passes uniformly by id.
+
+Baseline workflow: ``--write-baseline`` ratifies the current findings
+into ``.repro-lint-baseline.json``; subsequent runs fail only on
+findings absent from that file. ``--no-baseline`` compares against
+nothing (every finding counts), which is what the repository gate uses —
+the committed baseline is empty and must stay empty.
 """
 
 from __future__ import annotations
@@ -13,10 +25,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
 
-from repro_lint.engine import FileReport, Rule, Severity, lint_paths
+from repro_lint.analysis import AnalysisResult, analyze_paths, relint_with
+from repro_lint.baseline import (
+    DEFAULT_BASELINE,
+    Baseline,
+    compute_fingerprints,
+    split_by_baseline,
+    write_baseline,
+)
+from repro_lint.config import LintConfig, load_config
+from repro_lint.engine import FileReport, Finding, Rule, Severity
+from repro_lint.passes import ALL_PASSES, ProjectPass
 from repro_lint.rules import ALL_RULES
+from repro_lint.sarif import render_sarif
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -27,9 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "AST-based correctness linter for the SOS reproduction: RNG "
-            "discipline, float equality, probability hygiene, bare asserts, "
-            "mutable defaults."
+            "Flow-aware correctness analyzer for the SOS reproduction: "
+            "statement rules (RNG discipline, float equality, probability "
+            "hygiene, bare asserts, mutable defaults) plus call-graph "
+            "passes (async-safety, RNG dataflow, wall-clock determinism)."
         ),
     )
     parser.add_argument(
@@ -40,24 +65,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
     parser.add_argument(
         "--select",
         metavar="RULES",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule/pass ids to run (default: all)",
     )
     parser.add_argument(
         "--ignore",
         metavar="RULES",
-        help="comma-separated rule ids to skip",
+        help="comma-separated rule/pass ids to skip",
     )
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the rule catalogue and exit",
+        help="print the rule and pass catalogue and exit",
     )
     parser.add_argument(
         "--show-suppressed",
@@ -69,31 +94,69 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit non-zero on warning-severity findings too",
     )
+    parser.add_argument(
+        "--no-passes",
+        action="store_true",
+        help="run statement rules only (skip call-graph/dataflow passes)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        help="pyproject.toml to read [tool.repro-lint] from "
+        "(default: ./pyproject.toml)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=f"baseline file of ratified findings (default: "
+        f"{DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: every finding counts",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="ratify the current findings into the baseline file and exit 0",
+    )
     return parser
 
 
-def select_rules(
-    select: Optional[str], ignore: Optional[str]
-) -> List[Rule]:
-    known = {rule.id: rule for rule in ALL_RULES}
-    chosen = list(ALL_RULES)
+def select_checks(
+    select: Optional[str],
+    ignore: Optional[str],
+    disabled: frozenset = frozenset(),
+) -> Tuple[List[Rule], List[ProjectPass]]:
+    """Partition ``--select``/``--ignore`` ids over rules and passes."""
+    known = {rule.id for rule in ALL_RULES} | {p.id for p in ALL_PASSES}
+    rules = list(ALL_RULES)
+    passes = list(ALL_PASSES)
     if select:
         wanted = [token.strip() for token in select.split(",") if token.strip()]
         for rule_id in wanted:
             if rule_id not in known:
                 raise KeyError(rule_id)
-        chosen = [rule for rule in chosen if rule.id in wanted]
+        rules = [rule for rule in rules if rule.id in wanted]
+        passes = [p for p in passes if p.id in wanted]
     if ignore:
         dropped = {token.strip() for token in ignore.split(",") if token.strip()}
         for rule_id in dropped:
             if rule_id not in known:
                 raise KeyError(rule_id)
-        chosen = [rule for rule in chosen if rule.id not in dropped]
-    return chosen
+        rules = [rule for rule in rules if rule.id not in dropped]
+        passes = [p for p in passes if p.id not in dropped]
+    if disabled:
+        rules = [rule for rule in rules if rule.id not in disabled]
+        passes = [p for p in passes if p.id not in disabled]
+    return rules, passes
 
 
 def render_text(
-    reports: Sequence[FileReport], show_suppressed: bool
+    reports: Sequence[FileReport],
+    show_suppressed: bool,
+    baselined: Sequence[Finding] = (),
 ) -> str:
     lines: List[str] = []
     findings = 0
@@ -111,11 +174,18 @@ def render_text(
         f"repro-lint: {findings} {noun} in {len(reports)} files "
         f"({suppressed} suppressed)"
     )
+    if baselined:
+        lines.append(
+            f"repro-lint: {len(baselined)} baselined finding(s) not "
+            "counted (see the baseline file)"
+        )
     return "\n".join(lines)
 
 
 def render_json(
-    reports: Sequence[FileReport], show_suppressed: bool
+    reports: Sequence[FileReport],
+    show_suppressed: bool,
+    baselined: Sequence[Finding] = (),
 ) -> str:
     payload = {
         "files": len(reports),
@@ -126,6 +196,8 @@ def render_json(
         ],
         "suppressed_count": sum(len(r.suppressed) for r in reports),
     }
+    if baselined:
+        payload["baselined_count"] = len(baselined)
     if show_suppressed:
         payload["suppressed"] = [
             finding.as_dict()
@@ -135,38 +207,109 @@ def render_json(
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _baseline_path(
+    options: argparse.Namespace, config: LintConfig
+) -> Optional[Path]:
+    """The baseline file in force for this run, if any."""
+    if options.no_baseline and not options.write_baseline:
+        return None
+    if options.baseline:
+        return Path(options.baseline)
+    if config.baseline:
+        return Path(config.baseline)
+    default = Path(DEFAULT_BASELINE)
+    if options.write_baseline or default.exists():
+        return default
+    return None
+
+
+def _apply_baseline(
+    result: AnalysisResult, baseline: Baseline
+) -> List[Finding]:
+    """Move baselined findings out of the reports; return them."""
+    fingerprints = compute_fingerprints(result.findings, result.sources)
+    ratified: List[Finding] = []
+    for report in result.reports:
+        new, old = split_by_baseline(report.findings, fingerprints, baseline)
+        report.findings = new
+        ratified.extend(old)
+    return ratified
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     options = parser.parse_args(argv)
+    config = load_config(Path(options.config) if options.config else None)
 
     if options.list_rules:
         for rule in ALL_RULES:
             print(f"{rule.id} [{rule.severity}] {rule.description}")
+        for project_pass in ALL_PASSES:
+            print(
+                f"{project_pass.id} [{project_pass.severity}] (pass) "
+                f"{project_pass.description}"
+            )
         return EXIT_CLEAN
 
     try:
-        rules = select_rules(options.select, options.ignore)
+        rules, passes = select_checks(
+            options.select, options.ignore, config.disabled_ids()
+        )
     except KeyError as exc:
         print(f"repro-lint: unknown rule id {exc.args[0]!r}", file=sys.stderr)
         return EXIT_USAGE
+    if options.no_passes:
+        passes = []
 
     try:
-        reports = lint_paths(options.paths, rules)
+        result = analyze_paths(options.paths, rules, passes)
     except OSError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    relint_with(result, config.overrides())
+
+    baseline_file = _baseline_path(options, config)
+
+    if options.write_baseline:
+        if baseline_file is None:  # unreachable, but keep the gate explicit
+            print("repro-lint: no baseline path to write", file=sys.stderr)
+            return EXIT_USAGE
+        fingerprints = compute_fingerprints(result.findings, result.sources)
+        count = write_baseline(baseline_file, result.findings, fingerprints)
+        print(
+            f"repro-lint: wrote {count} finding(s) to {baseline_file}"
+        )
+        return EXIT_CLEAN
+
+    baselined: List[Finding] = []
+    if baseline_file is not None and baseline_file.exists():
+        baseline = Baseline.load(baseline_file)
+        if baseline.entries:
+            baselined = _apply_baseline(result, baseline)
 
     if options.format == "json":
-        print(render_json(reports, options.show_suppressed))
+        print(render_json(result.reports, options.show_suppressed, baselined))
+    elif options.format == "sarif":
+        fingerprints = compute_fingerprints(
+            [*result.findings, *baselined], result.sources
+        )
+        print(
+            render_sarif(
+                result.findings,
+                [*ALL_RULES, *ALL_PASSES],
+                fingerprints=fingerprints if baselined else None,
+                baselined=baselined,
+            )
+        )
     else:
-        print(render_text(reports, options.show_suppressed))
+        print(render_text(result.reports, options.show_suppressed, baselined))
 
     threshold = (
         Severity.WARNING if options.strict_warnings else Severity.ERROR
     )
     failing = any(
         finding.severity >= threshold
-        for report in reports
+        for report in result.reports
         for finding in report.findings
     )
     return EXIT_FINDINGS if failing else EXIT_CLEAN

@@ -1,0 +1,80 @@
+"""``[tool.repro-lint]`` configuration from pyproject.toml.
+
+Recognised keys::
+
+    [tool.repro-lint]
+    baseline = ".repro-lint-baseline.json"
+
+    [tool.repro-lint.severity]
+    rng-raw-seed = "warning"   # or "error", or "off" to disable the rule
+
+Severity overrides apply to statement rules and project passes alike;
+``"off"`` removes the rule from the run entirely (its suppressions
+become unnecessary but stay harmless). Parsing uses :mod:`tomllib`
+(3.11+); on older interpreters, or when the file is missing or
+malformed, the config silently degrades to defaults so the linter never
+fails because of its own configuration plumbing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, Optional
+
+VALID_SEVERITIES = ("off", "warning", "error")
+
+
+@dataclasses.dataclass
+class LintConfig:
+    """Parsed ``[tool.repro-lint]`` settings (all optional)."""
+
+    baseline: Optional[str] = None
+    #: rule/pass id -> "off" | "warning" | "error"
+    severity: Dict[str, str] = dataclasses.field(default_factory=dict)
+    source: Optional[Path] = None
+
+    def disabled_ids(self) -> frozenset:
+        return frozenset(
+            rule_id
+            for rule_id, level in self.severity.items()
+            if level == "off"
+        )
+
+    def overrides(self) -> Dict[str, str]:
+        return {
+            rule_id: level
+            for rule_id, level in self.severity.items()
+            if level in ("warning", "error")
+        }
+
+
+def load_config(path: Optional[Path] = None) -> LintConfig:
+    """Read ``[tool.repro-lint]`` from ``path`` (default: ./pyproject.toml)."""
+    candidate = Path(path) if path is not None else Path("pyproject.toml")
+    if not candidate.is_file():
+        return LintConfig()
+    try:
+        import tomllib
+    except ImportError:  # pre-3.11 interpreter: degrade to defaults
+        return LintConfig()
+    try:
+        with candidate.open("rb") as handle:
+            payload = tomllib.load(handle)
+    except (OSError, ValueError):
+        return LintConfig()
+    section = payload.get("tool", {}).get("repro-lint", {})
+    if not isinstance(section, dict):
+        return LintConfig(source=candidate)
+    baseline = section.get("baseline")
+    severity_raw = section.get("severity", {})
+    severity: Dict[str, str] = {}
+    if isinstance(severity_raw, dict):
+        for rule_id, level in severity_raw.items():
+            if isinstance(level, str) and level.lower() in VALID_SEVERITIES:
+                severity[str(rule_id)] = level.lower()
+    return LintConfig(
+        baseline=baseline if isinstance(baseline, str) else None,
+        severity=severity,
+        source=candidate,
+    )

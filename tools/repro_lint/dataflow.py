@@ -1,0 +1,296 @@
+"""Intraprocedural dataflow over RNG values (Generators, SeedSequences).
+
+The bit-identity contracts (same seed -> same estimates across engines,
+worker counts, and crash/resume) hold only while every
+:class:`numpy.random.Generator` is consumed by exactly one logical
+stream owner. Three ways a function can silently break that, all
+detectable without executing anything:
+
+* a generator is **handed to a worker/checkpoint boundary** (``submit``,
+  ``Process(...)``, ``run_in_executor``) and then drawn from again
+  locally — parent and worker now consume one stream in racy order;
+* the **same generator is handed off twice** (or once per loop
+  iteration) — two workers share a stream;
+* a generator is **drawn from inside iteration over a set** (hash-seed
+  dependent order) or an unsorted dict view — the draw sequence depends
+  on interpreter state, not on the seed.
+
+The tracker is a linear, source-ordered scan per function: events are
+``create`` / ``handoff`` / ``draw`` with the enclosing loop stack
+recorded, and the rule passes interpret the event stream. Deliberately
+intraprocedural — cross-function stream ownership is enforced
+dynamically by the checkpoint/resume property tests; this catches the
+single-function mistakes those tests can only catch probabilistically.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro_lint.callgraph import (
+    FunctionInfo,
+    FunctionNode,
+    classify_boundary,
+    dotted_name,
+)
+
+#: Call names (last dotted segment) whose result is a Generator stream.
+GENERATOR_FACTORIES = frozenset(
+    {"default_rng", "make_rng", "Generator", "RandomState", "generator"}
+)
+
+#: Generator methods that consume stream state. ``spawn`` is excluded —
+#: spawning children is the sanctioned way to fork a stream.
+DRAW_METHODS = frozenset(
+    {
+        "random",
+        "standard_normal",
+        "standard_exponential",
+        "standard_gamma",
+        "normal",
+        "uniform",
+        "integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "permuted",
+        "exponential",
+        "poisson",
+        "binomial",
+        "geometric",
+        "multinomial",
+        "multivariate_normal",
+        "beta",
+        "gamma",
+        "lognormal",
+        "triangular",
+        "bytes",
+        "bit_generator",
+    }
+)
+
+#: Receiver name segments treated as generator-like even without a local
+#: creation site (``self._rng.choice(...)``, a bare ``rng`` parameter).
+RNG_NAME_HINTS = ("rng", "random_state")
+
+
+@dataclasses.dataclass(frozen=True)
+class RngEvent:
+    """One generator-relevant action, in source order."""
+
+    kind: str  # "create" | "handoff" | "draw"
+    var: str
+    node: ast.AST
+    #: ids of the loops enclosing the event (innermost last).
+    loops: Tuple[int, ...]
+    #: For handoffs: the boundary kind; for creates: the seed form.
+    detail: Optional[str] = None
+
+
+def is_rng_like_name(name: str) -> bool:
+    """Heuristic: does a dotted receiver look like an RNG stream?"""
+    last = name.rsplit(".", 1)[-1].lower()
+    return any(hint in last for hint in RNG_NAME_HINTS)
+
+
+def annotated_generator_params(function: FunctionNode) -> Set[str]:
+    """Parameter names whose annotation names a ``Generator``."""
+    names: Set[str] = set()
+    args = function.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.annotation is None:
+            continue
+        annotation = dotted_name(arg.annotation)
+        if annotation is not None and annotation.endswith("Generator"):
+            names.add(arg.arg)
+    return names
+
+
+class RngTracker(ast.NodeVisitor):
+    """Collect :class:`RngEvent` streams for one function body."""
+
+    def __init__(self, function: FunctionNode) -> None:
+        self.generators: Set[str] = set(annotated_generator_params(function))
+        self.events: List[RngEvent] = []
+        self._loop_stack: List[int] = []
+        self._loop_counter = 0
+        #: var -> loop stack at creation (missing for parameters).
+        self.created_in: Dict[str, Tuple[int, ...]] = {}
+        for stmt in function.body:
+            self.visit(stmt)
+
+    # -- scope/loop management -----------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs have their own tracker
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_counter += 1
+        self._loop_stack.append(self._loop_counter)
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self._loop_stack.pop()
+
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.iter)
+        self._loop_counter += 1
+        self._loop_stack.append(self._loop_counter)
+        for stmt in [*node.body, *node.orelse]:
+            self.visit(stmt)
+        self._loop_stack.pop()
+
+    def visit_While(self, node: ast.While) -> None:
+        self.visit(node.test)
+        self._loop_counter += 1
+        self._loop_stack.append(self._loop_counter)
+        for stmt in [*node.body, *node.orelse]:
+            self.visit(stmt)
+        self._loop_stack.pop()
+
+    # -- events ----------------------------------------------------------
+    def _record(
+        self, kind: str, var: str, node: ast.AST, detail: Optional[str] = None
+    ) -> None:
+        self.events.append(
+            RngEvent(
+                kind=kind,
+                var=var,
+                node=node,
+                loops=tuple(self._loop_stack),
+                detail=detail,
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        creation = _generator_creation(node.value)
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if creation is not None:
+                self.generators.add(target.id)
+                self.created_in[target.id] = tuple(self._loop_stack)
+                self._record("create", target.id, node.value, detail=creation)
+            elif (
+                isinstance(node.value, ast.Name)
+                and node.value.id in self.generators
+            ):
+                self.generators.add(target.id)  # alias
+
+    def visit_Call(self, node: ast.Call) -> None:
+        raw = dotted_name(node.func)
+        boundary = classify_boundary(raw, node)
+        if boundary is None and raw is not None and "checkpoint" in raw.lower():
+            boundary = "checkpoint"
+        if boundary is not None:
+            for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                if isinstance(arg, ast.Name) and arg.id in self.generators:
+                    self._record("handoff", arg.id, node, detail=boundary)
+        elif raw is not None and "." in raw:
+            receiver, _, method = raw.rpartition(".")
+            if method in DRAW_METHODS and (
+                receiver in self.generators or is_rng_like_name(receiver)
+            ):
+                self._record("draw", receiver, node)
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+
+def _generator_creation(value: ast.expr) -> Optional[str]:
+    """If ``value`` constructs a Generator, describe the seed form.
+
+    Returns ``"raw-int"`` for integer-literal seeds, ``"derived"`` for
+    everything else (spawned SeedSequence, variable, ``make_rng``), and
+    ``None`` when the expression is not a generator factory call.
+    """
+    if not isinstance(value, ast.Call):
+        return None
+    name = dotted_name(value.func)
+    if name is None:
+        return None
+    last = name.rsplit(".", 1)[-1]
+    if last not in GENERATOR_FACTORIES:
+        return None
+    if last in ("default_rng", "Generator", "RandomState"):
+        if value.args and isinstance(value.args[0], ast.Constant) and isinstance(
+            value.args[0].value, int
+        ):
+            return "raw-int"
+        for keyword in value.keywords:
+            if (
+                keyword.arg == "seed"
+                and isinstance(keyword.value, ast.Constant)
+                and isinstance(keyword.value.value, int)
+            ):
+                return "raw-int"
+    return "derived"
+
+
+def track_function(function: FunctionInfo) -> RngTracker:
+    """Run the tracker over one indexed function."""
+    return RngTracker(function.node)
+
+
+# ----------------------------------------------------------------------
+# Unordered-iteration support
+# ----------------------------------------------------------------------
+
+
+def unordered_iterable(node: ast.expr) -> Optional[str]:
+    """Classify a ``for``-loop iterable as hash/insertion-order dependent.
+
+    Returns ``"set"`` for set displays/comprehensions/``set()`` calls,
+    ``"dict-view"`` for unsorted ``.keys()/.values()/.items()``, and
+    ``None`` for anything wrapped in ``sorted(...)`` or not obviously
+    unordered.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return "set"
+        if name is not None and name.rsplit(".", 1)[-1] in (
+            "keys",
+            "values",
+            "items",
+        ):
+            return "dict-view"
+        if name in ("union", "intersection", "difference"):
+            return "set"
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub)
+    ):
+        left = unordered_iterable(node.left)
+        right = unordered_iterable(node.right)
+        if left == "set" or right == "set":
+            return "set"
+    return None
+
+
+def draws_in_loop(
+    loop: ast.For, generators: Set[str]
+) -> Iterator[ast.Call]:
+    """RNG draws lexically inside ``loop``'s body (not nested defs)."""
+    stack: List[ast.AST] = [*loop.body, *loop.orelse]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            raw = dotted_name(node.func)
+            if raw is not None and "." in raw:
+                receiver, _, method = raw.rpartition(".")
+                if method in DRAW_METHODS and (
+                    receiver in generators or is_rng_like_name(receiver)
+                ):
+                    yield node
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)

@@ -1,0 +1,177 @@
+"""async-blocking: no blocking call reachable from a service coroutine.
+
+The service's availability story (never block the event loop; shed,
+degrade, or hand off instead) is enforced dynamically by the chaos
+harness's heartbeat SLO. This pass is its static twin: starting from
+every ``async def`` in a ``service`` module, walk the resolved call
+graph — through sync helpers, ``self.method`` dispatch, and awaited
+coroutines, but **not** through executor/process boundaries
+(``run_in_executor``, ``asyncio.to_thread``, ``submit``,
+``Process(target=...)``) — and flag any call that parks the thread:
+``time.sleep``, ``subprocess``, sync socket/HTTP IO, ``Future.result()``
+/ ``Process.join()``, or a direct ``MonteCarloEstimator.estimate`` (a
+CPU-bound campaign on the loop is a stall as surely as a sleep; it is
+exactly the cheap-request-wedges-the-relay failure mode of the Tor DoS
+literature).
+
+Findings anchor at the blocking call site (one per site, however many
+coroutines reach it) so a single suppression or fix covers every path;
+the message carries one example chain from coroutine to stall.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro_lint.callgraph import CallSite, FunctionInfo, ProjectGraph
+from repro_lint.engine import Finding, Severity
+from repro_lint.passes import ProjectPass, module_segments
+
+#: Dotted-name prefixes that block the calling thread outright.
+BLOCKING_PREFIXES = (
+    "subprocess.",
+    "urllib.request.",
+    "requests.",
+    "http.client.",
+)
+
+#: Exact dotted names that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "os.wait",
+        "os.waitpid",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "socket.gethostbyname",
+        "subprocess.run",
+    }
+)
+
+#: Project calls that are CPU-bound stalls when run on the event loop.
+BLOCKING_SUFFIXES = ("MonteCarloEstimator.estimate",)
+
+
+def _is_blocking_join(raw: str, call: ast.Call) -> bool:
+    """``proc.join()`` / ``thread.join(timeout=...)`` but not ``str.join``.
+
+    String joins take one iterable argument; thread/process joins take
+    nothing or a numeric/``timeout=`` budget. Receivers that are string
+    literals are never flagged.
+    """
+    if not raw.endswith(".join"):
+        return False
+    if call.keywords:
+        return all(kw.arg == "timeout" for kw in call.keywords) and not call.args
+    if not call.args:
+        return True
+    if len(call.args) == 1:
+        arg = call.args[0]
+        return isinstance(arg, ast.Constant) and isinstance(
+            arg.value, (int, float)
+        )
+    return False
+
+
+def _is_blocking_result(raw: str, call: ast.Call) -> bool:
+    """Zero-argument ``.result()`` — a concurrent.futures wait."""
+    return raw.endswith(".result") and not call.args and not call.keywords
+
+
+def blocking_reason(site: CallSite) -> Optional[str]:
+    """Why this call site blocks the loop, or ``None``."""
+    target = site.target()
+    if target is None:
+        return None
+    if target in BLOCKING_CALLS:
+        return f"`{target}` parks the thread"
+    for prefix in BLOCKING_PREFIXES:
+        if target.startswith(prefix):
+            return f"`{target}` does synchronous IO"
+    for suffix in BLOCKING_SUFFIXES:
+        if target.endswith(suffix):
+            return (
+                "`MonteCarloEstimator.estimate` is a CPU-bound campaign; "
+                "on the event loop it stalls every other request"
+            )
+    raw = site.raw_name
+    if raw is not None:
+        if _is_blocking_join(raw, site.node):
+            return f"`{raw}()` waits for a thread/process"
+        if _is_blocking_result(raw, site.node):
+            return f"`{raw}()` waits for a future"
+    if target == "open" or target.endswith(".open"):
+        if target in ("open", "io.open"):
+            return "`open` does synchronous file IO"
+    return None
+
+
+class AsyncBlockingPass(ProjectPass):
+    id = "async-blocking"
+    severity = Severity.ERROR
+    description = (
+        "no blocking call (time.sleep, subprocess, sync IO, .result()/"
+        ".join(), direct MonteCarloEstimator.estimate) may be reachable "
+        "from an async def in a service module without an executor hop"
+    )
+
+    #: Module segments that put a module's coroutines in scope.
+    scope = frozenset({"service"})
+
+    def run(self, graph: ProjectGraph) -> Iterator[Finding]:
+        # site id -> (finding node, chain, reason); one finding per site.
+        found: Dict[Tuple[str, int, int], Tuple[FunctionInfo, CallSite, List[str], str]] = {}
+        for entry in graph.async_functions():
+            if not self.scope & set(module_segments(entry.module.name)):
+                continue
+            self._walk(graph, entry, found)
+        for function, site, chain, reason in found.values():
+            rendered = " -> ".join(chain)
+            yield self.finding(
+                str(function.path),
+                site.node,
+                f"{reason}; reachable from async `{rendered}` without an "
+                "executor hop — use await loop.run_in_executor(...) or "
+                "asyncio.to_thread(...)",
+            )
+
+    def _walk(
+        self,
+        graph: ProjectGraph,
+        entry: FunctionInfo,
+        found: Dict[Tuple[str, int, int], Tuple[FunctionInfo, CallSite, List[str], str]],
+    ) -> None:
+        # BFS with parent chains; visited per entry keeps chains short.
+        queue: List[Tuple[FunctionInfo, Tuple[str, ...]]] = [
+            (entry, (entry.qualname,))
+        ]
+        visited = {entry.qualname}
+        while queue:
+            function, chain = queue.pop(0)
+            for site in function.calls:
+                if site.boundary is not None:
+                    continue  # sanctioned hop: nothing past it runs here
+                reason = blocking_reason(site)
+                if reason is not None:
+                    key = (
+                        str(function.path),
+                        site.node.lineno,
+                        site.node.col_offset,
+                    )
+                    if key not in found or len(chain) < len(found[key][2]):
+                        short = [q.rsplit(".", 1)[-1] for q in chain]
+                        found[key] = (function, site, short, reason)
+                    continue
+                callee = graph.resolve_to_function(site.resolved)
+                if callee is None or callee.qualname in visited:
+                    continue
+                visited.add(callee.qualname)
+                queue.append((callee, chain + (callee.qualname,)))
+                if site.resolved is not None:
+                    for part in graph.constructor_parts(site.resolved):
+                        if part.qualname not in visited:
+                            visited.add(part.qualname)
+                            queue.append((part, chain + (part.qualname,)))

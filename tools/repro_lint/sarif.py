@@ -1,0 +1,139 @@
+"""SARIF 2.1.0 emitter: repro-lint findings as code-scanning results.
+
+The SARIF log carries the full rule catalogue (statement rules and
+project passes) in ``tool.driver.rules`` so code-scanning UIs can show
+the rule description next to each annotation, and one ``result`` per
+active finding. Baselined findings are emitted with
+``baselineState: "unchanged"`` so they stay visible without failing the
+gate; new findings carry ``baselineState: "new"`` when a baseline is in
+force.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro_lint.engine import Finding, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.WARNING: "warning", Severity.ERROR: "error"}
+
+
+def _rule_descriptor(rule_id: str, severity: Severity, description: str) -> Dict:
+    return {
+        "id": rule_id,
+        "shortDescription": {"text": description.split(":")[0].strip() or rule_id},
+        "fullDescription": {"text": description},
+        "defaultConfiguration": {"level": _LEVELS.get(severity, "warning")},
+        "helpUri": "docs/STATIC_ANALYSIS.md",
+    }
+
+
+def _artifact_uri(path: str) -> str:
+    p = Path(path)
+    if p.is_absolute():
+        try:
+            p = p.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def _result(
+    finding: Finding,
+    rule_index: Dict[str, int],
+    baseline_state: Optional[str],
+    fingerprint: Optional[str],
+) -> Dict:
+    result: Dict = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _artifact_uri(finding.path),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    if fingerprint is not None:
+        result["partialFingerprints"] = {"reproLint/v1": fingerprint}
+    if baseline_state is not None:
+        result["baselineState"] = baseline_state
+    return result
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    catalogue: Iterable,
+    fingerprints: Optional[Dict[Finding, str]] = None,
+    baselined: Optional[Iterable[Finding]] = None,
+) -> str:
+    """Serialize ``findings`` (active) plus ``baselined`` as a SARIF log.
+
+    ``catalogue`` is any iterable of objects with ``id`` / ``severity`` /
+    ``description`` attributes (rules and passes both qualify).
+    """
+    rules: List[Dict] = []
+    rule_index: Dict[str, int] = {}
+    for entry in catalogue:
+        if entry.id in rule_index:
+            continue
+        rule_index[entry.id] = len(rules)
+        rules.append(_rule_descriptor(entry.id, entry.severity, entry.description))
+
+    fingerprints = fingerprints or {}
+    baselined = list(baselined or [])
+    has_baseline = bool(baselined) or any(
+        f in fingerprints for f in findings
+    )
+
+    results = [
+        _result(
+            finding,
+            rule_index,
+            "new" if has_baseline else None,
+            fingerprints.get(finding),
+        )
+        for finding in findings
+    ]
+    results.extend(
+        _result(finding, rule_index, "unchanged", fingerprints.get(finding))
+        for finding in baselined
+    )
+
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/STATIC_ANALYSIS.md",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
