@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test bench bench-save bench-compare experiments paper \
 	examples docs-check all lint lint-baseline lint-sarif typecheck \
-	contracts-test verify serve chaos slo-save
+	contracts-test verify serve chaos slo-save scale-smoke
 
 # --- correctness tooling (docs/STATIC_ANALYSIS.md) ---------------------
 # `lint` always runs the in-repo repro-lint analyzer (statement rules +
@@ -74,6 +74,12 @@ bench-save:
 
 bench-compare:
 	$(PYTHON) tools/bench_compare.py
+
+# Large-N smoke over the array core: 10^5-node flooded fastsim plus 10^4
+# batched Chord lookups under one wall budget, timings + peak RSS in
+# scale-smoke.json. `--nodes 1000000` exercises the million-node path.
+scale-smoke:
+	PYTHONPATH=src $(PYTHON) tools/scale_smoke.py --output scale-smoke.json
 
 # --- evaluation service (docs/SERVICE.md) ------------------------------
 # serve boots the HTTP façade locally; chaos runs the full fault drill

@@ -5,12 +5,63 @@ pytest-benchmark, prints the reproduced rows (the same series the paper
 plots), and asserts the machine-checked claims, so ``pytest benchmarks/
 --benchmark-only`` is simultaneously a performance run and a reproduction
 run.
+
+Each benchmark also records its memory footprint (peak RSS high-water
+mark plus current RSS, both from the kernel — no third-party deps) into
+``extra_info``; ``tools/bench_snapshot.py`` carries it into the
+``BENCH_<n>.json`` trajectory and ``tools/bench_compare.py`` reports it
+alongside timings (report-only: memory never trips the regression gate).
 """
 
 from __future__ import annotations
 
+import resource
+from typing import Optional
+
+import pytest
+
 from repro.experiments.figures import run_figure
 from repro.experiments.report import render_text
+
+
+def _current_rss_kb() -> Optional[int]:
+    """VmRSS from ``/proc/self/status`` in kB (None off-Linux)."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+@pytest.fixture(autouse=True)
+def _record_memory(request):
+    """Attach per-benchmark memory counters to the benchmark report.
+
+    ``peak_rss_kb`` is the process high-water mark (``ru_maxrss``) once
+    the benchmark has run — monotone across the session, so compare it
+    against the benchmark's working-set expectations, not against other
+    rows. ``rss_kb`` is the live resident set right after the run.
+    """
+    # Grab the fixture object up front: autouse fixtures finalize after
+    # plain ones, so requesting it post-yield would hit a torn-down
+    # fixture. The object itself stays valid; only its values change.
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    yield
+    if benchmark is None:
+        return
+    benchmark.extra_info["peak_rss_kb"] = int(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    )
+    rss = _current_rss_kb()
+    if rss is not None:
+        benchmark.extra_info["rss_kb"] = rss
 
 
 def regenerate_and_report(benchmark, figure_id: str, plot: bool = False):

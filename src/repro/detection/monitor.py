@@ -175,11 +175,15 @@ class TrafficMonitor:
 
     def __init__(self, config: MonitorConfig = MonitorConfig()) -> None:
         self.config = config
-        #: node -> bin -> [offered, dropped]
-        self._bins: Dict[int, Dict[int, List[int]]] = {}
+        # Columnar counter state: sorted packed ``node * STRIDE + bin``
+        # codes with aligned offered/dropped tallies. Integer sums only,
+        # so drain order cannot change the counters.
+        self._codes: npt.NDArray[np.int64] = np.empty(0, dtype=np.int64)
+        self._offered: npt.NDArray[np.int64] = np.empty(0, dtype=np.int64)
+        self._dropped: npt.NDArray[np.int64] = np.empty(0, dtype=np.int64)
         self._last_bin: int = -1
         self.observations: int = 0
-        # Append-only buffers drained into ``_bins`` on the next query.
+        # Append-only buffers drained into the columns on the next query.
         self._buffer_nodes: List[npt.NDArray[np.int64]] = []
         self._buffer_times: List[npt.NDArray[np.float64]] = []
         self._buffer_accepted: List[npt.NDArray[np.bool_]] = []
@@ -253,41 +257,51 @@ class TrafficMonitor:
                 f"run spans more than {_BIN_STRIDE} bins; increase bin_width"
             )
         codes = nodes * _BIN_STRIDE + bins
-        unique, inverse, counts = np.unique(
-            codes, return_inverse=True, return_counts=True
+        # Merge the batch into the sorted columns with one unique pass —
+        # no per-(node, bin) Python loop, so draining a million offers
+        # over a million nodes stays a few vector operations.
+        merged = np.concatenate([self._codes, codes])
+        add_offered = np.concatenate(
+            [self._offered, np.ones(len(codes), dtype=np.int64)]
         )
-        drops = np.bincount(
-            inverse, weights=(~accepted).astype(np.float64), minlength=len(unique)
+        add_dropped = np.concatenate(
+            [self._dropped, (~accepted).astype(np.int64)]
         )
-        for code, offered, dropped in zip(
-            unique.tolist(), counts.tolist(), drops.tolist()
-        ):
-            node_id, bin_index = divmod(code, _BIN_STRIDE)
-            per_node = self._bins.setdefault(node_id, {})
-            entry = per_node.setdefault(bin_index, [0, 0])
-            entry[0] += int(offered)
-            entry[1] += int(dropped)
-            if bin_index > self._last_bin:
-                self._last_bin = bin_index
+        unique, inverse = np.unique(merged, return_inverse=True)
+        offered = np.zeros(len(unique), dtype=np.int64)
+        dropped = np.zeros(len(unique), dtype=np.int64)
+        np.add.at(offered, inverse, add_offered)
+        np.add.at(dropped, inverse, add_dropped)
+        self._codes = unique
+        self._offered = offered
+        self._dropped = dropped
+        self._last_bin = max(self._last_bin, int(bins.max()))
 
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
+    def _node_slice(self, node_id: int) -> Tuple[int, int]:
+        """Column range ``[lo, hi)`` of ``node_id``'s packed codes."""
+        lo = int(np.searchsorted(self._codes, node_id * _BIN_STRIDE))
+        hi = int(np.searchsorted(self._codes, (node_id + 1) * _BIN_STRIDE))
+        return lo, hi
+
     def nodes(self) -> List[int]:
         """Sorted ids of every node that was offered at least one packet."""
         self._drain()
-        return sorted(self._bins)
+        return np.unique(self._codes // _BIN_STRIDE).tolist()
 
     def snapshot(self) -> Dict[int, Dict[int, Tuple[int, int]]]:
         """``{node: {bin: (offered, dropped)}}`` — the full counter state."""
         self._drain()
-        return {
-            node_id: {
-                bin_index: (entry[0], entry[1])
-                for bin_index, entry in sorted(per_node.items())
-            }
-            for node_id, per_node in self._bins.items()
-        }
+        result: Dict[int, Dict[int, Tuple[int, int]]] = {}
+        node_ids = (self._codes // _BIN_STRIDE).tolist()
+        bin_ids = (self._codes % _BIN_STRIDE).tolist()
+        for node_id, bin_index, offered, dropped in zip(
+            node_ids, bin_ids, self._offered.tolist(), self._dropped.tolist()
+        ):
+            result.setdefault(node_id, {})[bin_index] = (offered, dropped)
+        return result
 
     def last_bin(self) -> int:
         """Highest bin index observed so far (-1 when empty)."""
@@ -307,9 +321,10 @@ class TrafficMonitor:
         self._drain()
         horizon = self._last_bin if through_bin is None else through_bin
         values = np.zeros(max(horizon + 1, 0), dtype=np.float64)
-        for bin_index, entry in self._bins.get(node_id, {}).items():
-            if bin_index <= horizon:
-                values[bin_index] = float(entry[0])
+        lo, hi = self._node_slice(node_id)
+        bins = self._codes[lo:hi] % _BIN_STRIDE
+        keep = bins <= horizon
+        values[bins[keep]] = self._offered[lo:hi][keep].astype(np.float64)
         return values
 
     def window_counts(
@@ -317,13 +332,13 @@ class TrafficMonitor:
     ) -> Tuple[int, int]:
         """``(offered, dropped)`` summed over bins ``[lo_bin, hi_bin)``."""
         self._drain()
-        offered = 0
-        dropped = 0
-        for bin_index, entry in self._bins.get(node_id, {}).items():
-            if lo_bin <= bin_index < hi_bin:
-                offered += entry[0]
-                dropped += entry[1]
-        return offered, dropped
+        lo, hi = self._node_slice(node_id)
+        bins = self._codes[lo:hi] % _BIN_STRIDE
+        keep = (bins >= lo_bin) & (bins < hi_bin)
+        return (
+            int(self._offered[lo:hi][keep].sum()),
+            int(self._dropped[lo:hi][keep].sum()),
+        )
 
     def drop_rate(self, node_id: int) -> float:
         """Observed drop fraction at ``node_id`` over the whole run."""

@@ -7,6 +7,15 @@ a finger table, predecessor pointer, and successor list, and lookups hop
 through fingers exactly as the distributed protocol would, including
 failure handling via successor lists.
 
+Routing state is columnar: one sorted identifier array plus ``(n, bits)``
+finger, ``(n, W)`` successor, predecessor, and liveness columns per ring
+(wide rings, ``bits > 62``, use object-dtype columns holding Python ints).
+:class:`ChordNode` objects are cached views whose list-valued properties
+materialize lazily from the columns, so the scalar protocol code reads
+unchanged while :meth:`ChordRing.rebuild_routing_state` and
+:meth:`ChordRing.lookup_batch` write/read the columns directly with no
+per-node Python loops.
+
 Supported operations:
 
 * bulk :meth:`ChordRing.build` with exact routing state;
@@ -22,7 +31,6 @@ from __future__ import annotations
 
 import dataclasses
 from bisect import bisect_left, bisect_right, insort
-from itertools import chain
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -39,23 +47,226 @@ DEFAULT_SUCCESSOR_LIST = 8
 _VECTOR_BITS_LIMIT = 62
 
 
-@dataclasses.dataclass
-class ChordNode:
-    """Routing state of one Chord participant."""
+class _RoutingColumns:
+    """The flat-array routing state of one ring.
 
-    node_id: int
-    fingers: List[int] = dataclasses.field(default_factory=list)
-    successor_list: List[int] = dataclasses.field(default_factory=list)
-    predecessor: Optional[int] = None
-    alive: bool = True
-    store: Dict[int, object] = dataclasses.field(default_factory=dict)
+    Rows are sorted by identifier and include dead nodes (live nodes'
+    stale pointers may still reference them). ``epoch`` is bumped on
+    every mutation; views and the batch-lookup cache key on it.
+    """
+
+    __slots__ = (
+        "dtype",
+        "bits",
+        "ids",
+        "alive",
+        "fingers",
+        "fingers_set",
+        "succ",
+        "succ_len",
+        "pred",
+        "epoch",
+    )
+
+    def __init__(self, bits: int, succ_width: int) -> None:
+        self.bits = bits
+        self.dtype: object = object if bits > _VECTOR_BITS_LIMIT else np.int64
+        self.ids = np.empty(0, dtype=self.dtype)
+        self.alive = np.empty(0, dtype=bool)
+        self.fingers = np.full((0, bits), -1, dtype=self.dtype)
+        self.fingers_set = np.empty(0, dtype=bool)
+        self.succ = np.full((0, succ_width), -1, dtype=self.dtype)
+        self.succ_len = np.empty(0, dtype=np.int32)
+        self.pred = np.empty(0, dtype=self.dtype)
+        self.epoch = 0
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def row_of(self, node_id: int) -> int:
+        index = int(np.searchsorted(self.ids, node_id))
+        if index < len(self.ids) and self.ids[index] == node_id:
+            return index
+        return -1
+
+    def install(self, sorted_ids: Sequence[int]) -> None:
+        """Bulk-install a fresh (all-live, no routing state) population."""
+        n = len(sorted_ids)
+        self.ids = np.asarray(sorted_ids, dtype=self.dtype)
+        self.alive = np.ones(n, dtype=bool)
+        self.fingers = np.full((n, self.bits), -1, dtype=self.dtype)
+        self.fingers_set = np.zeros(n, dtype=bool)
+        self.succ = np.full((n, self.succ.shape[1]), -1, dtype=self.dtype)
+        self.succ_len = np.zeros(n, dtype=np.int32)
+        self.pred = np.full(n, -1, dtype=self.dtype)
+        self.epoch += 1
+
+    def insert(self, node_id: int) -> int:
+        """Insert a new (live, blank) row, keeping ids sorted."""
+        pos = int(np.searchsorted(self.ids, node_id))
+        self.ids = np.insert(self.ids, pos, node_id)
+        self.alive = np.insert(self.alive, pos, True)
+        blank = np.full(self.bits, -1, dtype=self.dtype)
+        self.fingers = np.insert(self.fingers, pos, blank, axis=0)
+        self.fingers_set = np.insert(self.fingers_set, pos, False)
+        blank_s = np.full(self.succ.shape[1], -1, dtype=self.dtype)
+        self.succ = np.insert(self.succ, pos, blank_s, axis=0)
+        self.succ_len = np.insert(self.succ_len, pos, 0)
+        self.pred = np.insert(self.pred, pos, -1)
+        self.epoch += 1
+        return pos
+
+    def ensure_succ_width(self, width: int) -> None:
+        if width > self.succ.shape[1]:
+            grown = np.full((len(self.ids), width), -1, dtype=self.dtype)
+            grown[:, : self.succ.shape[1]] = self.succ
+            self.succ = grown
+
+    def set_fingers(self, row: int, values: Sequence[int]) -> None:
+        if len(values) == 0:
+            self.fingers[row, :] = -1
+            self.fingers_set[row] = False
+        else:
+            if len(values) != self.bits:
+                raise ConfigurationError(
+                    f"finger table must have {self.bits} entries, "
+                    f"got {len(values)}"
+                )
+            self.fingers[row, :] = np.asarray(values, dtype=self.dtype)
+            self.fingers_set[row] = True
+        self.epoch += 1
+
+    def set_successor_list(self, row: int, values: Sequence[int]) -> None:
+        self.ensure_succ_width(len(values))
+        count = len(values)
+        if count:
+            self.succ[row, :count] = np.asarray(values, dtype=self.dtype)
+        self.succ[row, count:] = -1
+        self.succ_len[row] = count
+        self.epoch += 1
+
+
+class ChordNode:
+    """Routing state of one Chord participant (view over ring columns).
+
+    List-valued properties (``fingers``, ``successor_list``) materialize
+    from the columns lazily and are cached until the ring's next
+    mutation, so the scalar protocol/lookup code pays the column read
+    once per (node, epoch) rather than per access.
+    """
+
+    __slots__ = (
+        "_cols",
+        "_kv",
+        "node_id",
+        "_row",
+        "_epoch",
+        "_fingers_cache",
+        "_succ_cache",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        cols: Optional[_RoutingColumns] = None,
+        kv: Optional[Dict[int, Dict[int, object]]] = None,
+    ) -> None:
+        if cols is None:
+            # Standalone node (no ring): private single-row columns.
+            cols = _RoutingColumns(DEFAULT_ID_BITS, DEFAULT_SUCCESSOR_LIST)
+            cols.install([node_id])
+        self._cols = cols
+        self._kv = kv if kv is not None else {}
+        self.node_id = node_id
+        self._row = -1
+        self._epoch = -1
+        self._fingers_cache: Optional[List[int]] = None
+        self._succ_cache: Optional[List[int]] = None
+
+    def _sync(self) -> int:
+        cols = self._cols
+        if self._epoch != cols.epoch:
+            self._row = cols.row_of(self.node_id)
+            self._fingers_cache = None
+            self._succ_cache = None
+            self._epoch = cols.epoch
+        return self._row
+
+    # -- column-backed attributes --------------------------------------
+    @property
+    def fingers(self) -> List[int]:
+        row = self._sync()
+        if self._fingers_cache is None:
+            if self._cols.fingers_set[row]:
+                self._fingers_cache = self._cols.fingers[row].tolist()
+            else:
+                self._fingers_cache = []
+        return self._fingers_cache
+
+    @fingers.setter
+    def fingers(self, values: Sequence[int]) -> None:
+        row = self._sync()
+        self._cols.set_fingers(row, list(values))
+
+    @property
+    def successor_list(self) -> List[int]:
+        row = self._sync()
+        if self._succ_cache is None:
+            count = int(self._cols.succ_len[row])
+            self._succ_cache = self._cols.succ[row, :count].tolist()
+        return self._succ_cache
+
+    @successor_list.setter
+    def successor_list(self, values: Sequence[int]) -> None:
+        row = self._sync()
+        self._cols.set_successor_list(row, list(values))
+
+    @property
+    def predecessor(self) -> Optional[int]:
+        row = self._sync()
+        value = self._cols.pred[row]
+        return None if value == -1 else int(value)
+
+    @predecessor.setter
+    def predecessor(self, value: Optional[int]) -> None:
+        row = self._sync()
+        self._cols.pred[row] = -1 if value is None else value
+        self._cols.epoch += 1
+
+    @property
+    def alive(self) -> bool:
+        row = self._sync()
+        return bool(self._cols.alive[row])
+
+    @alive.setter
+    def alive(self, value: bool) -> None:
+        row = self._sync()
+        self._cols.alive[row] = bool(value)
+        self._cols.epoch += 1
+
+    @property
+    def store(self) -> Dict[int, object]:
+        """Key-value replica storage hosted on this node."""
+        existing = self._kv.get(self.node_id)
+        if existing is None:
+            existing = {}
+            self._kv[self.node_id] = existing
+        return existing
 
     @property
     def successor(self) -> int:
         """First live entry of the successor list (primary successor)."""
-        if not self.successor_list:
+        successors = self.successor_list
+        if not successors:
             return self.node_id
-        return self.successor_list[0]
+        return successors[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChordNode(node_id={self.node_id}, fingers={self.fingers}, "
+            f"successor_list={self.successor_list}, "
+            f"predecessor={self.predecessor}, alive={self.alive})"
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -117,14 +328,29 @@ class ChordRing:
             raise ConfigurationError("successor_list_length must be >= 1")
         self.space = IdentifierSpace(bits)
         self.successor_list_length = successor_list_length
-        self._nodes: Dict[int, ChordNode] = {}
+        self._cols = _RoutingColumns(bits, successor_list_length)
+        self._kv: Dict[int, Dict[int, object]] = {}
+        self._views: Dict[int, ChordNode] = {}
         self._alive_sorted: List[int] = []
-        #: Bumped on every routing-state mutation; keys the batch cache.
-        self._routing_epoch = 0
+        #: Same membership as _alive_sorted; O(1) liveness tests keep the
+        #: scalar lookup path as fast as the old per-node dict.
+        self._alive_set: set = set()
         self._batch_cache: Optional[Tuple[int, Dict[str, object]]] = None
 
+    @property
+    def _routing_epoch(self) -> int:
+        """Mutation counter keying the batch cache and view caches."""
+        return self._cols.epoch
+
     def _invalidate_batch_cache(self) -> None:
-        self._routing_epoch += 1
+        self._cols.epoch += 1
+
+    def _node_view(self, node_id: int) -> ChordNode:
+        view = self._views.get(node_id)
+        if view is None:
+            view = ChordNode(node_id, cols=self._cols, kv=self._kv)
+            self._views[node_id] = view
+        return view
 
     # ------------------------------------------------------------------
     # Construction
@@ -132,23 +358,38 @@ class ChordRing:
     @classmethod
     def build(
         cls,
-        node_ids: List[int],
+        node_ids: Sequence[int],
         bits: int = DEFAULT_ID_BITS,
         successor_list_length: int = DEFAULT_SUCCESSOR_LIST,
     ) -> "ChordRing":
         """Build a ring with exact routing state for ``node_ids``."""
         ring = cls(bits=bits, successor_list_length=successor_list_length)
-        if not node_ids:
+        if len(node_ids) == 0:
             raise ConfigurationError("cannot build an empty ring")
-        unique = set()
-        for node_id in node_ids:
-            ring.space.validate(node_id)
-            if node_id in unique:
-                raise ConfigurationError(f"duplicate node id {node_id}")
-            unique.add(node_id)
-        ring._alive_sorted = sorted(unique)
-        for node_id in ring._alive_sorted:
-            ring._nodes[node_id] = ChordNode(node_id=node_id)
+        if (
+            isinstance(node_ids, np.ndarray)
+            and node_ids.dtype.kind == "i"
+            and bits <= _VECTOR_BITS_LIMIT
+        ):
+            # Array fast path: vectorized validation for large rings.
+            ids = np.sort(node_ids.astype(np.int64))
+            if bool((ids < 0).any()) or bool((ids >= ring.space.size).any()):
+                bad = int(ids[0]) if ids[0] < 0 else int(ids[-1])
+                ring.space.validate(bad)
+            if bool((ids[1:] == ids[:-1]).any()):
+                dupe = int(ids[1:][ids[1:] == ids[:-1]][0])
+                raise ConfigurationError(f"duplicate node id {dupe}")
+            ring._alive_sorted = ids.tolist()
+        else:
+            unique = set()
+            for node_id in node_ids:
+                ring.space.validate(node_id)
+                if node_id in unique:
+                    raise ConfigurationError(f"duplicate node id {node_id}")
+                unique.add(node_id)
+            ring._alive_sorted = sorted(unique)
+        ring._alive_set = set(ring._alive_sorted)
+        ring._cols.install(ring._alive_sorted)
         ring.rebuild_routing_state()
         return ring
 
@@ -158,9 +399,11 @@ class ChordRing:
 
         Vectorized: finger starts for all (node, index) pairs are one
         modular broadcast, owners one ``searchsorted`` over the sorted
-        live ring, successor lists one roll of ring offsets. Rings wider
-        than int64 fall back to the per-node scalar path, which also
-        serves as the equivalence oracle in tests.
+        live ring, successor lists one roll of ring offsets — written
+        straight into the routing columns (no per-node Python lists, the
+        step that used to dominate memory and time on large rings).
+        Rings wider than int64 fall back to the per-node scalar path,
+        which also serves as the equivalence oracle in tests.
         """
         self._invalidate_batch_cache()
         ring = self._alive_sorted
@@ -170,6 +413,7 @@ class ChordRing:
         if self.space.bits > _VECTOR_BITS_LIMIT:
             self._rebuild_routing_state_scalar()
             return
+        cols = self._cols
         ids = np.asarray(ring, dtype=np.int64)
         powers = np.int64(1) << np.arange(self.space.bits, dtype=np.int64)
         starts = (ids[:, None] + powers[None, :]) % np.int64(self.space.size)
@@ -179,14 +423,25 @@ class ChordRing:
         succ_idx = (np.arange(n)[:, None] + 1 + np.arange(length)[None, :]) % n
         succ_rows = ids[succ_idx]
         predecessors = np.roll(ids, 1)
-        finger_lists = finger_rows.tolist()
-        succ_lists = succ_rows.tolist()
-        for i, node_id in enumerate(ring):
-            node = self._nodes[node_id]
-            node.fingers = finger_lists[i]
-            node.successor_list = succ_lists[i]
-            node.predecessor = int(predecessors[i])
-        if len(self._nodes) == n:
+        cols.ensure_succ_width(length)
+        if len(cols) == n:
+            # Every row is live: whole-column writes.
+            cols.fingers[:, :] = finger_rows
+            cols.fingers_set[:] = True
+            cols.succ[:, :length] = succ_rows
+            cols.succ[:, length:] = -1
+            cols.succ_len[:] = length
+            cols.pred[:] = predecessors
+        else:
+            rows = np.searchsorted(cols.ids, ids)
+            cols.fingers[rows] = finger_rows
+            cols.fingers_set[rows] = True
+            cols.succ[rows, :length] = succ_rows
+            cols.succ[rows, length:] = -1
+            cols.succ_len[rows] = length
+            cols.pred[rows] = predecessors
+        cols.epoch += 1
+        if len(cols) == n:
             # No dead entries linger, so rebuild's own arrays are exactly
             # the encoding _batch_state would recompute: prime the cache.
             self._prime_batch_cache(ids, finger_rows, finger_idx, succ_rows, succ_idx)
@@ -230,7 +485,7 @@ class ChordRing:
         """Per-node bisect path; oracle for the vectorized rebuild."""
         self._invalidate_batch_cache()
         for node_id in self._alive_sorted:
-            node = self._nodes[node_id]
+            node = self._node_view(node_id)
             node.fingers = [
                 self._ideal_successor(self.space.finger_start(node_id, i))
                 for i in range(self.space.bits)
@@ -275,18 +530,21 @@ class ChordRing:
         return len(self._alive_sorted)
 
     def __contains__(self, node_id: int) -> bool:
-        node = self._nodes.get(node_id)
-        return node is not None and node.alive
+        return node_id in self._alive_set
 
     @property
     def live_node_ids(self) -> List[int]:
         return list(self._alive_sorted)
 
+    @property
+    def known_node_ids(self) -> List[int]:
+        """Every identifier the ring has seen, dead nodes included."""
+        return self._cols.ids.tolist()
+
     def node(self, node_id: int) -> ChordNode:
-        try:
-            return self._nodes[node_id]
-        except KeyError:
-            raise RoutingError(f"unknown chord node {node_id}") from None
+        if self._cols.row_of(node_id) < 0:
+            raise RoutingError(f"unknown chord node {node_id}")
+        return self._node_view(node_id)
 
     def join(self, node_id: int) -> None:
         """Add a node with only its successor pointer set (Chord join).
@@ -296,10 +554,18 @@ class ChordRing:
         subsequent :meth:`stabilize` rounds.
         """
         self.space.validate(node_id)
-        if node_id in self._nodes and self._nodes[node_id].alive:
+        row = self._cols.row_of(node_id)
+        if row >= 0 and bool(self._cols.alive[row]):
             raise ConfigurationError(f"node {node_id} already in the ring")
         self._invalidate_batch_cache()
-        node = ChordNode(node_id=node_id)
+        if row < 0:
+            self._cols.insert(node_id)
+        else:
+            # Dead node rejoining: fresh state, fresh storage.
+            self._cols.alive[row] = True
+            self._kv.pop(node_id, None)
+            self._cols.epoch += 1
+        node = self._node_view(node_id)
         if self._alive_sorted:
             successor = self._ideal_successor(node_id)
             node.successor_list = [successor]
@@ -308,8 +574,8 @@ class ChordRing:
             node.successor_list = [node_id]
             node.fingers = [node_id] * self.space.bits
         node.predecessor = None
-        self._nodes[node_id] = node
         insort(self._alive_sorted, node_id)
+        self._alive_set.add(node_id)
 
     def fail(self, node_id: int) -> None:
         """Crash-fail a node: it disappears without notifying anyone.
@@ -326,6 +592,7 @@ class ChordRing:
         index = bisect_left(self._alive_sorted, node_id)
         if index < len(self._alive_sorted) and self._alive_sorted[index] == node_id:
             self._alive_sorted.pop(index)
+        self._alive_set.discard(node_id)
         if not self._alive_sorted:
             raise RoutingError("last live node failed; ring is empty")
 
@@ -339,10 +606,10 @@ class ChordRing:
         successor_id = self._ideal_successor((node_id + 1) % self.space.size)
         self.fail(node_id)
         if predecessor_id != node_id:
-            predecessor = self._nodes[predecessor_id]
+            predecessor = self._node_view(predecessor_id)
             predecessor.successor_list = self._ideal_successor_list(predecessor_id)
         if successor_id != node_id:
-            successor = self._nodes[successor_id]
+            successor = self._node_view(successor_id)
             if successor.predecessor == node_id:
                 successor.predecessor = predecessor_id if predecessor_id != node_id else None
 
@@ -356,11 +623,11 @@ class ChordRing:
         self._invalidate_batch_cache()
         for _ in range(rounds):
             for node_id in list(self._alive_sorted):
-                node = self._nodes[node_id]
+                node = self._node_view(node_id)
                 if node.alive:
                     self._stabilize_node(node)
             for node_id in list(self._alive_sorted):
-                node = self._nodes[node_id]
+                node = self._node_view(node_id)
                 if node.alive:
                     self._fix_fingers(node)
                     self._refresh_successor_list(node)
@@ -378,7 +645,7 @@ class ChordRing:
 
     def _stabilize_node(self, node: ChordNode) -> None:
         successor_id = self._first_live_successor(node)
-        successor = self._nodes[successor_id]
+        successor = self._node_view(successor_id)
         candidate = successor.predecessor
         if (
             candidate is not None
@@ -386,15 +653,14 @@ class ChordRing:
             and self.space.in_open_interval(candidate, node.node_id, successor_id)
         ):
             successor_id = candidate
-            successor = self._nodes[successor_id]
+            successor = self._node_view(successor_id)
         if successor_id == node.node_id and len(self._alive_sorted) > 1:
             # Pointing at ourselves on a multi-node ring: adopt any live node.
             successor_id = self._ideal_successor((node.node_id + 1) % self.space.size)
-            successor = self._nodes[successor_id]
-        node.successor_list = [successor_id] + [
+            successor = self._node_view(successor_id)
+        node.successor_list = ([successor_id] + [
             s for s in node.successor_list if s != successor_id
-        ]
-        node.successor_list = node.successor_list[: self.successor_list_length]
+        ])[: self.successor_list_length]
         # notify(successor, node)
         if (
             successor.predecessor is None
@@ -420,7 +686,7 @@ class ChordRing:
             if current == node.node_id and chain:
                 break
             chain.append(current)
-            current = self._first_live_successor(self._nodes[current])
+            current = self._first_live_successor(self._node_view(current))
             if current in chain:
                 break
         node.successor_list = chain or [node.node_id]
@@ -459,7 +725,7 @@ class ChordRing:
         if start not in self:
             raise RoutingError(f"lookup must start at a live node, got {start}")
         path = [start]
-        current = self._nodes[start]
+        current = self._node_view(start)
         max_hops = 2 * self.space.bits + len(self._alive_sorted)
         for _ in range(max_hops):
             successor_id = self._first_live_successor(current)
@@ -474,7 +740,7 @@ class ChordRing:
             if next_id == current.node_id:
                 break
             path.append(next_id)
-            current = self._nodes[next_id]
+            current = self._node_view(next_id)
         return LookupResult(key, None, tuple(path), False)
 
     def lookup_key(self, key_string: str, start: int) -> LookupResult:
@@ -584,40 +850,34 @@ class ChordRing:
         )
 
     def _batch_state(self) -> Dict[str, object]:
-        """Encode the node table into numpy arrays, cached per epoch.
+        """Encode the routing columns into the batch arrays, cached per epoch.
 
         Dead nodes are included — live nodes' stale pointers may still
-        reference them. Every routing-state mutator (join/fail/leave/
-        stabilize/rebuild) bumps ``_routing_epoch``, invalidating the
-        cache, so repeated batches on an unchanged ring skip this setup.
+        reference them. Every routing-state mutation (join/fail/leave/
+        stabilize/rebuild, and any view-property write) bumps the column
+        epoch, invalidating the cache, so repeated batches on an
+        unchanged ring skip this setup. Since the columns *are* the
+        routing state, assembly is pure array ops — no per-node loops.
         """
         cached = self._batch_cache
         if cached is not None and cached[0] == self._routing_epoch:
             return cached[1]
-        bits = self.space.bits
+        cols = self._cols
         size = np.int64(self.space.size)
-        ids_list = sorted(self._nodes)
-        nodes = [self._nodes[node_id] for node_id in ids_list]
-        n_all = len(nodes)
-        all_ids = np.asarray(ids_list, dtype=np.int64)
-        alive = np.fromiter(
-            (node.alive for node in nodes), dtype=bool, count=n_all
-        )
-        finger_ids = np.fromiter(
-            chain.from_iterable(
-                node.fingers or [node.node_id] * bits for node in nodes
-            ),
-            dtype=np.int64,
-            count=n_all * bits,
-        ).reshape(n_all, bits)
+        all_ids = cols.ids
+        alive = cols.alive
+        n_all = len(all_ids)
+        if bool(cols.fingers_set.all()):
+            finger_ids = cols.fingers
+        else:
+            finger_ids = np.where(
+                cols.fingers_set[:, None], cols.fingers, all_ids[:, None]
+            )
         finger_pos = np.searchsorted(all_ids, finger_ids)
-        max_list = max(
-            (len(node.successor_list) for node in nodes), default=1
-        ) or 1
-        succ_ids = np.full((n_all, max_list), -1, dtype=np.int64)
-        for row, node in enumerate(nodes):
-            entries = node.successor_list
-            succ_ids[row, : len(entries)] = entries
+        max_list = max(int(cols.succ_len.max(initial=0)), 1)
+        succ_ids = cols.succ[:, :max_list]
+        if succ_ids.shape[1] == 0:
+            succ_ids = np.full((n_all, 1), -1, dtype=np.int64)
         succ_valid = succ_ids >= 0
         succ_pos = np.searchsorted(
             all_ids, np.where(succ_valid, succ_ids, all_ids[0])
@@ -891,7 +1151,7 @@ class ChordRing:
         self.space.validate(key)
         holders = self._replica_nodes(key, replicas)
         for node_id in holders:
-            self._nodes[node_id].store[key] = value
+            self._kv.setdefault(node_id, {})[key] = value
         return holders
 
     def put_key(
@@ -914,16 +1174,16 @@ class ChordRing:
         result = self.lookup(key, start)
         if not result.succeeded or result.owner is None:
             raise RoutingError(f"lookup for key {key} failed")
-        owner = self._nodes[result.owner]
-        if key in owner.store:
-            return owner.store[key]
-        for candidate in owner.successor_list:
-            if candidate in self and key in self._nodes[candidate].store:
-                return self._nodes[candidate].store[key]
+        owner_store = self._kv.get(result.owner, {})
+        if key in owner_store:
+            return owner_store[key]
+        for candidate in self._node_view(result.owner).successor_list:
+            if candidate in self and key in self._kv.get(candidate, {}):
+                return self._kv[candidate][key]
         # Last resort: any live replica (models a directory-wide search).
         for node_id in self._alive_sorted:
-            if key in self._nodes[node_id].store:
-                return self._nodes[node_id].store[key]
+            if key in self._kv.get(node_id, {}):
+                return self._kv[node_id][key]
         raise RoutingError(f"no surviving replica for key {key}")
 
     def get_key(self, key_string: str, start: Optional[int] = None) -> object:
@@ -943,7 +1203,7 @@ class ChordRing:
         values: Dict[int, object] = {}
         holders: Dict[int, List[int]] = {}
         for node_id in self._alive_sorted:
-            for key, value in self._nodes[node_id].store.items():
+            for key, value in self._kv.get(node_id, {}).items():
                 values[key] = value
                 holders.setdefault(key, []).append(node_id)
         copies = 0
@@ -951,10 +1211,10 @@ class ChordRing:
             desired = set(self._replica_nodes(key, replicas))
             current = set(holders.get(key, ()))
             for node_id in desired - current:
-                self._nodes[node_id].store[key] = value
+                self._kv.setdefault(node_id, {})[key] = value
                 copies += 1
             for node_id in current - desired:
-                del self._nodes[node_id].store[key]
+                del self._kv[node_id][key]
         return copies
 
     def replica_count(self, key: int) -> int:
@@ -962,7 +1222,7 @@ class ChordRing:
         return sum(
             1
             for node_id in self._alive_sorted
-            if key in self._nodes[node_id].store
+            if key in self._kv.get(node_id, {})
         )
 
     # ------------------------------------------------------------------

@@ -4,15 +4,24 @@
 deployment (:mod:`repro.sos.deployment`) and the attacker
 (:mod:`repro.attacks`) operate on. It provides O(1) lookup by identifier,
 random sampling, health bookkeeping, and per-layer views.
+
+State lives in an :class:`~repro.overlay.arrays.OverlayStore` (contiguous
+numpy columns); the :class:`~repro.overlay.node.OverlayNode` objects this
+class hands out are lazily-created cached views over those columns, so a
+million-node network costs a few flat arrays, not a million Python
+objects, while the object API keeps working unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import ConfigurationError, RoutingError
+from repro.overlay.arrays import OverlayStore
 from repro.overlay.identifiers import DEFAULT_ID_BITS, IdentifierSpace
-from repro.overlay.node import NodeHealth, OverlayNode
+from repro.overlay.node import _HEALTH_BY_CODE, NodeHealth, OverlayNode
 from repro.utils.seeding import SeedLike, make_rng
 
 
@@ -52,51 +61,75 @@ class OverlayNetwork:
                 f"ring of size {self.space.size} cannot hold {size} unique nodes"
             )
         self._rng = make_rng(rng)
-        self._nodes: Dict[int, OverlayNode] = {}
         identifiers = self._draw_unique_identifiers(size)
-        for index, node_id in enumerate(identifiers):
-            node = OverlayNode(node_id=node_id, address=f"node-{index}")
-            self._nodes[node_id] = node
+        #: Columnar node state; creation order == address index order.
+        self.store = OverlayStore(identifiers)
+        self._views: Dict[int, OverlayNode] = {}
 
-    def _draw_unique_identifiers(self, count: int) -> List[int]:
-        """Draw ``count`` distinct ring positions uniformly at random."""
+    def _draw_unique_identifiers(self, count: int) -> np.ndarray:
+        """Draw ``count`` distinct ring positions uniformly at random.
+
+        RNG-stream compatible with the historical scalar loop: the dense
+        path takes the head of one whole-space permutation; the sparse
+        path consumes the same ``integers`` blocks and keeps first
+        occurrences until ``count`` distinct values exist, exactly like
+        the old add-to-a-set-with-early-break loop.
+        """
         if count > self.space.size // 2:
             # Dense ring: permute the whole space (only feasible for small
             # test rings).
-            return [int(i) for i in self._rng.permutation(self.space.size)[:count]]
-        identifiers: set = set()
-        while len(identifiers) < count:
-            needed = count - len(identifiers)
-            draws = self._rng.integers(0, self.space.size, size=needed * 2)
-            for draw in draws:
-                identifiers.add(int(draw))
-                if len(identifiers) == count:
-                    break
-        return sorted(identifiers)
+            return self._rng.permutation(self.space.size)[:count].astype(np.int64)
+        seen = np.empty(0, dtype=np.int64)
+        while len(seen) < count:
+            needed = count - len(seen)
+            draws = self._rng.integers(
+                0, self.space.size, size=needed * 2, dtype=np.int64
+            )
+            merged = np.concatenate([seen, draws])
+            # Stable first-occurrence dedupe, then keep the first `count`
+            # distinct values in draw order — identical to the scalar
+            # loop's early break mid-block.
+            _, first = np.unique(merged, return_index=True)
+            keep = np.sort(first)[:count]
+            seen = merged[keep]
+        return np.sort(seen)
 
     # ------------------------------------------------------------------
     # Lookup and iteration
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._nodes)
+        return len(self.store)
 
-    def __iter__(self):
-        return iter(self._nodes.values())
+    def __iter__(self) -> Iterator[OverlayNode]:
+        # Creation order, like the historical insertion-ordered dict.
+        for row in range(len(self.store)):
+            yield self._view(row)
 
     def __contains__(self, node_id: int) -> bool:
-        return node_id in self._nodes
+        return self.store.row_of(node_id) >= 0
+
+    def _view(self, row: int) -> OverlayNode:
+        node_id = int(self.store.ids[row])
+        view = self._views.get(node_id)
+        if view is None:
+            view = OverlayNode._from_store(self.store, row, f"node-{row}")
+            self._views[node_id] = view
+        return view
 
     @property
     def node_ids(self) -> List[int]:
         """All identifiers, sorted clockwise from 0."""
-        return sorted(self._nodes)
+        return self.store.sorted_ids.tolist()
 
     def get(self, node_id: int) -> OverlayNode:
         """Return the node with ``node_id`` or raise :class:`RoutingError`."""
-        try:
-            return self._nodes[node_id]
-        except KeyError:
-            raise RoutingError(f"no node with identifier {node_id}") from None
+        view = self._views.get(node_id)
+        if view is not None:
+            return view
+        row = self.store.row_of(node_id)
+        if row < 0:
+            raise RoutingError(f"no node with identifier {node_id}")
+        return self._view(row)
 
     def nodes(self, ids: Iterable[int]) -> List[OverlayNode]:
         """Resolve many identifiers at once."""
@@ -105,32 +138,36 @@ class OverlayNetwork:
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
+    def _views_where(self, mask: np.ndarray) -> List[OverlayNode]:
+        return [self._view(int(row)) for row in np.flatnonzero(mask)]
+
     @property
     def sos_nodes(self) -> List[OverlayNode]:
         """Nodes enrolled in the SOS system."""
-        return [node for node in self if node.is_sos]
+        return self._views_where(self.store.layer != 0)
 
     @property
     def plain_nodes(self) -> List[OverlayNode]:
         """Nodes not enrolled in the SOS system."""
-        return [node for node in self if not node.is_sos]
+        return self._views_where(self.store.layer == 0)
 
     def layer_nodes(self, layer: int) -> List[OverlayNode]:
         """SOS nodes serving in 1-based ``layer``."""
-        return [node for node in self if node.sos_layer == layer]
+        return self._views_where(self.store.layer == layer)
 
     def good_nodes(self) -> List[OverlayNode]:
-        return [node for node in self if node.is_good]
+        return self._views_where(self.store.health == 0)
 
     def bad_nodes(self) -> List[OverlayNode]:
-        return [node for node in self if node.is_bad]
+        return self._views_where(self.store.health != 0)
 
     def health_census(self) -> Dict[NodeHealth, int]:
         """Counts of nodes per health state."""
-        census = {health: 0 for health in NodeHealth}
-        for node in self:
-            census[node.health] += 1
-        return census
+        counts = self.store.census()
+        return {
+            health: int(counts[code])
+            for code, health in enumerate(_HEALTH_BY_CODE)
+        }
 
     # ------------------------------------------------------------------
     # Sampling and mutation
@@ -147,22 +184,23 @@ class OverlayNetwork:
         more nodes than remain raises :class:`ConfigurationError`.
         """
         generator = self._rng if rng is None else make_rng(rng)
-        excluded = set(exclude or ())
-        pool = [node_id for node_id in self._nodes if node_id not in excluded]
-        if count > len(pool):
+        if exclude:
+            excluded = np.asarray(sorted(set(exclude)), dtype=np.int64)
+            keep = ~np.isin(self.store.ids, excluded)
+            pool_rows = np.flatnonzero(keep)
+        else:
+            pool_rows = np.arange(len(self.store))
+        if count > len(pool_rows):
             raise ConfigurationError(
-                f"cannot sample {count} nodes from a pool of {len(pool)}"
+                f"cannot sample {count} nodes from a pool of {len(pool_rows)}"
             )
-        chosen = generator.choice(len(pool), size=count, replace=False)
-        return [self._nodes[pool[int(i)]] for i in chosen]
+        chosen = generator.choice(len(pool_rows), size=count, replace=False)
+        return [self._view(int(pool_rows[int(i)])) for i in chosen]
 
     def reset_health(self) -> None:
         """Restore every node to GOOD (fresh trial in Monte Carlo runs)."""
-        for node in self:
-            node.recover()
+        self.store.reset_health()
 
     def reset_roles(self) -> None:
         """Clear SOS enrollment (layer + neighbor tables) on every node."""
-        for node in self:
-            node.sos_layer = None
-            node.neighbors = ()
+        self.store.reset_roles()

@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.core.architecture import SOSArchitecture
 from repro.errors import SimulationError
+from repro.overlay.arrays import attach_columns, share_columns
 from repro.simulation.packet_sim import (
     PacketLevelSimulation,
     PacketSimConfig,
@@ -66,6 +67,7 @@ from repro.utils.seeding import make_rng
 
 __all__ = [
     "DeploymentArrays",
+    "SlotIndex",
     "encode_deployment",
     "run_fast",
     "run_packet_replicas",
@@ -76,6 +78,58 @@ __all__ = [
 # ----------------------------------------------------------------------
 # Deployment encoding
 # ----------------------------------------------------------------------
+
+
+class SlotIndex:
+    """Read-only ``node_id -> slot`` mapping over two sorted int64 columns.
+
+    Replaces the per-node Python dict of the historical object encoder:
+    scalar queries are binary searches and :meth:`lookup` translates
+    whole identifier arrays in one vectorized pass, so building the
+    index for a million-node deployment is one ``argsort`` instead of a
+    million dict inserts. Supports ``in`` and ``[]`` like the dict it
+    replaced.
+    """
+
+    __slots__ = ("_sorted_ids", "_sorted_slots")
+
+    def __init__(self, node_ids: np.ndarray) -> None:
+        order = np.argsort(node_ids, kind="stable")
+        self._sorted_ids = np.ascontiguousarray(node_ids[order])
+        self._sorted_slots = np.ascontiguousarray(order.astype(np.int64))
+
+    def __len__(self) -> int:
+        return len(self._sorted_ids)
+
+    def __contains__(self, node_id: object) -> bool:
+        index = int(np.searchsorted(self._sorted_ids, node_id))
+        return (
+            index < len(self._sorted_ids)
+            and int(self._sorted_ids[index]) == node_id
+        )
+
+    def __getitem__(self, node_id: int) -> int:
+        index = int(np.searchsorted(self._sorted_ids, node_id))
+        if (
+            index < len(self._sorted_ids)
+            and int(self._sorted_ids[index]) == node_id
+        ):
+            return int(self._sorted_slots[index])
+        raise KeyError(node_id)
+
+    def lookup(self, node_ids: np.ndarray) -> np.ndarray:
+        """Vectorized ``[]``: slots of ``node_ids`` (any shape)."""
+        wanted = np.asarray(node_ids, dtype=np.int64)
+        if len(self._sorted_ids) == 0:
+            if wanted.size:
+                raise KeyError(int(wanted.flat[0]))
+            return np.zeros(wanted.shape, dtype=np.int64)
+        index = np.searchsorted(self._sorted_ids, wanted)
+        clipped = np.minimum(index, len(self._sorted_ids) - 1)
+        found = self._sorted_ids[clipped] == wanted
+        if not bool(found.all()):
+            raise KeyError(int(wanted[~found].flat[0]))
+        return self._sorted_slots[clipped]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -89,7 +143,7 @@ class DeploymentArrays:
 
     layers: int
     node_ids: np.ndarray  # (M,) original identifiers, per slot
-    slot_of: Dict[int, int]  # node_id -> slot
+    slot_of: SlotIndex  # node_id -> slot
     layer_of: np.ndarray  # (M,) 1-based layer per slot
     local_of: np.ndarray  # (M,) position within the slot's layer
     members: Dict[int, np.ndarray]  # layer -> slots of its members
@@ -97,13 +151,97 @@ class DeploymentArrays:
     is_bad: np.ndarray  # (M,) health snapshot at encode time
 
 
+def _encode_structure(deployment: SOSDeployment) -> Dict[str, Any]:
+    """Health-independent encoding state, cached on the wiring epochs.
+
+    Everything here is a pure function of layer membership and neighbor
+    wiring, both of which bump their store's ``wiring_epoch`` on every
+    mutation — so across the repeated encodes of a replica sweep or a
+    detect→repair loop this is a dict probe, not a rebuild.
+    """
+    net_store = deployment.network.store
+    filter_store = deployment.filters.store
+    key = (net_store.wiring_epoch, filter_store.wiring_epoch)
+    cached = deployment._fastsim_structure
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    layers = deployment.architecture.layers
+    parts = [deployment.member_array(layer) for layer in range(1, layers + 2)]
+    sizes = [len(part) for part in parts]
+    node_ids = np.concatenate(parts)
+    layer_of = np.repeat(np.arange(1, layers + 2, dtype=np.int64), sizes)
+    local_of = np.concatenate(
+        [np.arange(size, dtype=np.int64) for size in sizes]
+    )
+    members: Dict[int, np.ndarray] = {}
+    start = 0
+    for layer, size in enumerate(sizes, start=1):
+        members[layer] = np.arange(start, start + size, dtype=np.int64)
+        start += size
+    slot_of = SlotIndex(node_ids)
+    neighbors: Dict[int, np.ndarray] = {}
+    for layer in range(1, layers + 1):
+        rows = deployment.member_rows(layer)
+        lens = net_store.neighbor_len[rows]
+        degree = int(lens.max(initial=0))
+        if len(rows) and bool((lens != degree).any()):
+            raise SimulationError(
+                f"layer {layer} has ragged neighbor tables; the fast "
+                "engine needs one uniform degree per layer"
+            )
+        neighbor_ids = net_store.neighbor_matrix(rows, degree)
+        neighbors[layer] = slot_of.lookup(neighbor_ids).reshape(
+            len(rows), degree
+        )
+    structure = {
+        "layers": layers,
+        "node_ids": node_ids,
+        "slot_of": slot_of,
+        "layer_of": layer_of,
+        "local_of": local_of,
+        "members": members,
+        "neighbors": neighbors,
+    }
+    deployment._fastsim_structure = (key, structure)
+    return structure
+
+
 def encode_deployment(deployment: SOSDeployment) -> DeploymentArrays:
     """Flatten ``deployment`` into :class:`DeploymentArrays`.
 
-    The health snapshot (``is_bad``) is taken at encode time; the
-    event-driven engine reads the same static health during a run, so
-    the snapshot loses nothing.
+    Borrows the overlay/filter stores' columns directly: member arrays,
+    neighbor tables, and the slot index are vectorized gathers (cached
+    across calls on the stores' wiring epochs), and the ``is_bad``
+    health snapshot is one comparison over the health columns. The
+    historical object-walking encoder survives as
+    :func:`_encode_deployment_objects`, the equivalence oracle.
     """
+    structure = _encode_structure(deployment)
+    layers = structure["layers"]
+    net_store = deployment.network.store
+    filter_store = deployment.filters.store
+    bad_parts = [
+        net_store.health[deployment.member_rows(layer)] != 0
+        for layer in range(1, layers + 1)
+    ]
+    bad_parts.append(
+        filter_store.health[deployment.member_rows(layers + 1)] != 0
+    )
+    return DeploymentArrays(
+        layers=layers,
+        node_ids=structure["node_ids"],
+        slot_of=structure["slot_of"],
+        layer_of=structure["layer_of"],
+        local_of=structure["local_of"],
+        members=structure["members"],
+        neighbors=structure["neighbors"],
+        is_bad=np.concatenate(bad_parts),
+    )
+
+
+def _encode_deployment_objects(deployment: SOSDeployment) -> DeploymentArrays:
+    """The pre-SoA encoder: walk every node object. Kept as the oracle
+    :func:`encode_deployment` is property-tested against."""
     layers = deployment.architecture.layers
     node_ids: List[int] = []
     layer_of: List[int] = []
@@ -128,11 +266,15 @@ def encode_deployment(deployment: SOSDeployment) -> DeploymentArrays:
             [slot_of[n] for n in deployment.resolve(node_id).neighbors]
             for node_id in deployment.layer_members(layer)
         ]
-        neighbors[layer] = np.asarray(rows, dtype=np.int64)
+        matrix = np.asarray(rows, dtype=np.int64)
+        if matrix.ndim == 1:  # no members: normalize to a (0, 0) matrix
+            matrix = matrix.reshape(len(rows), 0)
+        neighbors[layer] = matrix
+    flat_ids = np.asarray(node_ids, dtype=np.int64)
     return DeploymentArrays(
         layers=layers,
-        node_ids=np.asarray(node_ids, dtype=np.int64),
-        slot_of=slot_of,
+        node_ids=flat_ids,
+        slot_of=SlotIndex(flat_ids),
         layer_of=np.asarray(layer_of, dtype=np.int64),
         local_of=np.asarray(local_of, dtype=np.int64),
         members=members,
@@ -376,7 +518,7 @@ def _congested_at(
 
 
 def run_fast(
-    deployment: SOSDeployment,
+    deployment: Optional[SOSDeployment],
     config: PacketSimConfig,
     rng: Any = None,
     flood_targets: Optional[Sequence[int]] = None,
@@ -385,6 +527,7 @@ def run_fast(
     monitor: Optional[Any] = None,
     marking: Optional[Any] = None,
     mark_master: Optional[np.random.Generator] = None,
+    arrays: Optional[DeploymentArrays] = None,
 ) -> PacketSimReport:
     """Run the vectorized packet engine; returns a :class:`PacketSimReport`.
 
@@ -410,15 +553,31 @@ def run_fast(
     extra stream is spawned and no draw is made, so a detection-free
     fast run is bit-identical to one from before the detection
     subsystem existed.
+
+    ``arrays`` supplies a pre-encoded :class:`DeploymentArrays`
+    (shared-memory replica workers run without any deployment object at
+    all); when given, ``deployment`` is only consulted to sample client
+    contacts, so ``deployment=None`` is legal as long as
+    ``client_contacts`` is supplied.
     """
     generator = make_rng(rng)
-    arrays = encode_deployment(deployment)
+    if arrays is None:
+        if deployment is None:
+            raise SimulationError(
+                "run_fast needs a deployment or pre-encoded arrays"
+            )
+        arrays = encode_deployment(deployment)
     layers = arrays.layers
     capacity = config.node_capacity
     burst = 2.0 * config.node_capacity
     report = PacketSimReport()
 
     if client_contacts is None:
+        if deployment is None:
+            raise SimulationError(
+                "client_contacts must be supplied when running from "
+                "arrays alone"
+            )
         client_contacts = [
             deployment.sample_client_contacts(generator)
             for _ in range(config.clients)
@@ -435,9 +594,10 @@ def run_fast(
         if marking is not None and mark_master is None:
             mark_master = generator.spawn(1)[0]
     arrival_streams, routing_rng, flood_master = streams
-    contact_matrix = np.asarray(
-        [[arrays.slot_of[n] for n in contacts] for contacts in client_contacts],
-        dtype=np.int64,
+    contact_matrix = arrays.slot_of.lookup(
+        np.asarray(
+            [list(contacts) for contacts in client_contacts], dtype=np.int64
+        )
     )
 
     targets = sorted(flood_targets or ())
@@ -727,6 +887,163 @@ def _run_replica_chunk(
     ]
 
 
+# ----------------------------------------------------------------------
+# Shared-deployment replicas over multiprocessing.shared_memory
+# ----------------------------------------------------------------------
+
+
+def _arrays_to_columns(arrays: DeploymentArrays) -> Dict[str, np.ndarray]:
+    """Flatten :class:`DeploymentArrays` into the named-column form
+    :func:`repro.overlay.arrays.share_columns` ships to workers."""
+    sizes = np.asarray(
+        [len(arrays.members[layer]) for layer in range(1, arrays.layers + 2)],
+        dtype=np.int64,
+    )
+    named = {
+        "layer_sizes": sizes,
+        "node_ids": arrays.node_ids,
+        "layer_of": arrays.layer_of,
+        "local_of": arrays.local_of,
+        "is_bad": arrays.is_bad,
+    }
+    for layer in range(1, arrays.layers + 1):
+        named[f"neighbors_{layer}"] = arrays.neighbors[layer]
+    return named
+
+
+def _arrays_from_columns(named: Dict[str, np.ndarray]) -> DeploymentArrays:
+    """Rebuild :class:`DeploymentArrays` over attached column views.
+
+    Everything except the (worker-local) slot index and member ranges
+    stays a zero-copy view of the shared pages.
+    """
+    sizes = named["layer_sizes"]
+    layers = len(sizes) - 1
+    members: Dict[int, np.ndarray] = {}
+    start = 0
+    for layer, size in enumerate(sizes.tolist(), start=1):
+        members[layer] = np.arange(start, start + size, dtype=np.int64)
+        start += size
+    return DeploymentArrays(
+        layers=layers,
+        node_ids=named["node_ids"],
+        slot_of=SlotIndex(named["node_ids"]),
+        layer_of=named["layer_of"],
+        local_of=named["local_of"],
+        members=members,
+        neighbors={
+            layer: named[f"neighbors_{layer}"]
+            for layer in range(1, layers + 1)
+        },
+        is_bad=named["is_bad"],
+    )
+
+
+def _flood_layer_arrays(
+    arrays: DeploymentArrays,
+    layer: int,
+    fraction: float,
+    rng: np.random.Generator,
+) -> List[int]:
+    """:func:`~repro.simulation.packet_sim.flood_layer` over the encoded
+    arrays — same draw (one ``choice`` over the sorted members), no
+    deployment object needed."""
+    if not 0.0 < fraction <= 1.0:
+        raise SimulationError(f"fraction must be in (0, 1], got {fraction}")
+    member_slots = arrays.members.get(layer)
+    if member_slots is None:
+        raise SimulationError(
+            f"layer {layer} out of range 1..{arrays.layers + 1}"
+        )
+    members = arrays.node_ids[member_slots]
+    count = max(1, int(round(fraction * len(members))))
+    chosen = rng.choice(
+        len(members), size=min(count, len(members)), replace=False
+    )
+    return sorted(int(members[int(i)]) for i in chosen)
+
+
+def _client_contacts_arrays(
+    arrays: DeploymentArrays,
+    architecture: SOSArchitecture,
+    clients: int,
+    rng: np.random.Generator,
+) -> List[List[int]]:
+    """Per-client ``m_1`` access-point draws, one ``choice`` per client —
+    the array twin of :meth:`SOSDeployment.sample_client_contacts`."""
+    members = arrays.node_ids[arrays.members[1]]
+    degree = min(architecture.mapping_degree(1), len(members))
+    contacts: List[List[int]] = []
+    for _ in range(clients):
+        chosen = rng.choice(len(members), size=degree, replace=False)
+        contacts.append([int(members[int(i)]) for i in chosen])
+    return contacts
+
+
+def _run_one_shared_replica(
+    arrays: DeploymentArrays,
+    architecture: SOSArchitecture,
+    config: PacketSimConfig,
+    layer: Optional[int],
+    fraction: float,
+    seed: np.random.SeedSequence,
+) -> PacketSimReport:
+    """One replica over a shared (read-only) deployment encoding: the
+    flood-target, client-contact, and packet draws all come from the
+    replica's own pre-spawned stream; the deployment state is common."""
+    rng = make_rng(seed)
+    targets: List[int] = []
+    if layer is not None and fraction > 0.0:
+        targets = _flood_layer_arrays(arrays, layer, fraction, rng)
+    contacts = _client_contacts_arrays(
+        arrays, architecture, config.clients, rng
+    )
+    return run_fast(
+        None,
+        config,
+        rng=rng,
+        flood_targets=targets,
+        client_contacts=contacts,
+        arrays=arrays,
+    )
+
+
+def _init_shared_worker(
+    shm_name: str,
+    meta: Dict[str, Any],
+    architecture: SOSArchitecture,
+    config: PacketSimConfig,
+    layer: Optional[int],
+    fraction: float,
+) -> None:
+    named, shm = attach_columns(shm_name, meta)
+    _REPLICA_STATE["shared_arrays"] = _arrays_from_columns(named)
+    _REPLICA_STATE["shared_shm"] = shm  # keep the mapping alive
+    _REPLICA_STATE["architecture"] = architecture
+    _REPLICA_STATE["config"] = config
+    _REPLICA_STATE["layer"] = layer
+    _REPLICA_STATE["fraction"] = fraction
+
+
+def _run_shared_chunk(
+    jobs: List[Tuple[int, np.random.SeedSequence]],
+) -> List[Tuple[int, PacketSimReport]]:
+    return [
+        (
+            index,
+            _run_one_shared_replica(
+                _REPLICA_STATE["shared_arrays"],
+                _REPLICA_STATE["architecture"],
+                _REPLICA_STATE["config"],
+                _REPLICA_STATE["layer"],
+                _REPLICA_STATE["fraction"],
+                seed,
+            ),
+        )
+        for index, seed in jobs
+    ]
+
+
 def run_packet_replicas(
     architecture: SOSArchitecture,
     config: PacketSimConfig,
@@ -737,6 +1054,7 @@ def run_packet_replicas(
     workers: int = 1,
     chunk_size: Optional[int] = None,
     fast: bool = True,
+    deployment: Optional[SOSDeployment] = None,
 ) -> List[PacketSimReport]:
     """Run independent packet-sim replicas, optionally across processes.
 
@@ -746,6 +1064,16 @@ def run_packet_replicas(
     replica order and reports are returned in replica order, so the
     result is bit-identical for any ``workers`` value — the same
     guarantee the parallel Monte Carlo estimator carries.
+
+    ``deployment`` switches to **shared-deployment** mode: every replica
+    runs over that one deployment's encoded arrays (health snapshot
+    included) and only the flood-target, client-contact, and packet
+    draws vary per replica. Across processes the encoding travels as
+    one ``multiprocessing.shared_memory`` segment — workers map the
+    parent's pages read-only, zero copies and no per-worker deployment
+    pickling — which is what makes million-node replica sweeps fit in
+    memory. Requires the fast engine; worker-count invariance holds
+    exactly as in fresh-deployment mode.
 
     ``workers=0`` means "all cores"; ``workers=1`` runs in-process.
     """
@@ -757,6 +1085,14 @@ def run_packet_replicas(
         )
     if chunk_size is not None and chunk_size < 1:
         raise SimulationError(f"chunk_size must be >= 1, got {chunk_size}")
+    if deployment is not None and not fast:
+        raise SimulationError(
+            "shared-deployment replicas require the fast engine (fast=True)"
+        )
+    if deployment is not None and deployment.architecture != architecture:
+        raise SimulationError(
+            "deployment was built for a different architecture"
+        )
     root = np.random.SeedSequence(seed)
     seeds = root.spawn(replicas)
     jobs = list(enumerate(seeds))
@@ -765,7 +1101,46 @@ def run_packet_replicas(
         import os
 
         resolved = os.cpu_count() or 1
-    if resolved <= 1:
+    if deployment is not None:
+        arrays = encode_deployment(deployment)
+        if resolved <= 1:
+            results = [
+                (
+                    index,
+                    _run_one_shared_replica(
+                        arrays,
+                        architecture,
+                        config,
+                        flood_layer_index,
+                        flood_fraction,
+                        seed_seq,
+                    ),
+                )
+                for index, seed_seq in jobs
+            ]
+        else:
+            chunk = chunk_size or max(1, math.ceil(len(jobs) / (resolved * 4)))
+            parts = [jobs[i : i + chunk] for i in range(0, len(jobs), chunk)]
+            shared = share_columns(_arrays_to_columns(arrays))
+            results = []
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(resolved, len(parts)),
+                    initializer=_init_shared_worker,
+                    initargs=(
+                        shared.name,
+                        shared.meta,
+                        architecture,
+                        config,
+                        flood_layer_index,
+                        flood_fraction,
+                    ),
+                ) as pool:
+                    for part in pool.map(_run_shared_chunk, parts):
+                        results.extend(part)
+            finally:
+                shared.close()
+    elif resolved <= 1:
         results = _run_replica_chunk_serial(
             architecture, config, flood_layer_index, flood_fraction, fast, jobs
         )

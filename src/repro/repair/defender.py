@@ -78,14 +78,29 @@ class RepairingDefender:
         if self.detector is not None:
             detected = self.detector.scan(deployment, now)
         else:
+            # Columnar scan: one health-mask per layer, one block of
+            # uniforms per layer's bad nodes. The block draw consumes the
+            # stream exactly like the historical per-node ``random()``
+            # calls (bad nodes only, layer-major in sorted-member order),
+            # so the detected set is bit-identical to the scalar scan.
             detected = []
-            for layer in range(1, deployment.architecture.layers + 2):
-                for node_id in deployment.layer_members(layer):
-                    node = deployment.resolve(node_id)
-                    if node.is_bad and (
-                        self._rng.random() < self.policy.detection_probability
-                    ):
-                        detected.append(node_id)
+            filter_layer = deployment.architecture.layers + 1
+            for layer in range(1, filter_layer + 1):
+                store = (
+                    deployment.filters.store
+                    if layer == filter_layer
+                    else deployment.network.store
+                )
+                rows = deployment.member_rows(layer)
+                bad = store.health[rows] != 0
+                bad_count = int(bad.sum())
+                if bad_count == 0:
+                    continue
+                draws = self._rng.random(bad_count)
+                hits = deployment.member_array(layer)[bad][
+                    draws < self.policy.detection_probability
+                ]
+                detected.extend(int(node_id) for node_id in hits)
         if self.policy.capacity_per_round is not None:
             self._rng.shuffle(detected)
             detected = detected[: self.policy.capacity_per_round]

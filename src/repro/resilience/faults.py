@@ -21,7 +21,10 @@ import dataclasses
 import math
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import SimulationError
+from repro.overlay.arrays import HEALTH_CRASHED, HEALTH_GOOD
 from repro.sos.deployment import SOSDeployment
 from repro.utils.seeding import SeedLike, make_rng
 from repro.utils.validation import check_probability
@@ -152,8 +155,10 @@ class FaultInjector:
     # Event handlers
     # ------------------------------------------------------------------
     def _crash_random_node(self) -> None:
-        members = self.deployment.sos_member_ids()
-        victim = members[int(self._rng.integers(0, len(members)))]
+        # The cached member column replaces the historical per-event
+        # sos_member_ids() list rebuild; the draw is unchanged.
+        members = self.deployment.sos_member_array()
+        victim = int(members[int(self._rng.integers(0, len(members)))])
         self._crash(victim)
 
     def _crash(self, node_id: int) -> None:
@@ -180,29 +185,35 @@ class FaultInjector:
             self.recoveries += 1
 
     def _partition_start(self, partition: PartitionEvent) -> None:
-        members = [
-            node_id
-            for node_id in self.deployment.layer_members(partition.layer)
-            if self.deployment.resolve(node_id).is_good
-        ]
+        # good_members is the columnar twin of the historical
+        # resolve-every-member filter (same sorted order), and every
+        # chosen node is GOOD so its crash() always succeeds — the whole
+        # outage lands as one bulk health write.
+        members = self.deployment.good_members(partition.layer)
         count = min(
             len(members), int(math.ceil(partition.fraction * len(members)))
         )
         if count == 0:
             return
         chosen = self._rng.choice(len(members), size=count, replace=False)
-        victims: List[int] = []
-        for index in chosen:
-            node_id = members[int(index)]
-            if self.deployment.resolve(node_id).crash():
-                self.crashes_injected += 1
-                victims.append(node_id)
-                stale = self._pending_recover.pop(node_id, None)
-                if stale is not None:
-                    self.scheduler.cancel(stale)
+        victims = [members[int(index)] for index in chosen]
+        store = self._store_of(partition.layer)
+        store.set_health_many(
+            store.rows_of(np.asarray(victims, dtype=np.int64)), HEALTH_CRASHED
+        )
+        self.crashes_injected += len(victims)
+        for node_id in victims:
+            stale = self._pending_recover.pop(node_id, None)
+            if stale is not None:
+                self.scheduler.cancel(stale)
         self.scheduler.schedule_after(
             partition.duration, lambda: self._partition_end(victims)
         )
+
+    def _store_of(self, layer: int):
+        if layer == self.deployment.architecture.layers + 1:
+            return self.deployment.filters.store
+        return self.deployment.network.store
 
     def _partition_end(self, victims: List[int]) -> None:
         for node_id in victims:
@@ -235,22 +246,38 @@ class RoundChurn:
         self.recoveries = 0
 
     def __call__(self, deployment: SOSDeployment, knowledge, round_index: int) -> None:
-        for node_id in deployment.sos_member_ids():
-            node = deployment.resolve(node_id)
-            if node.is_crashed:
-                if (
-                    self.recover_probability > 0
-                    and self._rng.random() < self.recover_probability
-                    and node.restore()
-                ):
-                    self.recoveries += 1
-            elif node.is_good:
-                if (
-                    self.crash_probability > 0
-                    and self._rng.random() < self.crash_probability
-                    and node.crash()
-                ):
-                    self.crashes_injected += 1
+        # One vectorized pass over the health column. The historical
+        # scalar loop drew one uniform per *eligible* node (crashed with
+        # recovery enabled, good with crashing enabled) in member order,
+        # and a block ``random(k)`` consumes the stream exactly like k
+        # sequential ``random()`` calls — so churn outcomes stay
+        # bit-identical while a million-member round costs two gathers
+        # and two bulk health writes.
+        store = deployment.network.store
+        rows = np.concatenate(
+            [
+                deployment.member_rows(layer)
+                for layer in range(1, deployment.architecture.layers + 1)
+            ]
+        )
+        health = store.health[rows]
+        crashed = health == HEALTH_CRASHED
+        good = health == HEALTH_GOOD
+        eligible = np.zeros(len(rows), dtype=bool)
+        if self.recover_probability > 0:
+            eligible |= crashed
+        if self.crash_probability > 0:
+            eligible |= good
+        drawn = np.flatnonzero(eligible)
+        if len(drawn) == 0:
+            return
+        draws = self._rng.random(len(drawn))
+        recover = crashed[drawn] & (draws < self.recover_probability)
+        crash = good[drawn] & (draws < self.crash_probability)
+        store.set_health_many(rows[drawn[recover]], HEALTH_GOOD)
+        store.set_health_many(rows[drawn[crash]], HEALTH_CRASHED)
+        self.recoveries += int(recover.sum())
+        self.crashes_injected += int(crash.sum())
 
 
 def compose_round_hooks(*hooks) -> Optional[object]:

@@ -15,8 +15,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.architecture import SOSArchitecture
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RoutingError
+from repro.overlay.arrays import HEALTH_GOOD
 from repro.overlay.chord import ChordRing
 from repro.overlay.network import OverlayNetwork
 from repro.overlay.node import OverlayNode
@@ -56,6 +59,14 @@ class SOSDeployment:
         self.authenticator = authenticator
         self.chord = chord
         self._layer_membership = layer_membership
+        # Lazily-built columnar caches (member id arrays / store rows per
+        # layer); invalidated whenever the membership mapping changes.
+        self._member_arrays: Dict[int, np.ndarray] = {}
+        self._member_rows: Dict[int, np.ndarray] = {}
+        self._sos_member_cache: Optional[np.ndarray] = None
+        #: Wiring-epoch-keyed structural encoding owned by
+        #: :func:`repro.perf.fastsim._encode_structure`.
+        self._fastsim_structure: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -166,38 +177,108 @@ class SOSDeployment:
             return self.filters.get(node_id)
         return self.network.get(node_id)
 
+    def is_node_good(self, node_id: int) -> bool:
+        """Scalar health probe equivalent to ``resolve(node_id).is_good``.
+
+        Reads the health column directly instead of materializing a node
+        view — hop selection calls this per candidate on every send.
+        """
+        store = (
+            self.filters.store
+            if node_id in self.filters
+            else self.network.store
+        )
+        row = store.row_of(node_id)
+        if row < 0:
+            raise RoutingError(f"no node with identifier {node_id}")
+        return store.health.item(row) == HEALTH_GOOD
+
     def sample_client_contacts(self, generator) -> List[int]:
         """Draw the ``m_1`` access points a new client is given."""
-        members = self._layer_membership[1]
+        members = self.member_array(1)
         degree = min(self.architecture.mapping_degree(1), len(members))
         chosen = generator.choice(len(members), size=degree, replace=False)
-        return [members[int(i)] for i in chosen]
+        return [int(members[int(i)]) for i in chosen]
+
+    # ------------------------------------------------------------------
+    # Columnar views (array-path consumers: fastsim, churn, repair)
+    # ------------------------------------------------------------------
+    def member_array(self, layer: int) -> np.ndarray:
+        """Sorted member identifiers of ``layer`` as a cached int64 column."""
+        cached = self._member_arrays.get(layer)
+        if cached is None:
+            cached = np.asarray(self.layer_members(layer), dtype=np.int64)
+            self._member_arrays[layer] = cached
+        return cached
+
+    def member_rows(self, layer: int) -> np.ndarray:
+        """Store rows of ``layer``'s members (filters map into their ring).
+
+        Rows for layers 1..L index :attr:`network` ``.store``; rows for
+        layer ``L+1`` index :attr:`filters` ``.store``.
+        """
+        cached = self._member_rows.get(layer)
+        if cached is None:
+            store = (
+                self.filters.store
+                if layer == self.architecture.layers + 1
+                else self.network.store
+            )
+            cached = store.rows_of(self.member_array(layer))
+            self._member_rows[layer] = cached
+        return cached
+
+    def sos_member_array(self) -> np.ndarray:
+        """:meth:`sos_member_ids` as a cached int64 column."""
+        if self._sos_member_cache is None:
+            layers = range(1, self.architecture.layers + 1)
+            parts = [self.member_array(layer) for layer in layers]
+            self._sos_member_cache = (
+                np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            )
+        return self._sos_member_cache
+
+    def _invalidate_member_caches(self) -> None:
+        self._member_arrays.clear()
+        self._member_rows.clear()
+        self._sos_member_cache = None
+        self._fastsim_structure = None
 
     def good_members(self, layer: int) -> List[int]:
         """Identifiers of still-routable members of ``layer``."""
-        return [
-            node_id
-            for node_id in self.layer_members(layer)
-            if self.resolve(node_id).is_good
-        ]
+        store = (
+            self.filters.store
+            if layer == self.architecture.layers + 1
+            else self.network.store
+        )
+        rows = self.member_rows(layer)
+        members = self.member_array(layer)
+        return members[store.health[rows] == 0].tolist()
 
     def bad_counts(self) -> Dict[int, int]:
-        """Per-layer count of bad (compromised, congested, or crashed)."""
-        return {
-            layer: sum(
-                1 for node_id in members if self.resolve(node_id).is_bad
-            )
-            for layer, members in self._layer_membership.items()
+        """Per-layer count of bad (compromised, congested, or crashed).
+
+        O(layers) via the stores' incremental per-layer counters (layer
+        codes are written only by :meth:`deploy`/:meth:`reassign_membership`,
+        so code ``i`` on a node ⇔ membership in layer ``i``).
+        """
+        filter_layer = self.architecture.layers + 1
+        counts = {
+            layer: self.network.store.bad_count(layer)
+            for layer in range(1, filter_layer)
         }
+        counts[filter_layer] = self.filters.store.bad_count(filter_layer)
+        return counts
 
     def crashed_counts(self) -> Dict[int, int]:
         """Per-layer count of benignly crashed members (churn, not attack)."""
-        return {
-            layer: sum(
-                1 for node_id in members if self.resolve(node_id).is_crashed
-            )
-            for layer, members in self._layer_membership.items()
+        filter_layer = self.architecture.layers + 1
+        counts = {
+            layer: self.network.store.crashed_count(layer)
+            for layer in range(1, filter_layer)
         }
+        counts[filter_layer] = self.filters.store.crashed_count(filter_layer)
+        return counts
 
     def sos_member_ids(self) -> List[int]:
         """All enrolled overlay members (layers 1..L, filters excluded).
@@ -205,11 +286,7 @@ class SOSDeployment:
         The churn population: filters are ISP routers outside the overlay
         and do not participate in benign node churn.
         """
-        return [
-            node_id
-            for layer in range(1, self.architecture.layers + 1)
-            for node_id in self._layer_membership[layer]
-        ]
+        return self.sos_member_array().tolist()
 
     def reset_attack_state(self) -> None:
         """Clear all health damage (fresh attack trial on the same wiring)."""
@@ -244,6 +321,7 @@ class SOSDeployment:
             membership[layer_index] = sorted(members)
         membership[self.architecture.layers + 1] = self.filters.filter_ids
         self._layer_membership = membership
+        self._invalidate_member_caches()
         for layer, members in membership.items():
             for member in members:
                 self.authenticator.enroll(layer, member)

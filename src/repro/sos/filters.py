@@ -5,14 +5,23 @@ that drop every packet whose last hop is not a currently enrolled secret
 servlet. They are *not* part of the overlay population: the attacker cannot
 break into them and cannot congest them at random; only a filter whose
 identity leaked through a broken-in servlet can be flooded.
+
+Like the overlay population, filter state is columnar: the ring owns a
+small :class:`~repro.overlay.arrays.OverlayStore` and hands out cached
+:class:`~repro.overlay.node.OverlayNode` views, so the deployment's
+per-layer health counters and the fastsim array encoding cover filters
+with the same code paths as overlay nodes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, Iterator, List, Set
+
+import numpy as np
 
 from repro.errors import ConfigurationError, ProtocolError
-from repro.overlay.node import NodeHealth, OverlayNode
+from repro.overlay.arrays import HEALTH_GOOD, OverlayStore
+from repro.overlay.node import OverlayNode
 
 
 class FilterRing:
@@ -31,34 +40,46 @@ class FilterRing:
                 f"the filter layer must sit above at least one SOS layer, got {layer}"
             )
         self.layer = layer
-        self._filters: Dict[int, OverlayNode] = {}
+        self.store = OverlayStore(range(id_offset, id_offset + count))
+        self.store.layer[:] = layer
+        self.store.recompute_counters()
+        # Filter ids are a fixed contiguous block; membership is a pure
+        # range check (hot in ``SOSDeployment.resolve`` on every hop).
+        self._id_lo = id_offset
+        self._id_hi = id_offset + count
+        self._views: Dict[int, OverlayNode] = {}
         self._allowed_servlets: Set[int] = set()
-        for index in range(count):
-            filter_id = id_offset + index
-            self._filters[filter_id] = OverlayNode(
-                node_id=filter_id,
-                address=f"filter-{index}",
-                sos_layer=layer,
-            )
 
     def __len__(self) -> int:
-        return len(self._filters)
+        return len(self.store)
 
-    def __iter__(self):
-        return iter(self._filters.values())
+    def __iter__(self) -> Iterator[OverlayNode]:
+        for row in range(len(self.store)):
+            yield self._view(row)
 
     def __contains__(self, filter_id: int) -> bool:
-        return filter_id in self._filters
+        return self._id_lo <= filter_id < self._id_hi
+
+    def _view(self, row: int) -> OverlayNode:
+        filter_id = int(self.store.ids[row])
+        view = self._views.get(filter_id)
+        if view is None:
+            view = OverlayNode._from_store(self.store, row, f"filter-{row}")
+            self._views[filter_id] = view
+        return view
 
     @property
     def filter_ids(self) -> List[int]:
-        return sorted(self._filters)
+        return self.store.sorted_ids.tolist()
 
     def get(self, filter_id: int) -> OverlayNode:
-        try:
-            return self._filters[filter_id]
-        except KeyError:
-            raise ProtocolError(f"unknown filter {filter_id}") from None
+        view = self._views.get(filter_id)
+        if view is not None:
+            return view
+        row = self.store.row_of(filter_id)
+        if row < 0:
+            raise ProtocolError(f"unknown filter {filter_id}")
+        return self._view(row)
 
     # ------------------------------------------------------------------
     # Servlet admission
@@ -82,8 +103,10 @@ class FilterRing:
         self.get(filter_id).congest()
 
     def good_filters(self) -> List[OverlayNode]:
-        return [f for f in self if f.health is NodeHealth.GOOD]
+        return [
+            self._view(int(row))
+            for row in np.flatnonzero(self.store.health == HEALTH_GOOD)
+        ]
 
     def reset_health(self) -> None:
-        for filter_node in self:
-            filter_node.recover()
+        self.store.reset_health()

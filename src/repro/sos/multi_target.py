@@ -213,7 +213,7 @@ class MultiTargetSOS:
         good = [
             node_id
             for node_id in candidates
-            if self.deployment.resolve(node_id).is_good
+            if self.deployment.is_node_good(node_id)
         ]
         if not good:
             return None

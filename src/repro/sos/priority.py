@@ -38,7 +38,7 @@ class ProvisionedPath:
 
     def is_alive(self, deployment: SOSDeployment) -> bool:
         """True when every node on the path can still route."""
-        return all(deployment.resolve(node_id).is_good for node_id in self.nodes)
+        return all(deployment.is_node_good(node_id) for node_id in self.nodes)
 
 
 @dataclasses.dataclass

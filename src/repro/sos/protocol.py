@@ -180,7 +180,7 @@ class SOSProtocol:
         good = [
             node_id
             for node_id in candidates
-            if self.deployment.resolve(node_id).is_good
+            if self.deployment.is_node_good(node_id)
         ]
         if not good:
             return None
@@ -209,7 +209,7 @@ class SOSProtocol:
             index = int(generator.integers(0, len(remaining)))
             chosen = remaining.pop(index)
             attempts += 1
-            if self.deployment.resolve(chosen).is_good:
+            if self.deployment.is_node_good(chosen):
                 return chosen, (attempts, retries, backoff)
             if remaining and attempts < budget:
                 last_delay = policy.delay(retries, generator, previous=last_delay)
@@ -230,7 +230,7 @@ class SOSProtocol:
         frontier = deque(
             node_id
             for node_id in contacts
-            if deployment.resolve(node_id).is_good
+            if deployment.is_node_good(node_id)
         )
         visited = set(frontier)
         target_layer = deployment.architecture.layers + 1
@@ -243,7 +243,7 @@ class SOSProtocol:
                 if neighbor_id in visited:
                     continue
                 visited.add(neighbor_id)
-                if deployment.resolve(neighbor_id).is_good:
+                if deployment.is_node_good(neighbor_id):
                     frontier.append(neighbor_id)
         return False
 

@@ -36,7 +36,7 @@ def churn(ring, rng, rounds=3):
             ring.leave(int(rng.choice(live)))
         elif action == 2:
             candidate = int(rng.integers(0, ring.space.size))
-            if candidate not in ring._nodes:
+            if candidate not in ring.known_node_ids:
                 ring.join(candidate)
         else:
             ring.stabilize(rounds=1)

@@ -45,9 +45,28 @@ def compare(base: dict, new: dict, threshold: float) -> List[dict]:
                 "new_mean": new_mean,
                 "ratio": ratio,
                 "regressed": ratio > 1.0 + threshold,
+                # Memory is report-only context: it never regresses a run
+                # (peak RSS is a session high-water mark, so ordering
+                # effects would make a gate on it meaningless).
+                "base_rss_kb": _peak_rss(base["benchmarks"][name]),
+                "new_rss_kb": _peak_rss(new["benchmarks"][name]),
             }
         )
     return rows
+
+
+def _peak_rss(record: dict) -> Optional[int]:
+    memory = record.get("memory", {})
+    value = memory.get("peak_rss_kb")
+    return int(value) if value is not None else None
+
+
+def _format_rss(kb: Optional[int]) -> str:
+    if kb is None:
+        return "      - "
+    if kb < 1024:
+        return f"{kb:6d}kB"
+    return f"{kb / 1024:6.0f}MB"
 
 
 def _format_seconds(value: float) -> str:
@@ -113,14 +132,28 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     print(f"base: {base_path}\nnew:  {new_path}\n")
     width = max(len(row["name"]) for row in rows)
-    print(f"{'benchmark'.ljust(width)}  {'base':>10}  {'new':>10}  ratio")
+    show_memory = any(
+        row["base_rss_kb"] is not None or row["new_rss_kb"] is not None
+        for row in rows
+    )
+    memory_header = "  {:>8}  {:>8}".format("rss", "rss'") if show_memory else ""
+    print(
+        f"{'benchmark'.ljust(width)}  {'base':>10}  {'new':>10}  ratio"
+        f"{memory_header}"
+    )
     for row in rows:
         flag = "  << REGRESSION" if row["regressed"] else ""
+        memory = (
+            f"  {_format_rss(row['base_rss_kb'])}  "
+            f"{_format_rss(row['new_rss_kb'])}"
+            if show_memory
+            else ""
+        )
         print(
             f"{row['name'].ljust(width)}  "
             f"{_format_seconds(row['base_mean'])}  "
             f"{_format_seconds(row['new_mean'])}  "
-            f"{row['ratio']:5.2f}x{flag}"
+            f"{row['ratio']:5.2f}x{memory}{flag}"
         )
 
     only_base = sorted(set(base["benchmarks"]) - set(new["benchmarks"]))

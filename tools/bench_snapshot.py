@@ -33,6 +33,10 @@ MACHINE_KEYS = ("node", "processor", "machine", "python_version", "cpu")
 #: per-benchmark stats copied into the snapshot.
 STAT_KEYS = ("mean", "stddev", "median", "min", "max", "rounds", "iterations")
 
+#: extra_info memory counters copied into the snapshot (report-only —
+#: ``bench_compare`` prints them but the regression gate ignores them).
+MEMORY_KEYS = ("peak_rss_kb", "rss_kb")
+
 
 def existing_snapshots(root: str) -> List[str]:
     """``BENCH_<n>.json`` files under ``root``, sorted by ``n``."""
@@ -62,9 +66,12 @@ def normalize(raw: dict) -> dict:
     benchmarks = {}
     for entry in raw.get("benchmarks", []):
         stats = entry.get("stats", {})
-        benchmarks[entry["fullname"]] = {
-            key: stats[key] for key in STAT_KEYS if key in stats
-        }
+        record = {key: stats[key] for key in STAT_KEYS if key in stats}
+        extra = entry.get("extra_info", {})
+        memory = {key: extra[key] for key in MEMORY_KEYS if key in extra}
+        if memory:
+            record["memory"] = memory
+        benchmarks[entry["fullname"]] = record
     if not benchmarks:
         raise ValueError("raw report contains no benchmarks")
     return {
