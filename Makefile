@@ -2,9 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-save bench-compare experiments paper \
-	examples docs-check all lint lint-baseline lint-sarif typecheck \
-	contracts-test verify serve chaos slo-save scale-smoke
+.PHONY: install test bench bench-save bench-compare bench-ladder \
+	experiments paper examples docs-check all lint lint-baseline \
+	lint-sarif typecheck contracts-test verify serve chaos slo-save \
+	scale-smoke
 
 # --- correctness tooling (docs/STATIC_ANALYSIS.md) ---------------------
 # `lint` always runs the in-repo repro-lint analyzer (statement rules +
@@ -63,14 +64,24 @@ bench:
 # --- benchmark trajectory (docs/PERFORMANCE.md) ------------------------
 # bench-save runs the full benchmark suite (timings AND the perf
 # assertions, e.g. parallel bit-identity and the vectorized >=5x check)
-# and normalizes the raw report into the next BENCH_<n>.json at the repo
-# root; bench-compare diffs the two newest snapshots and exits non-zero
-# on a >20% regression.
+# plus the tier ladder, and normalizes everything into the next
+# BENCH_<n>.json at the repo root; bench-compare diffs the two newest
+# snapshots (per-tier included) and exits non-zero on a >20% regression
+# (`--against N` diffs the newest against an arbitrary older snapshot).
+# bench-ladder on its own prints the scalar/numpy/compiled table and
+# re-checks the cross-tier bit-identity contract.
 
 bench-save:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-json=.bench_raw.json
-	$(PYTHON) tools/bench_snapshot.py .bench_raw.json
-	@rm -f .bench_raw.json
+	REPRO_BENCH_MEMORY=1 $(PYTHON) -m pytest benchmarks/ \
+		--benchmark-json=.bench_raw.json
+	PYTHONPATH=src $(PYTHON) tools/bench_ladder.py \
+		--output .bench_ladder.json
+	$(PYTHON) tools/bench_snapshot.py .bench_raw.json \
+		--ladder .bench_ladder.json
+	@rm -f .bench_raw.json .bench_ladder.json
+
+bench-ladder:
+	PYTHONPATH=src $(PYTHON) tools/bench_ladder.py
 
 bench-compare:
 	$(PYTHON) tools/bench_compare.py

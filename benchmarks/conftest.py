@@ -6,15 +6,19 @@ plots), and asserts the machine-checked claims, so ``pytest benchmarks/
 --benchmark-only`` is simultaneously a performance run and a reproduction
 run.
 
-Each benchmark also records its memory footprint (peak RSS high-water
-mark plus current RSS, both from the kernel — no third-party deps) into
-``extra_info``; ``tools/bench_snapshot.py`` carries it into the
-``BENCH_<n>.json`` trajectory and ``tools/bench_compare.py`` reports it
-alongside timings (report-only: memory never trips the regression gate).
+With ``REPRO_BENCH_MEMORY=1`` in the environment (``make bench-save``
+sets it), each benchmark also records its memory footprint (peak RSS
+high-water mark plus current RSS, both from the kernel — no third-party
+deps) into ``extra_info``; ``tools/bench_snapshot.py`` carries it into
+the ``BENCH_<n>.json`` trajectory and ``tools/bench_compare.py`` reports
+it alongside timings (report-only: memory never trips the regression
+gate). Unset, the capture fixture is a no-op, so plain ``make test`` /
+``make bench`` runs pay nothing for it.
 """
 
 from __future__ import annotations
 
+import os
 import resource
 from typing import Optional
 
@@ -40,11 +44,18 @@ def _current_rss_kb() -> Optional[int]:
 def _record_memory(request):
     """Attach per-benchmark memory counters to the benchmark report.
 
+    Opt-in via ``REPRO_BENCH_MEMORY`` (any non-empty value): the
+    ``/proc`` reads and ``getrusage`` calls are pointless overhead for
+    plain test runs, so only snapshot-recording invocations pay them.
+
     ``peak_rss_kb`` is the process high-water mark (``ru_maxrss``) once
     the benchmark has run — monotone across the session, so compare it
     against the benchmark's working-set expectations, not against other
     rows. ``rss_kb`` is the live resident set right after the run.
     """
+    if not os.environ.get("REPRO_BENCH_MEMORY"):
+        yield
+        return
     # Grab the fixture object up front: autouse fixtures finalize after
     # plain ones, so requesting it post-yield would hit a torn-down
     # fixture. The object itself stays valid; only its values change.

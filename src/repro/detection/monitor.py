@@ -36,12 +36,13 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 import numpy.typing as npt
 
 from repro.errors import DetectionError
+from repro.perf.compiled import TIERS, detect_bins_batch, resolve_tier
 
 __all__ = ["MonitorConfig", "TrafficMonitor"]
 
@@ -173,8 +174,24 @@ class TrafficMonitor:
     token-bucket offer. All statistics queries aggregate lazily.
     """
 
-    def __init__(self, config: MonitorConfig = MonitorConfig()) -> None:
+    def __init__(
+        self,
+        config: MonitorConfig = MonitorConfig(),
+        tier: str = "scalar",
+    ) -> None:
         self.config = config
+        # Detector-scan tier: ``scalar`` (default) runs the per-node
+        # reference loop in :func:`_detection_bin`; ``numpy`` scans all
+        # nodes' statistics as one vector recursion; ``compiled``
+        # dispatches to :mod:`repro.perf.compiled`. All tiers produce
+        # identical flag sequences (the recursions perform the same
+        # float operations in the same order); only multi-node queries
+        # (:meth:`detection_bins` / :meth:`flagged_nodes`) change speed.
+        if tier not in TIERS:
+            raise DetectionError(
+                f"tier must be one of {TIERS}, got {tier!r}"
+            )
+        self.tier = tier
         # Columnar counter state: sorted packed ``node * STRIDE + bin``
         # codes with aligned offered/dropped tallies. Integer sums only,
         # so drain order cannot change the counters.
@@ -327,6 +344,29 @@ class TrafficMonitor:
         values[bins[keep]] = self._offered[lo:hi][keep].astype(np.float64)
         return values
 
+    def _series_matrix(
+        self, node_ids: Sequence[int], through: int
+    ) -> npt.NDArray[np.float64]:
+        """Stacked :meth:`series` rows over one shared horizon.
+
+        Row ``r`` is bit-identical to ``series(node_ids[r], through)``:
+        each row is scattered from the same packed counters, and a row
+        slice of the C-contiguous matrix sums exactly like the
+        standalone 1-D array, so batched baselines match the per-node
+        oracle's.
+        """
+        matrix = np.zeros(
+            (len(node_ids), max(through + 1, 0)), dtype=np.float64
+        )
+        for row, node_id in enumerate(node_ids):
+            lo, hi = self._node_slice(node_id)
+            bins = self._codes[lo:hi] % _BIN_STRIDE
+            keep = bins <= through
+            matrix[row, bins[keep]] = (
+                self._offered[lo:hi][keep].astype(np.float64)
+            )
+        return matrix
+
     def window_counts(
         self, node_id: int, lo_bin: int, hi_bin: int
     ) -> Tuple[int, int]:
@@ -383,6 +423,70 @@ class TrafficMonitor:
             return None
         return (bin_index + 1) * self._resolved(config).bin_width
 
+    def detection_bins(
+        self,
+        node_ids: Optional[Iterable[int]] = None,
+        now: Optional[float] = None,
+        config: Optional[MonitorConfig] = None,
+    ) -> Dict[int, Optional[int]]:
+        """Flagging bin per node (None = never) for many nodes at once.
+
+        The multi-node twin of :meth:`detection_bin`, evaluated at the
+        monitor's ``tier``: ``scalar`` runs the reference loop per node;
+        ``numpy``/``compiled`` stack every node's series into one matrix
+        and scan all CUSUM/EWMA recursions together. Results are
+        identical across tiers — the batched scans replay the scalar
+        arithmetic element for element.
+        """
+        resolved = self._resolved(config)
+        ids = self.nodes() if node_ids is None else list(node_ids)
+        result: Dict[int, Optional[int]] = {
+            node_id: None for node_id in ids
+        }
+        through = self.last_bin()
+        if now is not None:
+            through = min(through, int(now / resolved.bin_width) - 1)
+        if through < 0 or not ids:
+            return result
+        tier = resolve_tier(self.tier)
+        if tier == "scalar":
+            for node_id in ids:
+                result[node_id] = _detection_bin(
+                    self.series(node_id, through), resolved
+                )
+            return result
+        start = resolved.warmup_bins
+        base_end = start + resolved.baseline_bins
+        if through + 1 <= base_end:
+            return result
+        matrix = self._series_matrix(ids, through)
+        means = np.empty(len(ids), dtype=np.float64)
+        sigmas = np.empty(len(ids), dtype=np.float64)
+        for row in range(len(ids)):
+            baseline = matrix[row, start:base_end]
+            mean = float(baseline.mean())
+            means[row] = mean
+            sigmas[row] = max(
+                float(baseline.std()),
+                math.sqrt(max(mean, 0.0)),
+                resolved.min_sigma,
+            )
+        crossings = detect_bins_batch(
+            matrix,
+            means,
+            sigmas,
+            base_end,
+            resolved.method,
+            resolved.threshold,
+            resolved.drift,
+            resolved.ewma_alpha,
+            tier,
+        )
+        for row, node_id in enumerate(ids):
+            crossed = int(crossings[row])
+            result[node_id] = crossed if crossed >= 0 else None
+        return result
+
     def flagged_nodes(
         self,
         now: Optional[float] = None,
@@ -391,6 +495,8 @@ class TrafficMonitor:
         """Sorted ids of every node the detector flags on current evidence."""
         return [
             node_id
-            for node_id in self.nodes()
-            if self.detection_bin(node_id, now=now, config=config) is not None
+            for node_id, bin_index in self.detection_bins(
+                now=now, config=config
+            ).items()
+            if bin_index is not None
         ]

@@ -11,12 +11,26 @@ The process-parallel Monte Carlo dispatcher lives with its estimator in
 :mod:`repro.simulation.monte_carlo` (``MonteCarloConfig.workers``);
 ``docs/PERFORMANCE.md`` documents both together with the ``BENCH_*.json``
 benchmark-snapshot workflow.
+
+:mod:`repro.perf.compiled` adds the compiled hot-path tier: machine-code
+kernels (numba or the bundled C backend) for the sequential recursions
+the numpy tier cannot vectorize, selected per run via
+``PacketSimConfig.tier`` / ``TrafficMonitor(tier=...)`` and bit-identical
+to the numpy oracle. ``tools/bench_ladder.py`` benchmarks every
+available tier side by side.
 """
 
 from repro.perf.batch import (
     all_bad_probability_batch,
     evaluate_batch,
     hop_success_probability_batch,
+)
+from repro.perf.compiled import (
+    TIERS,
+    CompiledTierUnavailableWarning,
+    available_tiers,
+    compiled_backend,
+    resolve_tier,
 )
 from repro.perf.fastsim import (
     encode_deployment,
@@ -26,11 +40,16 @@ from repro.perf.fastsim import (
 )
 
 __all__ = [
+    "TIERS",
+    "CompiledTierUnavailableWarning",
     "all_bad_probability_batch",
+    "available_tiers",
+    "compiled_backend",
     "encode_deployment",
     "evaluate_batch",
     "hop_success_probability_batch",
     "mean_delivery_ratio",
+    "resolve_tier",
     "run_fast",
     "run_packet_replicas",
 ]

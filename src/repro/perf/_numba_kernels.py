@@ -1,0 +1,277 @@
+"""Numba backend for the compiled hot-path tier.
+
+Importing this module requires :mod:`numba` (the ``repro[compiled]``
+optional extra); :mod:`repro.perf.compiled` imports it lazily and falls
+back to the ``cc``/ctypes backend — then to plain numpy — when the
+import fails.
+
+Every jitted body mirrors the arithmetic of the numpy tier (and of the
+C backend in :mod:`repro.perf._cc`) operation for operation on IEEE
+doubles, so the three implementations are bit-identical: accept
+decisions, congestion flags, detector crossings, and Welford folds all
+come out of the same multiplies, left-to-right additions, and
+comparisons. ``fastmath`` stays off for exactly that reason.
+
+The kernels are compiled boundaries for ``tools/repro_lint``'s
+flow-aware passes: nothing inside an ``@numba.njit`` body runs under
+CPython semantics, so interpreter-level findings do not apply.
+"""
+
+from __future__ import annotations
+
+import numba
+import numpy as np
+
+__all__ = ["bucket_scan", "route", "welford", "detect"]
+
+
+@numba.njit(cache=True)
+def _merge_runs(times, idx, lo, mid, hi, tmp):  # pragma: no cover - jitted
+    i = lo
+    j = mid
+    k = 0
+    while i < mid and j < hi:
+        if times[idx[j]] < times[idx[i]]:
+            tmp[k] = idx[j]
+            j += 1
+        else:
+            tmp[k] = idx[i]
+            i += 1
+        k += 1
+    while i < mid:
+        tmp[k] = idx[i]
+        i += 1
+        k += 1
+    while j < hi:
+        tmp[k] = idx[j]
+        j += 1
+        k += 1
+    for i in range(k):
+        idx[lo + i] = tmp[i]
+
+
+@numba.njit(cache=True)
+def _sort_group(times, idx, lo, k, tmp):  # pragma: no cover - jitted
+    if k < 2:
+        return
+    d = 1
+    while d < k and times[idx[lo + d]] >= times[idx[lo + d - 1]]:
+        d += 1
+    if d == k:
+        return
+    e = d + 1
+    while e < k and times[idx[lo + e]] >= times[idx[lo + e - 1]]:
+        e += 1
+    if e == k:
+        _merge_runs(times, idx, lo, lo + d, lo + k, tmp)
+        return
+    width = 1
+    while width < k:
+        start = 0
+        while start < k:
+            mid = start + width
+            if mid >= k:
+                break
+            hi = start + 2 * width
+            if hi > k:
+                hi = k
+            _merge_runs(times, idx, lo + start, lo + mid, lo + hi, tmp)
+            start += 2 * width
+        width *= 2
+
+
+@numba.njit(cache=True)
+def bucket_scan(slots, times, m, capacity, burst, want_flags):
+    """Grouped token-bucket replay; see ``repro_bucket_scan`` in _cc.py."""
+    n = slots.shape[0]
+    limit = burst - 1.0
+    accept = np.zeros(n, dtype=np.uint8)
+    offered = np.zeros(m, dtype=np.int64)
+    accepted = np.zeros(m, dtype=np.int64)
+    offsets = np.zeros(m + 1, dtype=np.int64)
+    order = np.empty(n, dtype=np.int64)
+    flags = np.zeros(n, dtype=np.uint8)
+    tsorted = np.empty(n, dtype=np.float64)
+    cursor = np.empty(m, dtype=np.int64)
+    tmp = np.empty(n, dtype=np.int64)
+    svals = np.empty(n, dtype=np.float64)
+
+    for i in range(n):
+        offsets[slots[i] + 1] += 1
+    for s in range(m):
+        offsets[s + 1] += offsets[s]
+    for s in range(m):
+        cursor[s] = offsets[s]
+    for i in range(n):
+        order[cursor[slots[i]]] = i
+        cursor[slots[i]] += 1
+
+    for s in range(m):
+        lo = offsets[s]
+        k = offsets[s + 1] - lo
+        if k == 0:
+            continue
+        _sort_group(times, order, lo, k, tmp)
+        offered[s] = k
+
+        w = -np.inf
+        zmax = -np.inf
+        for j in range(k):
+            sv = times[order[lo + j]] * capacity
+            svals[lo + j] = sv
+            tsorted[lo + j] = times[order[lo + j]]
+            cand = sv - float(j)
+            if cand > w:
+                w = cand
+            z = (w + float(j + 1)) - sv
+            if z > zmax:
+                zmax = z
+        if zmax <= burst:
+            for j in range(k):
+                accept[order[lo + j]] = 1
+            accepted[s] = k
+        else:
+            z = 0.0
+            y = 0.0
+            acc = 0
+            j = 0
+            while j < k:
+                si = svals[lo + j]
+                zp = z - (si - y)
+                if zp < 0.0:
+                    zp = 0.0
+                if zp <= limit:
+                    accept[order[lo + j]] = 1
+                    z = zp + 1.0
+                    y = si
+                    acc += 1
+                    j += 1
+                else:
+                    target = y + (z - limit)
+                    a = j
+                    b = k
+                    while a < b:
+                        mid = a + (b - a) // 2
+                        if svals[lo + mid] < target:
+                            a = mid + 1
+                        else:
+                            b = mid
+                    j = a
+            accepted[s] = acc
+
+        if want_flags:
+            drops = 0
+            for j in range(k):
+                total = j + 1
+                if accept[order[lo + j]] == 0:
+                    drops += 1
+                congested = total >= 10 and (
+                    float(drops) / float(total)
+                ) >= 0.5
+                flags[lo + j] = 1 if congested else 0
+
+    return accept, offered, accepted, offsets, order, flags, tsorted
+
+
+@numba.njit(cache=True)
+def route(u, nbr, healthy, decision_t, tl_offsets, tl_times, tl_flags):
+    """Fused congestion lookup + uniform pick; see ``repro_route``."""
+    rows, cols = nbr.shape
+    m = tl_offsets.shape[0] - 1
+    have_events = tl_offsets[m] > 0
+    routable = np.zeros(rows, dtype=np.uint8)
+    chosen = np.empty(rows, dtype=np.int64)
+    live = np.empty(cols, dtype=np.uint8)
+    # Nondecreasing decision times let per-slot cursors replace the
+    # per-(row, col) binary search; see repro_route in _cc.py.
+    monotone = True
+    for r in range(1, rows):
+        if decision_t[r] < decision_t[r - 1]:
+            monotone = False
+            break
+    cursor = np.empty(m if (monotone and have_events) else 0, dtype=np.int64)
+    if monotone and have_events:
+        for s in range(m):
+            cursor[s] = tl_offsets[s]
+    for r in range(rows):
+        t = decision_t[r]
+        live_count = 0
+        for c in range(cols):
+            slot = nbr[r, c]
+            ok = healthy[r, c]
+            if ok != 0 and have_events:
+                base = tl_offsets[slot]
+                b = tl_offsets[slot + 1]
+                if monotone:
+                    a = cursor[slot]
+                    while a < b and tl_times[a] <= t:
+                        a += 1
+                    cursor[slot] = a
+                else:
+                    a = base
+                    while a < b:
+                        mid = a + (b - a) // 2
+                        if tl_times[mid] <= t:
+                            a = mid + 1
+                        else:
+                            b = mid
+                if a > base and tl_flags[a - 1] != 0:
+                    ok = 0
+            live[c] = ok
+            live_count += ok
+        if live_count == 0:
+            routable[r] = 0
+            chosen[r] = -1
+            continue
+        routable[r] = 1
+        pick = np.int64(u[r] * float(live_count))
+        if pick > live_count - 1:
+            pick = live_count - 1
+        seen = 0
+        col = cols - 1
+        for c in range(cols):
+            seen += live[c]
+            if seen == pick + 1:
+                col = c
+                break
+        chosen[r] = nbr[r, col]
+    return routable, chosen
+
+
+@numba.njit(cache=True)
+def welford(values, count, mean, m2, maxv):
+    """Sequential Welford fold; see ``repro_welford``."""
+    for i in range(values.shape[0]):
+        v = values[i]
+        delta = v - mean
+        count += 1
+        mean += delta / float(count)
+        m2 += delta * (v - mean)
+        if v > maxv:
+            maxv = v
+    return count, mean, m2, maxv
+
+
+@numba.njit(cache=True)
+def detect(series, mean, sigma, start, method, threshold, drift, alpha):
+    """Batched CUSUM/EWMA first-crossing scan; see ``repro_detect``."""
+    rows, bins = series.shape
+    out = np.full(rows, -1, dtype=np.int64)
+    for r in range(rows):
+        if method == 0:
+            statistic = 0.0
+            for i in range(start, bins):
+                deviation = (series[r, i] - mean[r]) / sigma[r]
+                nxt = (statistic + deviation) - drift
+                statistic = 0.0 if nxt < 0.0 else nxt
+                if statistic > threshold:
+                    out[r] = i
+                    break
+        else:
+            smoothed = mean[r]
+            for i in range(start, bins):
+                smoothed = alpha * series[r, i] + (1.0 - alpha) * smoothed
+                if (smoothed - mean[r]) / sigma[r] > threshold:
+                    out[r] = i
+                    break
+    return out

@@ -1,0 +1,556 @@
+"""Compiled hot-path tier: backend resolution and kernel dispatch.
+
+The perf ladder runs every hot path at up to three tiers:
+
+``scalar``
+    Per-event Python arithmetic — the readable reference (for the packet
+    engines the event-driven oracle plays this role; for the grouped
+    bucket scan and the detectors it is a plain Python loop).
+``numpy``
+    The vectorized implementations that ship as the **default and
+    oracle** — nothing about their behavior changes here.
+``compiled``
+    Machine-code kernels for the per-event sequential recursions that
+    numpy cannot vectorize (Lindley token-bucket replay, CUSUM/EWMA
+    scans, congestion-aware routing). Two interchangeable backends:
+
+    * **numba** (preferred; install via ``pip install repro[compiled]``)
+      — ``@numba.njit`` kernels in :mod:`repro.perf._numba_kernels`;
+    * **cc** — the same kernels as C compiled once per machine with the
+      system toolchain (:mod:`repro.perf._cc`).
+
+    Both replay the numpy arithmetic operation for operation, so the
+    compiled tier is *bit-identical* to the numpy tier wherever the
+    numpy tier is exact (accept/drop decisions, congestion flags,
+    injection schedules, detector flag sequences, Welford folds) —
+    property-tested in ``tests/perf/test_compiled_kernels.py`` and
+    ``tests/perf/test_compiled_tier.py``.
+
+Tier selection is data (``PacketSimConfig.tier``,
+``TrafficMonitor(tier=...)``), resolved here. Requesting ``compiled``
+with no backend available degrades to ``numpy`` with a one-time
+:class:`CompiledTierUnavailableWarning` naming the reason, so code never
+has to guard on the environment. ``REPRO_COMPILED_BACKEND`` pins a
+backend (``numba`` | ``cc`` | ``none``) for tests and CI matrices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import warnings
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "TIERS",
+    "CompiledTierUnavailableWarning",
+    "CongestionTable",
+    "KernelSet",
+    "available_tiers",
+    "compiled_backend",
+    "detect_bins_batch",
+    "get_kernels",
+    "resolve_tier",
+]
+
+#: Every tier the ladder knows, slowest first.
+TIERS: Tuple[str, ...] = ("scalar", "numpy", "compiled")
+
+
+class CompiledTierUnavailableWarning(RuntimeWarning):
+    """Raised (once) when ``tier="compiled"`` degrades to numpy."""
+
+
+_BACKEND: Optional[str] = None
+_BACKEND_RESOLVED = False
+_BACKEND_REASONS: Dict[str, str] = {}
+_WARNED = False
+
+
+def _resolve_backend() -> Optional[str]:
+    """Pick the best compiled backend available, at most once per process."""
+    global _BACKEND, _BACKEND_RESOLVED
+    if _BACKEND_RESOLVED:
+        return _BACKEND
+    _BACKEND_RESOLVED = True
+    forced = os.environ.get("REPRO_COMPILED_BACKEND", "").strip().lower()
+    if forced == "none":
+        _BACKEND_REASONS["forced"] = "REPRO_COMPILED_BACKEND=none"
+        _BACKEND = None
+        return None
+    order = (forced,) if forced in ("numba", "cc") else ("numba", "cc")
+    for name in order:
+        if name == "numba" and _load_numba() is not None:
+            _BACKEND = "numba"
+            return _BACKEND
+        if name == "cc" and _load_cc() is not None:
+            _BACKEND = "cc"
+            return _BACKEND
+    _BACKEND = None
+    return None
+
+
+_NUMBA_MODULE: Any = None
+_NUMBA_TRIED = False
+
+
+def _load_numba() -> Any:
+    global _NUMBA_MODULE, _NUMBA_TRIED
+    if _NUMBA_TRIED:
+        return _NUMBA_MODULE
+    _NUMBA_TRIED = True
+    try:
+        from repro.perf import _numba_kernels
+    except ImportError as exc:
+        _BACKEND_REASONS["numba"] = (
+            f"numba is not installed ({exc}); "
+            "install the optional extra: pip install repro[compiled]"
+        )
+        _NUMBA_MODULE = None
+    else:
+        _NUMBA_MODULE = _numba_kernels
+    return _NUMBA_MODULE
+
+
+_CC_LIBRARY: Any = None
+_CC_TRIED = False
+
+
+def _load_cc() -> Any:
+    global _CC_LIBRARY, _CC_TRIED
+    if _CC_TRIED:
+        return _CC_LIBRARY
+    _CC_TRIED = True
+    from repro.perf import _cc
+
+    _CC_LIBRARY = _cc.load_library()
+    if _CC_LIBRARY is None:
+        _BACKEND_REASONS["cc"] = _cc.build_error() or "cc backend unavailable"
+    return _CC_LIBRARY
+
+
+def compiled_backend() -> Optional[str]:
+    """``"numba"`` / ``"cc"`` when a compiled backend is usable, else None."""
+    return _resolve_backend()
+
+
+def available_tiers() -> Tuple[str, ...]:
+    """The subset of :data:`TIERS` runnable in this environment."""
+    if compiled_backend() is None:
+        return ("scalar", "numpy")
+    return TIERS
+
+
+def resolve_tier(tier: str) -> str:
+    """Validate ``tier`` and degrade ``compiled`` -> ``numpy`` if needed.
+
+    The degradation warns exactly once per process (the numpy tier is
+    bit-identical wherever exactness is promised, so silence afterwards
+    is safe — only speed is lost).
+    """
+    global _WARNED
+    if tier not in TIERS:
+        raise SimulationError(
+            f"tier must be one of {TIERS}, got {tier!r}"
+        )
+    if tier == "compiled" and compiled_backend() is None:
+        if not _WARNED:
+            _WARNED = True
+            reasons = "; ".join(
+                _BACKEND_REASONS.get(key, "")
+                for key in ("forced", "numba", "cc")
+                if key in _BACKEND_REASONS
+            )
+            warnings.warn(
+                "tier='compiled' requested but no compiled backend is "
+                f"available ({reasons}); falling back to the numpy tier "
+                "(bit-identical, slower)",
+                CompiledTierUnavailableWarning,
+                stacklevel=2,
+            )
+        return "numpy"
+    return tier
+
+
+@dataclasses.dataclass(frozen=True)
+class CongestionTable:
+    """Per-slot congestion timelines in flat searchable form.
+
+    ``offsets[s] : offsets[s + 1]`` spans slot ``s``'s chronologically
+    sorted event ``times`` and the congested-after-event ``flags`` — the
+    array twin of the numpy tier's ``{slot: (times, flags)}`` dict.
+    """
+
+    offsets: npt.NDArray[np.int64]  # (m + 1,)
+    times: npt.NDArray[np.float64]  # (n,) grouped, time-sorted
+    flags: npt.NDArray[np.uint8]  # (n,)
+
+    @classmethod
+    def empty(cls, m: int) -> "CongestionTable":
+        return cls(
+            offsets=np.zeros(m + 1, dtype=np.int64),
+            times=np.empty(0, dtype=np.float64),
+            flags=np.empty(0, dtype=np.uint8),
+        )
+
+
+def _as_c(array: np.ndarray, dtype: Any) -> np.ndarray:
+    return np.ascontiguousarray(array, dtype=dtype)
+
+
+class KernelSet:
+    """Uniform kernel interface over the numba and cc backends.
+
+    Every method takes and returns numpy arrays; scratch allocation and
+    pointer plumbing stay in here so the fast engine reads the same
+    either way.
+    """
+
+    def __init__(self, backend: str) -> None:
+        self.backend = backend
+        if backend == "numba":
+            self._numba = _load_numba()
+            if self._numba is None:  # pragma: no cover - defensive
+                raise SimulationError("numba backend requested but missing")
+        elif backend == "cc":
+            self._library = _load_cc()
+            if self._library is None:  # pragma: no cover - defensive
+                raise SimulationError("cc backend requested but missing")
+        else:
+            raise SimulationError(f"unknown compiled backend {backend!r}")
+
+    # ------------------------------------------------------------------
+    # Grouped token-bucket Lindley replay
+    # ------------------------------------------------------------------
+    def _scan_raw(
+        self,
+        slots: np.ndarray,
+        times: np.ndarray,
+        m: int,
+        capacity: float,
+        burst: float,
+        want_flags: bool,
+    ) -> Tuple[np.ndarray, ...]:
+        slots = _as_c(slots, np.int64)
+        times = _as_c(times, np.float64)
+        n = len(slots)
+        if self.backend == "numba":
+            return tuple(
+                self._numba.bucket_scan(
+                    slots, times, m, capacity, burst, want_flags
+                )
+            )
+        accept = np.zeros(n, dtype=np.uint8)
+        offered = np.zeros(m, dtype=np.int64)
+        accepted = np.zeros(m, dtype=np.int64)
+        offsets = np.zeros(m + 1, dtype=np.int64)
+        order = np.empty(n, dtype=np.int64)
+        flags = np.zeros(n, dtype=np.uint8)
+        tsorted = np.empty(n, dtype=np.float64)
+        cursor = np.empty(m, dtype=np.int64)
+        tmp = np.empty(n, dtype=np.int64)
+        svals = np.empty(n, dtype=np.float64)
+        import ctypes
+
+        i64p = ctypes.POINTER(ctypes.c_int64)
+        f64p = ctypes.POINTER(ctypes.c_double)
+        u8p = ctypes.POINTER(ctypes.c_uint8)
+        self._library.repro_bucket_scan(
+            slots.ctypes.data_as(i64p),
+            times.ctypes.data_as(f64p),
+            n,
+            m,
+            capacity,
+            burst,
+            1 if want_flags else 0,
+            accept.ctypes.data_as(u8p),
+            offered.ctypes.data_as(i64p),
+            accepted.ctypes.data_as(i64p),
+            offsets.ctypes.data_as(i64p),
+            order.ctypes.data_as(i64p),
+            flags.ctypes.data_as(u8p),
+            tsorted.ctypes.data_as(f64p),
+            cursor.ctypes.data_as(i64p),
+            tmp.ctypes.data_as(i64p),
+            svals.ctypes.data_as(f64p),
+        )
+        return accept, offered, accepted, offsets, order, flags, tsorted
+
+    def bucket_scan(
+        self,
+        slots: np.ndarray,
+        times: np.ndarray,
+        m: int,
+        capacity: float,
+        burst: float,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Drop-in for ``fastsim._grouped_bucket_scan``: returns
+        ``(accept, unique_slots, accepted_per, dropped_per)`` with accept
+        aligned to the *input* event order."""
+        accept, offered, accepted, _, _, _, _ = self._scan_raw(
+            slots, times, m, capacity, burst, want_flags=False
+        )
+        unique_slots = np.nonzero(offered)[0].astype(np.int64)
+        accepted_per = accepted[unique_slots]
+        dropped_per = offered[unique_slots] - accepted_per
+        return accept.astype(bool), unique_slots, accepted_per, dropped_per
+
+    def timeline_table(
+        self,
+        slots: np.ndarray,
+        times: np.ndarray,
+        m: int,
+        capacity: float,
+        burst: float,
+    ) -> CongestionTable:
+        """Congestion timelines for every slot present in the events."""
+        if len(slots) == 0:
+            return CongestionTable.empty(m)
+        _, _, _, offsets, _, flags, tsorted = self._scan_raw(
+            slots, times, m, capacity, burst, want_flags=True
+        )
+        return CongestionTable(offsets=offsets, times=tsorted, flags=flags)
+
+    # ------------------------------------------------------------------
+    # Fused congestion lookup + uniform routing
+    # ------------------------------------------------------------------
+    def route(
+        self,
+        u: np.ndarray,
+        neighbor_slots: np.ndarray,
+        healthy: np.ndarray,
+        decision_t: np.ndarray,
+        table: CongestionTable,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(routable, chosen)`` — the two-step numpy routing fused."""
+        u = _as_c(u, np.float64)
+        nbr = _as_c(neighbor_slots, np.int64)
+        healthy8 = _as_c(healthy, np.uint8)
+        decision_t = _as_c(decision_t, np.float64)
+        rows, cols = nbr.shape
+        if self.backend == "numba":
+            routable, chosen = self._numba.route(
+                u, nbr, healthy8, decision_t,
+                table.offsets, table.times, table.flags,
+            )
+            return routable.astype(bool), chosen
+        m = len(table.offsets) - 1
+        routable = np.zeros(rows, dtype=np.uint8)
+        chosen = np.empty(rows, dtype=np.int64)
+        cursor = np.empty(max(m, 1), dtype=np.int64)
+        scratch = np.empty(max(cols, 1), dtype=np.uint8)
+        import ctypes
+
+        i64p = ctypes.POINTER(ctypes.c_int64)
+        f64p = ctypes.POINTER(ctypes.c_double)
+        u8p = ctypes.POINTER(ctypes.c_uint8)
+        self._library.repro_route(
+            u.ctypes.data_as(f64p),
+            nbr.ctypes.data_as(i64p),
+            healthy8.ctypes.data_as(u8p),
+            decision_t.ctypes.data_as(f64p),
+            rows,
+            cols,
+            m,
+            table.offsets.ctypes.data_as(i64p),
+            table.times.ctypes.data_as(f64p),
+            table.flags.ctypes.data_as(u8p),
+            cursor.ctypes.data_as(i64p),
+            scratch.ctypes.data_as(u8p),
+            routable.ctypes.data_as(u8p),
+            chosen.ctypes.data_as(i64p),
+        )
+        return routable.astype(bool), chosen
+
+    # ------------------------------------------------------------------
+    # Streaming Welford fold
+    # ------------------------------------------------------------------
+    def welford(
+        self,
+        values: np.ndarray,
+        count: int,
+        mean: float,
+        m2: float,
+        maxv: float,
+    ) -> Tuple[int, float, float, float]:
+        values = _as_c(values, np.float64)
+        if self.backend == "numba":
+            out = self._numba.welford(values, count, mean, m2, maxv)
+            return int(out[0]), float(out[1]), float(out[2]), float(out[3])
+        import ctypes
+
+        c_count = ctypes.c_int64(count)
+        c_mean = ctypes.c_double(mean)
+        c_m2 = ctypes.c_double(m2)
+        c_max = ctypes.c_double(maxv)
+        self._library.repro_welford(
+            values.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+            len(values),
+            ctypes.byref(c_count),
+            ctypes.byref(c_mean),
+            ctypes.byref(c_m2),
+            ctypes.byref(c_max),
+        )
+        return c_count.value, c_mean.value, c_m2.value, c_max.value
+
+    # ------------------------------------------------------------------
+    # Batched CUSUM/EWMA scan
+    # ------------------------------------------------------------------
+    def detect_bins(
+        self,
+        series: np.ndarray,
+        means: np.ndarray,
+        sigmas: np.ndarray,
+        base_end: int,
+        method: str,
+        threshold: float,
+        drift: float,
+        alpha: float,
+    ) -> npt.NDArray[np.int64]:
+        series = _as_c(series, np.float64)
+        means = _as_c(means, np.float64)
+        sigmas = _as_c(sigmas, np.float64)
+        rows, bins = series.shape
+        method_code = 0 if method == "cusum" else 1
+        if self.backend == "numba":
+            result = self._numba.detect(
+                series, means, sigmas, base_end, method_code,
+                threshold, drift, alpha,
+            )
+            return np.asarray(result, dtype=np.int64)
+        out = np.empty(rows, dtype=np.int64)
+        import ctypes
+
+        f64p = ctypes.POINTER(ctypes.c_double)
+        self._library.repro_detect(
+            series.ctypes.data_as(f64p),
+            rows,
+            bins,
+            means.ctypes.data_as(f64p),
+            sigmas.ctypes.data_as(f64p),
+            base_end,
+            method_code,
+            threshold,
+            drift,
+            alpha,
+            out.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
+        )
+        return out
+
+
+_KERNELS: Dict[str, KernelSet] = {}
+
+
+def get_kernels(tier: str) -> Optional[KernelSet]:
+    """The compiled :class:`KernelSet` for ``tier``, or ``None``.
+
+    ``None`` means "run the interpreter-tier code path" — both the
+    numpy default and the scalar reference return it.
+    """
+    if tier != "compiled":
+        return None
+    backend = compiled_backend()
+    if backend is None:
+        return None
+    kernels = _KERNELS.get(backend)
+    if kernels is None:
+        kernels = KernelSet(backend)
+        _KERNELS[backend] = kernels
+    return kernels
+
+
+# ----------------------------------------------------------------------
+# Batched detector scan (numpy tier) + dispatch for TrafficMonitor
+# ----------------------------------------------------------------------
+
+
+def _detect_bins_numpy(
+    series: npt.NDArray[np.float64],
+    means: npt.NDArray[np.float64],
+    sigmas: npt.NDArray[np.float64],
+    base_end: int,
+    method: str,
+    threshold: float,
+    drift: float,
+    alpha: float,
+) -> npt.NDArray[np.int64]:
+    """CUSUM/EWMA first crossings vectorized across nodes.
+
+    The recursion runs bin by bin over a *vector* of per-node statistics;
+    each element performs the exact float operations of the scalar
+    ``_detection_bin`` loop in the same order, so crossings are
+    bit-identical to the per-node scan.
+    """
+    rows, bins = series.shape
+    out = np.full(rows, -1, dtype=np.int64)
+    if bins <= base_end:
+        return out
+    pending = np.ones(rows, dtype=bool)
+    if method == "cusum":
+        statistic = np.zeros(rows, dtype=np.float64)
+        for index in range(base_end, bins):
+            deviation = (series[:, index] - means) / sigmas
+            statistic = np.maximum(0.0, (statistic + deviation) - drift)
+            crossed = pending & (statistic > threshold)
+            out[crossed] = index
+            pending &= ~crossed
+            if not bool(pending.any()):
+                break
+        return out
+    smoothed = means.copy()
+    for index in range(base_end, bins):
+        smoothed = alpha * series[:, index] + (1.0 - alpha) * smoothed
+        crossed = pending & ((smoothed - means) / sigmas > threshold)
+        out[crossed] = index
+        pending &= ~crossed
+        if not bool(pending.any()):
+            break
+    return out
+
+
+def detect_bins_batch(
+    series: npt.NDArray[np.float64],
+    means: npt.NDArray[np.float64],
+    sigmas: npt.NDArray[np.float64],
+    base_end: int,
+    method: str,
+    threshold: float,
+    drift: float,
+    alpha: float,
+    tier: str,
+) -> npt.NDArray[np.int64]:
+    """First-crossing bin per series row (-1 = never) at ``tier``.
+
+    ``series`` rows share one horizon; ``means``/``sigmas`` are the
+    per-row baseline statistics (computed by the caller with the scalar
+    tier's exact numpy calls). ``tier`` must already be resolved.
+    """
+    series = np.ascontiguousarray(series, dtype=np.float64)
+    kernels = get_kernels(tier)
+    if kernels is not None:
+        return kernels.detect_bins(
+            series, means, sigmas, base_end, method, threshold, drift, alpha
+        )
+    return _detect_bins_numpy(
+        series, means, sigmas, base_end, method, threshold, drift, alpha
+    )
+
+
+def _reset_for_tests() -> None:
+    """Forget resolved backends/warnings (test hook)."""
+    global _BACKEND, _BACKEND_RESOLVED, _WARNED
+    global _NUMBA_MODULE, _NUMBA_TRIED, _CC_LIBRARY, _CC_TRIED
+    _BACKEND = None
+    _BACKEND_RESOLVED = False
+    _WARNED = False
+    _NUMBA_MODULE = None
+    _NUMBA_TRIED = False
+    _CC_LIBRARY = None
+    _CC_TRIED = False
+    _BACKEND_REASONS.clear()
+    _KERNELS.clear()

@@ -49,13 +49,19 @@ import bisect
 import dataclasses
 import math
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.architecture import SOSArchitecture
 from repro.errors import SimulationError
 from repro.overlay.arrays import attach_columns, share_columns
+from repro.perf.compiled import (
+    CongestionTable,
+    KernelSet,
+    get_kernels,
+    resolve_tier,
+)
 from repro.simulation.packet_sim import (
     PacketLevelSimulation,
     PacketSimConfig,
@@ -89,19 +95,56 @@ class SlotIndex:
     index for a million-node deployment is one ``argsort`` instead of a
     million dict inserts. Supports ``in`` and ``[]`` like the dict it
     replaced.
+
+    Duplicate identifiers are rejected at construction (a two-slot id
+    would make every downstream slot array ambiguous). Identifiers too
+    wide for int64 (e.g. raw 2^160 hash-space names) degrade to a plain
+    dict index — correct, just without the vectorized fast path.
     """
 
-    __slots__ = ("_sorted_ids", "_sorted_slots")
+    __slots__ = ("_sorted_ids", "_sorted_slots", "_fallback")
 
     def __init__(self, node_ids: np.ndarray) -> None:
-        order = np.argsort(node_ids, kind="stable")
-        self._sorted_ids = np.ascontiguousarray(node_ids[order])
+        ids = np.asarray(node_ids)
+        wide = ids.dtype == object or (
+            ids.dtype == np.uint64
+            and ids.size > 0
+            and int(ids.max()) > np.iinfo(np.int64).max
+        )
+        if wide:
+            mapping: Dict[int, int] = {}
+            for slot, value in enumerate(ids.reshape(-1).tolist()):
+                value = int(value)
+                if value in mapping:
+                    raise SimulationError(
+                        f"duplicate node id {value} in deployment arrays"
+                    )
+                mapping[value] = slot
+            self._fallback: Optional[Dict[int, int]] = mapping
+            self._sorted_ids = np.empty(0, dtype=np.int64)
+            self._sorted_slots = np.empty(0, dtype=np.int64)
+            return
+        self._fallback = None
+        ids64 = np.asarray(ids, dtype=np.int64)
+        order = np.argsort(ids64, kind="stable")
+        self._sorted_ids = np.ascontiguousarray(ids64[order])
         self._sorted_slots = np.ascontiguousarray(order.astype(np.int64))
+        if len(self._sorted_ids) > 1:
+            same = self._sorted_ids[1:] == self._sorted_ids[:-1]
+            if bool(same.any()):
+                dup = int(self._sorted_ids[1:][same][0])
+                raise SimulationError(
+                    f"duplicate node id {dup} in deployment arrays"
+                )
 
     def __len__(self) -> int:
+        if self._fallback is not None:
+            return len(self._fallback)
         return len(self._sorted_ids)
 
     def __contains__(self, node_id: object) -> bool:
+        if self._fallback is not None:
+            return node_id in self._fallback
         index = int(np.searchsorted(self._sorted_ids, node_id))
         return (
             index < len(self._sorted_ids)
@@ -109,6 +152,8 @@ class SlotIndex:
         )
 
     def __getitem__(self, node_id: int) -> int:
+        if self._fallback is not None:
+            return self._fallback[node_id]
         index = int(np.searchsorted(self._sorted_ids, node_id))
         if (
             index < len(self._sorted_ids)
@@ -119,6 +164,15 @@ class SlotIndex:
 
     def lookup(self, node_ids: np.ndarray) -> np.ndarray:
         """Vectorized ``[]``: slots of ``node_ids`` (any shape)."""
+        if self._fallback is not None:
+            wanted = np.asarray(node_ids)
+            out = np.empty(wanted.size, dtype=np.int64)
+            for position, value in enumerate(wanted.reshape(-1).tolist()):
+                value = int(value)
+                if value not in self._fallback:
+                    raise KeyError(value)
+                out[position] = self._fallback[value]
+            return out.reshape(wanted.shape)
         wanted = np.asarray(node_ids, dtype=np.int64)
         if len(self._sorted_ids) == 0:
             if wanted.size:
@@ -407,11 +461,69 @@ def _grouped_bucket_scan(
     return accept, unique_slots, accepted_per, dropped_per
 
 
+def _scalar_bucket_scan(
+    slots: np.ndarray,
+    times: np.ndarray,
+    capacity: float,
+    burst: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-event Python replay of the grouped token-bucket scan.
+
+    The ``scalar`` tier reference: every event runs the Lindley deficit
+    recursion one at a time in plain Python floats — no closed form, no
+    run skipping. Same return convention and (property-tested) identical
+    decisions to :func:`_grouped_bucket_scan`; rejected events leave the
+    ``(z, y)`` state untouched because the clamp at zero makes the
+    deficit a pure function of the last *accept*, not of intervening
+    rejects.
+    """
+    n = len(slots)
+    slot_list = [int(value) for value in slots.tolist()]
+    time_list = [float(value) for value in times.tolist()]
+    order = sorted(range(n), key=lambda i: (slot_list[i], time_list[i]))
+    accept = np.zeros(n, dtype=bool)
+    limit = burst - 1.0
+    offered: Dict[int, int] = {}
+    taken: Dict[int, int] = {}
+    state: Dict[int, Tuple[float, float]] = {}
+    for i in order:
+        slot = slot_list[i]
+        s = time_list[i] * capacity
+        z, y = state.get(slot, (0.0, 0.0))
+        zp = z - (s - y)
+        if zp < 0.0:
+            zp = 0.0
+        offered[slot] = offered.get(slot, 0) + 1
+        if zp <= limit:
+            accept[i] = True
+            state[slot] = (zp + 1.0, s)
+            taken[slot] = taken.get(slot, 0) + 1
+    unique = sorted(offered)
+    unique_slots = np.asarray(unique, dtype=np.int64)
+    accepted_per = np.asarray(
+        [taken.get(slot, 0) for slot in unique], dtype=np.int64
+    )
+    dropped_per = np.asarray(
+        [offered[slot] - taken.get(slot, 0) for slot in unique],
+        dtype=np.int64,
+    )
+    return accept, unique_slots, accepted_per, dropped_per
+
+
+#: Interpreter-tier scan implementations, keyed by resolved tier name.
+#: The compiled tier dispatches through :class:`KernelSet` instead.
+_SCAN_BY_TIER: Dict[str, Callable[..., Tuple[np.ndarray, ...]]] = {
+    "scalar": _scalar_bucket_scan,
+    "numpy": _grouped_bucket_scan,
+}
+
+
 def _congestion_timelines(
     slots: np.ndarray,
     times: np.ndarray,
     capacity: float,
     burst: float,
+    scan: Callable[..., Tuple[np.ndarray, ...]] = _grouped_bucket_scan,
 ) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
     """Per slot: (chronological event times, congested-after-event flags).
 
@@ -426,9 +538,7 @@ def _congestion_timelines(
         return timelines
     order = np.lexsort((times, slots))
     t_sorted = times[order]
-    accept, unique_slots, _, _ = _grouped_bucket_scan(
-        slots, times, capacity, burst
-    )
+    accept, unique_slots, _, _ = scan(slots, times, capacity, burst)
     a_sorted = accept[order]
     _, starts, counts = np.unique(
         slots[order], return_index=True, return_counts=True
@@ -445,25 +555,37 @@ def _congestion_timelines(
     return timelines
 
 
-def _flood_congestion_timelines(
+def _flood_events(
     flood_slots: Sequence[int],
     flood_times: Sequence[np.ndarray],
-    capacity: float,
-    burst: float,
-) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
-    """Flood-only congestion timelines, keyed by flooded slot."""
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten per-target flood rows into parallel (slots, times) arrays."""
     populated = [
         (slot, times)
         for slot, times in zip(flood_slots, flood_times)
         if len(times)
     ]
     if not populated:
-        return {}
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
     slots = np.concatenate(
         [np.full(len(times), slot, dtype=np.int64) for slot, times in populated]
     )
     times_flat = np.concatenate([times for _, times in populated])
-    return _congestion_timelines(slots, times_flat, capacity, burst)
+    return slots, times_flat
+
+
+def _flood_congestion_timelines(
+    flood_slots: Sequence[int],
+    flood_times: Sequence[np.ndarray],
+    capacity: float,
+    burst: float,
+    scan: Callable[..., Tuple[np.ndarray, ...]] = _grouped_bucket_scan,
+) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+    """Flood-only congestion timelines, keyed by flooded slot."""
+    slots, times_flat = _flood_events(flood_slots, flood_times)
+    if len(slots) == 0:
+        return {}
+    return _congestion_timelines(slots, times_flat, capacity, burst, scan)
 
 
 def _route_uniform(
@@ -559,6 +681,15 @@ def run_fast(
     all); when given, ``deployment`` is only consulted to sample client
     contacts, so ``deployment=None`` is legal as long as
     ``client_contacts`` is supplied.
+
+    ``config.tier`` selects the kernel implementation for the token
+    bucket replay, congestion lookups, routing picks, and the latency
+    fold: ``scalar`` (per-event Python reference), ``numpy`` (default),
+    or ``compiled`` (:mod:`repro.perf.compiled`; machine code via numba
+    or the bundled C backend, degrading to numpy with a one-time
+    warning when neither is available). All tiers make identical RNG
+    draws and identical accept/drop/route decisions, so reports are
+    bit-identical across tiers wherever the numpy path is exact.
     """
     generator = make_rng(rng)
     if arrays is None:
@@ -570,6 +701,10 @@ def run_fast(
     layers = arrays.layers
     capacity = config.node_capacity
     burst = 2.0 * config.node_capacity
+    tier = resolve_tier(config.tier)
+    kernels = get_kernels(tier)
+    scan = _SCAN_BY_TIER.get(tier, _grouped_bucket_scan)
+    total_slots = len(arrays.node_ids)
     report = PacketSimReport()
 
     if client_contacts is None:
@@ -594,11 +729,15 @@ def run_fast(
         if marking is not None and mark_master is None:
             mark_master = generator.spawn(1)[0]
     arrival_streams, routing_rng, flood_master = streams
-    contact_matrix = arrays.slot_of.lookup(
-        np.asarray(
-            [list(contacts) for contacts in client_contacts], dtype=np.int64
+    contact_rows = [list(contacts) for contacts in client_contacts]
+    if contact_rows:
+        contact_matrix = arrays.slot_of.lookup(
+            np.asarray(contact_rows, dtype=np.int64)
         )
-    )
+    else:
+        # Zero clients: keep the matrix 2-D so the entry-choice
+        # arithmetic below stays shape-correct on empty inputs.
+        contact_matrix = np.zeros((0, 1), dtype=np.int64)
 
     targets = sorted(flood_targets or ())
     for target in targets:
@@ -651,9 +790,17 @@ def run_fast(
     flood_by_slot = {
         slot: times for slot, times in zip(target_slots, flood_rows)
     }
-    timelines = _flood_congestion_timelines(
-        target_slots, flood_rows, capacity, burst
-    )
+    timelines: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    flood_table = CongestionTable.empty(total_slots)
+    if kernels is not None:
+        fslots, ftimes = _flood_events(target_slots, flood_rows)
+        flood_table = kernels.timeline_table(
+            fslots, ftimes, total_slots, capacity, burst
+        )
+    else:
+        timelines = _flood_congestion_timelines(
+            target_slots, flood_rows, capacity, burst, scan
+        )
 
     client_index = np.concatenate(
         [
@@ -726,9 +873,16 @@ def run_fast(
         times_flat = np.concatenate(event_times)
         if len(slots_flat) == 0:
             continue
-        accept_flat, unique_slots, accepted_per, dropped_per = (
-            _grouped_bucket_scan(slots_flat, times_flat, capacity, burst)
-        )
+        if kernels is not None:
+            accept_flat, unique_slots, accepted_per, dropped_per = (
+                kernels.bucket_scan(
+                    slots_flat, times_flat, total_slots, capacity, burst
+                )
+            )
+        else:
+            accept_flat, unique_slots, accepted_per, dropped_per = scan(
+                slots_flat, times_flat, capacity, burst
+            )
         if monitor is not None:
             # Every offer this layer's buckets saw (legit + flood) with
             # its accept/drop outcome — the batch mirror of the event
@@ -754,8 +908,23 @@ def run_fast(
         if layer == layers + 1:
             delivered = int(ok.sum())
             report.delivered += delivered
-            for value in (arrive_t[ok] - sent_t[ok]).tolist():
-                report.record_latency(value, keep=config.keep_latencies)
+            latency_values = arrive_t[ok] - sent_t[ok]
+            if kernels is not None and not config.keep_latencies:
+                (
+                    report.latency_count,
+                    report.latency_mean,
+                    report.latency_m2,
+                    report.max_latency,
+                ) = kernels.welford(
+                    latency_values,
+                    report.latency_count,
+                    report.latency_mean,
+                    report.latency_m2,
+                    report.max_latency,
+                )
+            else:
+                for value in latency_values.tolist():
+                    report.record_latency(value, keep=config.keep_latencies)
             break
 
         sent_t = sent_t[ok]
@@ -777,10 +946,15 @@ def run_fast(
         # flood-only view cannot see (the residual error is the
         # second-order effect of re-routing on those arrival streams).
         hop_u = choice_u[:, layer]
-        live = healthy_next & ~_congested_at(
-            timelines, neighbor_slots, decision_t
-        )
-        routable, chosen = _route_uniform(hop_u, neighbor_slots, live)
+        if kernels is not None:
+            routable, chosen = kernels.route(
+                hop_u, neighbor_slots, healthy_next, decision_t, flood_table
+            )
+        else:
+            live = healthy_next & ~_congested_at(
+                timelines, neighbor_slots, decision_t
+            )
+            routable, chosen = _route_uniform(hop_u, neighbor_slots, live)
         tentative_arrival = arrive_t + config.hop_latency
         next_flood = [
             slot for slot in target_slots
@@ -793,19 +967,32 @@ def run_fast(
         ev_times = [tentative_arrival[routable]] + [
             flood_by_slot[slot] for slot in next_flood
         ]
-        refined = _congestion_timelines(
-            np.concatenate(ev_slots),
-            np.concatenate(ev_times),
-            capacity,
-            burst,
-        )
-        live = healthy_next & ~_congested_at(
-            refined, neighbor_slots, decision_t
-        )
         # Same per-packet uniforms, refined live sets: re-evaluating is
         # free (no stream consumption) and rows whose live set did not
         # change keep their pass-1 choice.
-        routable, chosen = _route_uniform(hop_u, neighbor_slots, live)
+        if kernels is not None:
+            refined_table = kernels.timeline_table(
+                np.concatenate(ev_slots),
+                np.concatenate(ev_times),
+                total_slots,
+                capacity,
+                burst,
+            )
+            routable, chosen = kernels.route(
+                hop_u, neighbor_slots, healthy_next, decision_t, refined_table
+            )
+        else:
+            refined = _congestion_timelines(
+                np.concatenate(ev_slots),
+                np.concatenate(ev_times),
+                capacity,
+                burst,
+                scan,
+            )
+            live = healthy_next & ~_congested_at(
+                refined, neighbor_slots, decision_t
+            )
+            routable, chosen = _route_uniform(hop_u, neighbor_slots, live)
 
         stranded_count = int(len(routable) - int(routable.sum()))
         if stranded_count:

@@ -61,6 +61,13 @@ class PacketSimConfig:
     #: Off by default so long runs stay O(1) memory; the streaming
     #: count/mean/max statistics are always maintained.
     keep_latencies: bool = False
+    #: Kernel tier for the fast engine: ``"scalar"`` replays every hot
+    #: recursion in per-event Python (the readable reference),
+    #: ``"numpy"`` is the vectorized default and oracle, ``"compiled"``
+    #: dispatches to :mod:`repro.perf.compiled` machine-code kernels
+    #: (bit-identical; degrades to numpy with a one-time warning when no
+    #: compiled backend is available). The event engine ignores it.
+    tier: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.duration <= self.warmup:
@@ -68,8 +75,13 @@ class PacketSimConfig:
         for name in ("hop_latency", "client_rate", "node_capacity", "flood_rate"):
             if getattr(self, name) <= 0:
                 raise SimulationError(f"{name} must be > 0")
-        if self.clients < 1:
-            raise SimulationError("clients must be >= 1")
+        if self.clients < 0:
+            raise SimulationError("clients must be >= 0")
+        if self.tier not in ("scalar", "numpy", "compiled"):
+            raise SimulationError(
+                "tier must be one of ('scalar', 'numpy', 'compiled'), "
+                f"got {self.tier!r}"
+            )
         if not 0.0 <= self.flood_start < self.duration:
             raise SimulationError(
                 "flood_start must lie in [0, duration), got "

@@ -37,7 +37,16 @@ class TestConfigValidation:
         with pytest.raises(SimulationError):
             PacketSimConfig(client_rate=0)
         with pytest.raises(SimulationError):
-            PacketSimConfig(clients=0)
+            PacketSimConfig(clients=-1)
+
+    def test_zero_clients_allowed(self):
+        assert PacketSimConfig(clients=0).clients == 0
+
+    def test_tier_validated(self):
+        with pytest.raises(SimulationError):
+            PacketSimConfig(tier="turbo")
+        for tier in ("scalar", "numpy", "compiled"):
+            assert PacketSimConfig(tier=tier).tier == tier
 
 
 class TestBaseline:

@@ -1,0 +1,48 @@
+"""Guarded false positives: jitted bodies are a compiled boundary.
+
+Everything in here would be a ``wallclock`` or ``rng-raw-seed`` finding
+in plain Python, but every body is (or is nested inside) a numba-jitted
+function — lowered to machine code, unable to call the sanctioned
+helpers, and covered by the bit-identity property tests at its call
+boundary instead. The passes must stay silent.
+"""
+
+import time
+
+import numba
+import numpy as np
+from numba import njit
+
+
+@njit(cache=True)
+def raw_seed_kernel(offset):
+    # A jitted kernel cannot reach repro.utils.seeding: numba cannot
+    # lower the factory objects. Raw seeding here is the callers'
+    # responsibility to wire, not this body's.
+    rng = np.random.default_rng(1234)
+    return rng.random() + offset
+
+
+@numba.njit
+def qualified_decorator_kernel():
+    rng = np.random.default_rng(seed=7)
+    return rng.random()
+
+
+@numba.guvectorize(["float64[:], float64[:]"], "(n)->(n)")
+def wallclock_spelling(values, out):
+    # ``time.time`` in a jitted body is lowered (or rejected) by numba,
+    # never executed by CPython — not a wall-clock read of this process.
+    out[0] = time.time() + values[0]
+
+
+@njit
+def closure_host(values):
+    def accumulate(total, value):
+        rng = np.random.default_rng(99)
+        return total + value + rng.random()
+
+    total = 0.0
+    for value in values:
+        total = accumulate(total, value)
+    return total

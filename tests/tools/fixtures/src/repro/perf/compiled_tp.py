@@ -1,0 +1,19 @@
+"""True positives: non-numba decorators are not a compiled boundary.
+
+The sharpest near-miss for the compiled-boundary mark: functions in a
+``perf`` module that *are* decorated — just not with anything from the
+numba jit family — must still be scanned like ordinary Python.
+"""
+
+import functools
+import time
+
+
+@functools.lru_cache(maxsize=8)
+def cached_stamp(key):
+    return key, time.time()  # TP anchor: lru_cache is not a jit
+
+
+@functools.wraps(cached_stamp)
+def wrapped_stamp():
+    return time.time()  # TP anchor: wraps is not a jit

@@ -169,6 +169,135 @@ class TestCompare:
         assert "added:" in capsys.readouterr().out
 
 
+def _ladder(flooded_compiled=0.08, flooded_numpy=0.40):
+    return {
+        "version": 1,
+        "available": ["scalar", "numpy", "compiled"],
+        "backend": "cc",
+        "rounds": 3,
+        "benchmarks": {
+            "flooded_packet_1000c": {
+                "tiers": {
+                    "numpy": {"mean": flooded_numpy, "rounds": 3},
+                    "compiled": {"mean": flooded_compiled, "rounds": 3},
+                },
+                "speedup_vs_numpy": {
+                    "compiled": flooded_numpy / flooded_compiled
+                },
+            },
+        },
+    }
+
+
+class TestLadderEmbedding:
+    def test_snapshot_embeds_ladder_as_tiers_block(self, tmp_path):
+        raw = _write_raw(tmp_path, MEANS)
+        ladder_path = tmp_path / "ladder.json"
+        ladder_path.write_text(json.dumps(_ladder()))
+        out = tmp_path / "BENCH_1.json"
+        assert bench_snapshot.main(
+            [raw, "--output", str(out), "--ladder", str(ladder_path)]
+        ) == 0
+        snapshot = json.loads(out.read_text())
+        assert snapshot["tiers"]["backend"] == "cc"
+        assert "flooded_packet_1000c" in snapshot["tiers"]["benchmarks"]
+
+    def test_malformed_ladder_rejected(self, tmp_path):
+        raw = _write_raw(tmp_path, MEANS)
+        ladder_path = tmp_path / "ladder.json"
+        ladder_path.write_text(json.dumps({"no": "benchmarks"}))
+        assert bench_snapshot.main(
+            [raw, "--ladder", str(ladder_path), "--root", str(tmp_path)]
+        ) == 2
+
+
+class TestCompareTiers:
+    def _tiered_pair(self, tmp_path, new_compiled, new_numpy=0.40):
+        for number, ladder in (
+            (1, _ladder()),
+            (2, _ladder(flooded_compiled=new_compiled,
+                        flooded_numpy=new_numpy)),
+        ):
+            raw = _write_raw(tmp_path, MEANS, f"raw{number}.json")
+            ladder_path = tmp_path / f"ladder{number}.json"
+            ladder_path.write_text(json.dumps(ladder))
+            bench_snapshot.main(
+                [raw, "--output", str(tmp_path / f"BENCH_{number}.json"),
+                 "--ladder", str(ladder_path)]
+            )
+        return (
+            str(tmp_path / "BENCH_1.json"),
+            str(tmp_path / "BENCH_2.json"),
+        )
+
+    def test_compiled_regression_cannot_hide_behind_numpy(
+        self, tmp_path, capsys
+    ):
+        # numpy got 2x faster, compiled got 3x slower: the per-tier rows
+        # must still fail the gate.
+        base, new = self._tiered_pair(
+            tmp_path, new_compiled=0.24, new_numpy=0.20
+        )
+        assert bench_compare.main([base, new]) == 1
+        out = capsys.readouterr().out
+        assert "flooded_packet_1000c[compiled]" in out
+        assert "REGRESSION" in out
+
+    def test_matching_tiers_pass(self, tmp_path, capsys):
+        base, new = self._tiered_pair(tmp_path, new_compiled=0.08)
+        assert bench_compare.main([base, new]) == 0
+        assert "flooded_packet_1000c[numpy]" in capsys.readouterr().out
+
+    def test_pre_ladder_snapshots_skip_tier_rows(self, tmp_path):
+        # Old snapshots have no tiers block; comparison degrades to the
+        # plain timing diff instead of erroring.
+        raw = _write_raw(tmp_path, MEANS)
+        bench_snapshot.main([raw, "--output", str(tmp_path / "BENCH_1.json")])
+        ladder_path = tmp_path / "ladder.json"
+        ladder_path.write_text(json.dumps(_ladder()))
+        bench_snapshot.main(
+            [raw, "--output", str(tmp_path / "BENCH_2.json"),
+             "--ladder", str(ladder_path)]
+        )
+        assert bench_compare.main(
+            [str(tmp_path / "BENCH_1.json"), str(tmp_path / "BENCH_2.json")]
+        ) == 0
+
+
+class TestCompareAgainst:
+    def _trajectory(self, tmp_path, factors):
+        """BENCH_1..n with every benchmark scaled by the given factors."""
+        for number, factor in enumerate(factors, start=1):
+            means = {name: mean * factor for name, mean in MEANS.items()}
+            raw = _write_raw(tmp_path, means, f"raw{number}.json")
+            bench_snapshot.main(
+                [raw, "--output", str(tmp_path / f"BENCH_{number}.json")]
+            )
+
+    def test_against_compares_newest_to_chosen_base(self, tmp_path, capsys):
+        # 1.0 -> 1.1 -> 1.15: newest vs previous is within threshold,
+        # but vs BENCH_1 the cumulative drift is not.
+        self._trajectory(tmp_path, [1.0, 1.1, 1.15])
+        root = str(tmp_path)
+        assert bench_compare.main(["--root", root]) == 0
+        assert bench_compare.main(
+            ["--root", root, "--against", "1", "--threshold", "0.12"]
+        ) == 1
+        assert "BENCH_1.json" in capsys.readouterr().out
+
+    def test_against_missing_snapshot_errors(self, tmp_path):
+        self._trajectory(tmp_path, [1.0, 1.0])
+        assert bench_compare.main(
+            ["--root", str(tmp_path), "--against", "9"]
+        ) == 2
+
+    def test_against_newest_itself_errors(self, tmp_path):
+        self._trajectory(tmp_path, [1.0, 1.0])
+        assert bench_compare.main(
+            ["--root", str(tmp_path), "--against", "2"]
+        ) == 2
+
+
 class TestMemoizationContract:
     def test_memoized_kernel_identical_results(self):
         from repro.core.probability import (

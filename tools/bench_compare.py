@@ -5,18 +5,27 @@ Usage::
 
     python tools/bench_compare.py BENCH_1.json BENCH_2.json
     python tools/bench_compare.py            # auto: two newest snapshots
+    python tools/bench_compare.py --against 1   # newest vs BENCH_1.json
 
 A benchmark regresses when ``new_mean / base_mean`` exceeds
 ``1 + threshold`` (default threshold 0.2, i.e. >20% slower). The exit
 code is non-zero when any benchmark regresses, which is what `make
 bench-compare` and future CI gates key on. Benchmarks present in only
 one snapshot are reported but never fatal — suites are allowed to grow.
+
+Snapshots carrying a ``tiers`` block (the ``tools/bench_ladder.py``
+report embedded by ``bench_snapshot.py --ladder``) are additionally
+compared per tier: each ladder cell becomes a ``name[tier]`` row under
+the same threshold, so a compiled-tier regression is gated on its own
+and cannot hide behind an improvement in the numpy tier of the same
+benchmark.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -50,6 +59,52 @@ def compare(base: dict, new: dict, threshold: float) -> List[dict]:
                 # effects would make a gate on it meaningless).
                 "base_rss_kb": _peak_rss(base["benchmarks"][name]),
                 "new_rss_kb": _peak_rss(new["benchmarks"][name]),
+            }
+        )
+    rows.extend(compare_tiers(base, new, threshold))
+    return rows
+
+
+def _tier_means(snapshot: dict) -> dict:
+    """Flatten a snapshot's ladder block into ``{"name[tier]": mean}``.
+
+    Snapshots without a ``tiers`` block (pre-ladder trajectory) flatten
+    to ``{}``, so comparing old-vs-new stays a plain timing diff.
+    """
+    means = {}
+    ladder = snapshot.get("tiers") or {}
+    for name, record in ladder.get("benchmarks", {}).items():
+        for tier, cell in record.get("tiers", {}).items():
+            means[f"{name}[{tier}]"] = float(cell["mean"])
+    return means
+
+
+def compare_tiers(base: dict, new: dict, threshold: float) -> List[dict]:
+    """Per-tier ladder rows, gated under the same threshold.
+
+    Each (benchmark, tier) cell present in both snapshots' ladder blocks
+    becomes its own row, so a compiled-tier regression fails the gate
+    even when the numpy tier of the same benchmark improved. Cells
+    present in only one snapshot (tier newly available, or backend
+    missing on this machine) are skipped — availability is an
+    environment fact, not a regression.
+    """
+    base_means = _tier_means(base)
+    new_means = _tier_means(new)
+    rows = []
+    for name in sorted(set(base_means) & set(new_means)):
+        base_mean = base_means[name]
+        new_mean = new_means[name]
+        ratio = new_mean / base_mean if base_mean > 0.0 else float("inf")
+        rows.append(
+            {
+                "name": name,
+                "base_mean": base_mean,
+                "new_mean": new_mean,
+                "ratio": ratio,
+                "regressed": ratio > 1.0 + threshold,
+                "base_rss_kb": None,
+                "new_rss_kb": None,
             }
         )
     return rows
@@ -97,10 +152,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0.2,
         help="fractional slowdown tolerated before failing (default: 0.2)",
     )
+    parser.add_argument(
+        "--against",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compare the newest snapshot against BENCH_<N>.json instead "
+        "of the second-newest",
+    )
     args = parser.parse_args(argv)
+
+    if args.against is not None and args.snapshots:
+        parser.error("--against replaces explicit snapshot paths; pass one "
+                     "or the other")
+        return 2  # unreachable; parser.error exits
 
     if len(args.snapshots) == 2:
         base_path, new_path = args.snapshots
+    elif args.against is not None:
+        base_path = os.path.join(args.root, f"BENCH_{args.against}.json")
+        snapshots = existing_snapshots(args.root)
+        if not os.path.exists(base_path):
+            print(
+                f"bench-compare: no {base_path} to compare against",
+                file=sys.stderr,
+            )
+            return 2
+        if not snapshots or snapshots[-1] == base_path:
+            print(
+                f"bench-compare: no snapshot newer than {base_path}",
+                file=sys.stderr,
+            )
+            return 2
+        new_path = snapshots[-1]
     elif not args.snapshots:
         snapshots = existing_snapshots(args.root)
         if len(snapshots) < 2:

@@ -5,7 +5,8 @@ snapshot at the repository root.
 Usage::
 
     pytest benchmarks/ --benchmark-only --benchmark-json=.bench_raw.json
-    python tools/bench_snapshot.py .bench_raw.json
+    python tools/bench_ladder.py --output .bench_ladder.json   # optional
+    python tools/bench_snapshot.py .bench_raw.json --ladder .bench_ladder.json
 
 The snapshot keeps only what trajectory comparisons need — per-benchmark
 timing statistics plus enough machine context to judge comparability —
@@ -57,8 +58,14 @@ def next_snapshot_path(root: str) -> str:
     return os.path.join(root, f"BENCH_{max(numbers) + 1}.json")
 
 
-def normalize(raw: dict) -> dict:
-    """Reduce a pytest-benchmark report to the snapshot schema."""
+def normalize(raw: dict, ladder: Optional[dict] = None) -> dict:
+    """Reduce a pytest-benchmark report to the snapshot schema.
+
+    ``ladder`` is an optional ``tools/bench_ladder.py`` report; when
+    given it is embedded verbatim as the snapshot's ``tiers`` block so
+    ``bench_compare`` can gate per-tier regressions alongside the
+    pytest-benchmark rows.
+    """
     machine_info = raw.get("machine_info", {})
     machine = {
         key: machine_info[key] for key in MACHINE_KEYS if key in machine_info
@@ -74,13 +81,18 @@ def normalize(raw: dict) -> dict:
         benchmarks[entry["fullname"]] = record
     if not benchmarks:
         raise ValueError("raw report contains no benchmarks")
-    return {
+    snapshot = {
         "version": SNAPSHOT_VERSION,
         "source": "pytest-benchmark",
         "datetime": raw.get("datetime"),
         "machine_info": machine,
         "benchmarks": benchmarks,
     }
+    if ladder is not None:
+        if "benchmarks" not in ladder:
+            raise ValueError("ladder report has no 'benchmarks' block")
+        snapshot["tiers"] = ladder
+    return snapshot
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -98,6 +110,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="explicit snapshot path (default: next free BENCH_<n>.json)",
     )
+    parser.add_argument(
+        "--ladder",
+        default=None,
+        help="bench_ladder.py report to embed as the snapshot's "
+        "'tiers' block",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -106,8 +124,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"bench-snapshot: cannot read {args.raw}: {exc}", file=sys.stderr)
         return 2
+    ladder = None
+    if args.ladder is not None:
+        try:
+            with open(args.ladder, "r", encoding="utf-8") as handle:
+                ladder = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(
+                f"bench-snapshot: cannot read {args.ladder}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
     try:
-        snapshot = normalize(raw)
+        snapshot = normalize(raw, ladder=ladder)
     except (KeyError, ValueError) as exc:
         print(f"bench-snapshot: malformed report: {exc}", file=sys.stderr)
         return 2
