@@ -5,7 +5,7 @@ PYTHON ?= python
 .PHONY: install test bench bench-save bench-compare bench-ladder \
 	experiments paper examples docs-check all lint lint-baseline \
 	lint-sarif typecheck contracts-test verify serve chaos slo-save \
-	scale-smoke
+	scale-smoke scenario-smoke
 
 # --- correctness tooling (docs/STATIC_ANALYSIS.md) ---------------------
 # `lint` always runs the in-repo repro-lint analyzer (statement rules +
@@ -41,7 +41,7 @@ lint-sarif:
 typecheck:
 	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
 		$(PYTHON) -m mypy -p repro.core -p repro.utils -p repro.contracts \
-			-p repro.detection -p repro.service; \
+			-p repro.detection -p repro.service -p repro.scenarios; \
 	else \
 		echo "mypy not installed locally; skipped (CI runs it)"; \
 	fi
@@ -91,6 +91,13 @@ bench-compare:
 # scale-smoke.json. `--nodes 1000000` exercises the million-node path.
 scale-smoke:
 	PYTHONPATH=src $(PYTHON) tools/scale_smoke.py --output scale-smoke.json
+
+# Every committed zoo scenario on both packet engines: asserts the
+# cross-engine injection-schedule contract and writes the delivery ×
+# detection-quality matrix (scenario-smoke.json).
+scenario-smoke:
+	PYTHONPATH=src $(PYTHON) tools/scenario_smoke.py --quick --budget 300 \
+		--output scenario-smoke.json
 
 # --- evaluation service (docs/SERVICE.md) ------------------------------
 # serve boots the HTTP façade locally; chaos runs the full fault drill

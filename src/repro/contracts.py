@@ -25,11 +25,12 @@ expected range — a contract failure is a bug report, not a user error.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import inspect
 import math
 import os
-from typing import Any, Callable, Tuple, TypeVar
+from typing import Any, Callable, Mapping, Optional, Tuple, TypeVar
 
 from repro.errors import ContractViolationError
 
@@ -172,7 +173,72 @@ def requires_non_negative(*names: str) -> Callable[[F], F]:
     return _requires(names, _is_non_negative, "finite and >= 0")
 
 
+@dataclasses.dataclass(frozen=True)
+class Field:
+    """One field of a :func:`check_schema` mapping schema.
+
+    ``types`` are the accepted runtime types (``bool`` is never accepted
+    for numeric fields: it *is* an ``int`` to Python but always a typo in
+    a spec). ``check``/``describe`` add an optional value constraint.
+    """
+
+    types: Tuple[type, ...]
+    required: bool = True
+    check: Optional[Callable[[Any], bool]] = None
+    describe: str = ""
+
+    def admits(self, value: Any) -> bool:
+        if isinstance(value, bool) and bool not in self.types:
+            return False
+        if not isinstance(value, self.types):
+            return False
+        return self.check is None or self.check(value)
+
+
+def check_schema(
+    payload: Any,
+    schema: Mapping[str, Field],
+    error: Callable[[str], Exception],
+    context: str,
+    allow_extra: bool = False,
+) -> None:
+    """Validate a decoded-JSON mapping against a field schema.
+
+    Unlike the decorators above this is **always active** — it guards
+    user-supplied payloads (scenario specs, service request bodies), not
+    internal invariants, so ``REPRO_CONTRACTS=0`` must not disable it.
+    ``error`` builds the exception to raise (e.g. ``ScenarioError``), so
+    each subsystem keeps its own error type; messages name ``context``
+    (where the payload came from) plus the offending field.
+    """
+    if not isinstance(payload, dict):
+        raise error(
+            f"{context} must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = set(payload) - set(schema)
+    if unknown and not allow_extra:
+        raise error(
+            f"{context} has unknown field(s) {sorted(unknown)}; "
+            f"known: {sorted(schema)}"
+        )
+    for name, field in schema.items():
+        if name not in payload:
+            if field.required:
+                raise error(f"{context} is missing required field {name!r}")
+            continue
+        value = payload[name]
+        if not field.admits(value):
+            expected = " or ".join(t.__name__ for t in field.types)
+            hint = f" ({field.describe})" if field.describe else ""
+            raise error(
+                f"{context}: field {name!r}={value!r} must be "
+                f"{expected}{hint}"
+            )
+
+
 __all__ = [
+    "Field",
+    "check_schema",
     "contracts_enabled",
     "ensures",
     "requires_fraction",

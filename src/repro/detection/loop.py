@@ -31,7 +31,7 @@ two-tier sense.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -55,9 +55,14 @@ from repro.simulation.packet_sim import (
 from repro.sos.deployment import SOSDeployment
 from repro.utils.seeding import make_rng
 
+if TYPE_CHECKING:  # lazy: repro.scenarios imports this module's classes
+    from repro.scenarios.spec import ScenarioSpec
+
 __all__ = ["PhaseOutcome", "LoopResult", "DetectionRepairLoop", "LOOP_MODES"]
 
 LOOP_MODES = ("none", "oracle", "detected")
+
+_TIERS = ("scalar", "numpy", "compiled")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -74,6 +79,11 @@ class PhaseOutcome:
     flooded: Tuple[int, ...]
     flagged: Tuple[int, ...]
     repaired: Tuple[int, ...]
+    #: Injection-schedule identity markers (legitimate packets sent and
+    #: attack packets absorbed) — bit-identical across engines on a
+    #: matched (spec, seed), which the scenario smoke harness asserts.
+    sent: int = 0
+    attack_packets: int = 0
 
     @property
     def false_positives(self) -> Tuple[int, ...]:
@@ -97,6 +107,9 @@ class LoopResult:
     initial_targets: Tuple[int, ...]
     graph: Optional[AttackGraph]
     collector: Optional[MarkCollector]
+    #: Name of the :class:`~repro.scenarios.spec.ScenarioSpec` that drove
+    #: the campaign (None for classic flood_layer campaigns).
+    scenario: Optional[str] = None
 
     @property
     def final_delivery(self) -> float:
@@ -130,18 +143,29 @@ class DetectionRepairLoop:
         policy: RepairPolicy,
         marking_config: Optional[MarkingConfig] = None,
         seed: Optional[int] = None,
+        tier: Optional[str] = None,
     ) -> None:
         if policy.is_noop:
             raise DetectionError(
                 "repair policy is a no-op (detection_probability <= 0); "
                 "detector-driven repair needs detection_probability=1.0"
             )
+        if tier is not None:
+            if tier not in _TIERS:
+                raise DetectionError(
+                    f"tier must be one of {_TIERS}, got {tier!r}"
+                )
+            # One knob drives both hot paths: the packet engine's kernel
+            # tier and the monitor's detector-scan tier.
+            sim_config = dataclasses.replace(sim_config, tier=tier)
         self.architecture = architecture
         self.sim_config = sim_config
         self.monitor_config = monitor_config
         self.policy = policy
         self.marking_config = marking_config
         self.seed = seed
+        self.tier = tier
+        self._monitor_tier = tier if tier is not None else "scalar"
 
     def run(
         self,
@@ -192,7 +216,7 @@ class DetectionRepairLoop:
         active = list(targets)
         outcomes: List[PhaseOutcome] = []
         for phase in range(phases):
-            monitor = TrafficMonitor(self.monitor_config)
+            monitor = TrafficMonitor(self.monitor_config, tier=self._monitor_tier)
             simulation = PacketLevelSimulation(
                 deployment,
                 self.sim_config,
@@ -220,6 +244,8 @@ class DetectionRepairLoop:
                     flooded=tuple(active),
                     flagged=flagged,
                     repaired=repaired,
+                    sent=report.sent,
+                    attack_packets=report.attack_packets_absorbed,
                 )
             )
             # A repaired node is re-keyed: the attacker's flood against
@@ -234,4 +260,154 @@ class DetectionRepairLoop:
             initial_targets=tuple(targets),
             graph=graph,
             collector=collector,
+        )
+
+    # ------------------------------------------------------------------
+    # Scenario campaigns
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_scenario(
+        cls,
+        spec: "ScenarioSpec",
+        monitor_config: Optional[MonitorConfig] = None,
+        policy: Optional[RepairPolicy] = None,
+        seed: Optional[int] = None,
+        tier: Optional[str] = None,
+    ) -> "DetectionRepairLoop":
+        """A loop wired for ``spec``: its architecture, its sim knobs.
+
+        ``tier`` overrides the spec's tier; ``seed`` overrides the
+        spec's seed (both default to what the spec pins, keeping zoo
+        runs reproducible from the JSON alone).
+        """
+        resolved_tier = tier if tier is not None else spec.tier
+        return cls(
+            architecture=spec.build_architecture(),
+            sim_config=spec.sim_config(tier=resolved_tier),
+            monitor_config=(
+                monitor_config if monitor_config is not None else MonitorConfig()
+            ),
+            policy=(
+                policy
+                if policy is not None
+                else RepairPolicy(detection_probability=1.0)
+            ),
+            seed=seed,
+            tier=resolved_tier,
+        )
+
+    def run_scenario(
+        self,
+        spec: "ScenarioSpec",
+        mode: str = "detected",
+        phases: int = 3,
+        fast: Optional[bool] = None,
+        abort_check: Optional[Callable[[], None]] = None,
+    ) -> LoopResult:
+        """Run ``phases`` repair rounds of a compiled scenario campaign.
+
+        Each round recompiles the spec with ``salt=round`` (fresh attack
+        and surge traffic, *identical* target selection — the target
+        streams are salt-independent) and subtracts every node repaired
+        so far from the schedule, mirroring the classic loop's
+        "repaired nodes leave the active flood set". ``fast=None``
+        follows the spec's engine knob; ``abort_check`` is called before
+        each round (the service's cooperative-cancel hook).
+
+        Ground truth for detection quality is the schedule's attack
+        target set; a benign-only scenario has an empty truth set, so
+        anything flagged there is a false positive by construction.
+        """
+        from repro.scenarios.schedule import compile_scenario
+
+        if mode not in LOOP_MODES:
+            raise DetectionError(
+                f"mode must be one of {LOOP_MODES}, got {mode!r}"
+            )
+        if phases < 1:
+            raise DetectionError(f"phases must be >= 1, got {phases}")
+        if self.marking_config is not None:
+            raise DetectionError(
+                "scenario campaigns do not support packet marking; run "
+                "marking against a classic flood_layer campaign instead"
+            )
+        engine_fast = (spec.engine == "fast") if fast is None else fast
+        seed = self.seed if self.seed is not None else spec.seed
+        # Same seed layout as :meth:`run` (deployment, target-picker,
+        # defender, then one per phase); slot 1 goes unused because the
+        # scenario's own target streams replace flood_layer's picker.
+        seeds = np.random.SeedSequence(seed).spawn(3 + phases)
+        deployment = SOSDeployment.deploy(
+            self.architecture, rng=make_rng(seeds[0])
+        )
+        base = compile_scenario(spec, deployment, salt=0)
+        targets = list(base.schedule.attack_targets)
+
+        defender: Optional[RepairingDefender] = None
+        oracle_feed: Optional[OracleFloodDetector] = None
+        monitor_feed: Optional[MonitorBackedDetector] = None
+        if mode == "oracle":
+            oracle_feed = OracleFloodDetector(targets)
+            defender = RepairingDefender(
+                self.policy, rng=make_rng(seeds[2]), detector=oracle_feed
+            )
+        elif mode == "detected":
+            monitor_feed = MonitorBackedDetector()
+            defender = RepairingDefender(
+                self.policy, rng=make_rng(seeds[2]), detector=monitor_feed
+            )
+
+        repaired_union: Set[int] = set()
+        outcomes: List[PhaseOutcome] = []
+        for phase in range(phases):
+            if abort_check is not None:
+                abort_check()
+            compiled = (
+                base
+                if phase == 0
+                else compile_scenario(spec, deployment, salt=phase)
+            )
+            schedule = compiled.schedule.without_targets(repaired_union)
+            active = [n for n in targets if n not in repaired_union]
+            monitor = TrafficMonitor(
+                self.monitor_config, tier=self._monitor_tier
+            )
+            simulation = PacketLevelSimulation(
+                deployment,
+                self.sim_config,
+                rng=make_rng(seeds[3 + phase]),
+                monitor=monitor,
+            )
+            report = simulation.run(fast=engine_fast, schedule=schedule)
+            flagged = tuple(monitor.flagged_nodes())
+
+            repaired: Tuple[int, ...] = ()
+            if defender is not None:
+                if oracle_feed is not None:
+                    oracle_feed.retarget(active)
+                if monitor_feed is not None:
+                    monitor_feed.attach(monitor)
+                defender.scan_and_repair(
+                    deployment, knowledge=None, now=float(phase)
+                )
+                repaired = tuple(defender.last_repaired)
+            outcomes.append(
+                PhaseOutcome(
+                    phase=phase,
+                    delivery_ratio=report.delivery_ratio,
+                    flooded=tuple(active),
+                    flagged=flagged,
+                    repaired=repaired,
+                    sent=report.sent,
+                    attack_packets=report.attack_packets_absorbed,
+                )
+            )
+            repaired_union.update(repaired)
+        return LoopResult(
+            mode=mode,
+            outcomes=outcomes,
+            initial_targets=tuple(targets),
+            graph=None,
+            collector=None,
+            scenario=spec.name,
         )

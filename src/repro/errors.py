@@ -78,3 +78,14 @@ class DetectionError(ReproError, RuntimeError):
     """A detection or traceback component was configured or fed
     inconsistently (bad monitor thresholds, marks for an unknown victim,
     a traceback over a graph that does not cover the flood targets)."""
+
+
+class ScenarioError(ReproError, ValueError):
+    """A scenario spec, vector, or zoo entry is invalid.
+
+    Raised eagerly — at spec construction, ``from_dict`` decoding, or zoo
+    lookup — so malformed campaign definitions never reach either packet
+    engine. Unlike :class:`ContractViolationError` this is a *user* error
+    (a bad JSON file or an unknown vector kind), so it is always raised
+    regardless of ``REPRO_CONTRACTS``.
+    """

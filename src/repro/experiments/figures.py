@@ -37,6 +37,7 @@ from repro.experiments.resilience_figs import (
     resilience_flooding,
 )
 from repro.experiments.result import FigureResult
+from repro.experiments.scenario_figs import scenario_zoo
 from repro.experiments.validation import validation_figure
 
 FigureFn = Callable[[], FigureResult]
@@ -74,6 +75,7 @@ REGISTRY: Dict[str, FigureFn] = {
     "det-traceback": det_traceback,
     "det-ppm": det_ppm,
     "det-sweep": det_sweep,
+    "scn-zoo": scenario_zoo,
 }
 
 #: The figures that appear in the paper itself (vs added validation).

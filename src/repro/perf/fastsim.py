@@ -650,6 +650,7 @@ def run_fast(
     marking: Optional[Any] = None,
     mark_master: Optional[np.random.Generator] = None,
     arrays: Optional[DeploymentArrays] = None,
+    schedule: Optional[Any] = None,
 ) -> PacketSimReport:
     """Run the vectorized packet engine; returns a :class:`PacketSimReport`.
 
@@ -690,6 +691,14 @@ def run_fast(
     warning when neither is available). All tiers make identical RNG
     draws and identical accept/drop/route decisions, so reports are
     bit-identical across tiers wherever the numpy path is exact.
+
+    ``schedule`` (an :class:`~repro.scenarios.schedule.InjectionSchedule`)
+    contributes precompiled vector traffic: per-node attack offer rows
+    merged into the flood structures and surge sources appended to the
+    client injection pipeline (their routing uniforms come from the
+    shared routing stream in global time order, exactly like baseline
+    clients). The instants are data, not draws, so the injected
+    schedule matches the event engine bit for bit.
     """
     generator = make_rng(rng)
     if arrays is None:
@@ -729,7 +738,39 @@ def run_fast(
         if marking is not None and mark_master is None:
             mark_master = generator.spawn(1)[0]
     arrival_streams, routing_rng, flood_master = streams
+
+    # --- precompiled scenario traffic --------------------------------
+    sched_attack: Dict[int, np.ndarray] = {}
+    surge_sources: Tuple[Any, ...] = ()
+    if schedule is not None:
+        if marking is not None:
+            from repro.errors import DetectionError
+
+            raise DetectionError(
+                "packet marking does not support scheduled scenario "
+                "vectors; run marking against a classic flood instead"
+            )
+        for node in schedule.attack_targets:
+            if node not in arrays.slot_of:
+                raise SimulationError(
+                    f"scheduled attack target {node} is not an SOS node "
+                    "or filter"
+                )
+        # Clip to this config's horizon with the same mask the event
+        # engine applies, so shorter replays of a longer schedule agree.
+        for node in schedule.attack_targets:
+            row = np.asarray(schedule.attack_times[node], dtype=np.float64)
+            sched_attack[int(node)] = row[row < config.duration]
+        surge_sources = tuple(schedule.surge_sources)
+
     contact_rows = [list(contacts) for contacts in client_contacts]
+    contact_rows += [list(source.contacts) for source in surge_sources]
+    if len({len(row) for row in contact_rows}) > 1:
+        raise SimulationError(
+            "surge sources and baseline clients must share one contact "
+            "degree; was the schedule compiled against a different "
+            "architecture?"
+        )
     if contact_rows:
         contact_matrix = arrays.slot_of.lookup(
             np.asarray(contact_rows, dtype=np.int64)
@@ -790,17 +831,39 @@ def run_fast(
     flood_by_slot = {
         slot: times for slot, times in zip(target_slots, flood_rows)
     }
+    # Merge scheduled attack rows into the same per-slot structure the
+    # classic flood uses; downstream (bucket scans, timelines, monitor
+    # batches) cannot tell the two apart, which is the point.
+    for node, times in sched_attack.items():
+        slot = arrays.slot_of[node]
+        if slot in flood_by_slot:
+            flood_by_slot[slot] = np.sort(
+                np.concatenate([flood_by_slot[slot], times])
+            )
+        else:
+            flood_by_slot[slot] = times
+    attack_slots = sorted(flood_by_slot)
+    attack_rows = [flood_by_slot[slot] for slot in attack_slots]
+    report.attack_packets_absorbed += int(
+        sum(len(times) for times in sched_attack.values())
+    )
     timelines: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
     flood_table = CongestionTable.empty(total_slots)
     if kernels is not None:
-        fslots, ftimes = _flood_events(target_slots, flood_rows)
+        fslots, ftimes = _flood_events(attack_slots, attack_rows)
         flood_table = kernels.timeline_table(
             fslots, ftimes, total_slots, capacity, burst
         )
     else:
         timelines = _flood_congestion_timelines(
-            target_slots, flood_rows, capacity, burst, scan
+            attack_slots, attack_rows, capacity, burst, scan
         )
+
+    # Surge sources ride the client injection pipeline: rows appended
+    # after the baseline clients, matching their contact-matrix rows.
+    for source in surge_sources:
+        row = np.asarray(source.times, dtype=np.float64)
+        injection_rows.append(row[row < config.duration])
 
     client_index = np.concatenate(
         [
@@ -846,7 +909,7 @@ def run_fast(
     # --- hop-synchronous advance -------------------------------------
     for layer in range(1, layers + 2):
         if len(arrive_t) == 0 and not any(
-            arrays.layer_of[slot] == layer for slot in target_slots
+            arrays.layer_of[slot] == layer for slot in attack_slots
         ):
             continue
         arrive_t = arrive_t + config.hop_latency
@@ -859,7 +922,7 @@ def run_fast(
         # Merge this layer's legitimate arrivals with the floods aimed
         # at its members, then replay every member's token bucket.
         layer_flood_slots = [
-            slot for slot in target_slots if arrays.layer_of[slot] == layer
+            slot for slot in attack_slots if arrays.layer_of[slot] == layer
         ]
         event_slots = [current]
         event_times = [arrival_t]
@@ -957,7 +1020,7 @@ def run_fast(
             routable, chosen = _route_uniform(hop_u, neighbor_slots, live)
         tentative_arrival = arrive_t + config.hop_latency
         next_flood = [
-            slot for slot in target_slots
+            slot for slot in attack_slots
             if arrays.layer_of[slot] == layer + 1
         ]
         ev_slots = [chosen[routable]] + [

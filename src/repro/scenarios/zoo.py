@@ -1,0 +1,60 @@
+"""The committed scenario zoo: named, reproducible campaign specs.
+
+Every ``zoo/<name>.json`` is the exact ``ScenarioSpec.to_dict()`` output
+(defaults included) of one curated scenario — the golden-file tests
+compare the committed bytes against a fresh round-trip, so drifting the
+DSL without regenerating the zoo fails loudly. Load by name::
+
+    from repro.scenarios import load_scenario
+    spec = load_scenario("pulsing-shrew")
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List
+
+from repro.errors import ScenarioError
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["ZOO_DIR", "list_scenarios", "load_scenario", "scenario_path"]
+
+ZOO_DIR = Path(__file__).resolve().parent / "zoo"
+
+
+def list_scenarios() -> List[str]:
+    """Sorted names of every committed zoo scenario."""
+    if not ZOO_DIR.is_dir():
+        return []
+    return sorted(path.stem for path in ZOO_DIR.glob("*.json"))
+
+
+def scenario_path(name: str) -> Path:
+    """Path of the committed spec for ``name`` (validated to exist)."""
+    if not name or "/" in name or "\\" in name or name.startswith("."):
+        raise ScenarioError(f"invalid scenario name {name!r}")
+    path = ZOO_DIR / f"{name}.json"
+    if not path.is_file():
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available: {list_scenarios()}"
+        )
+    return path
+
+
+def load_scenario(name: str) -> ScenarioSpec:
+    """Load and validate one zoo scenario by name."""
+    path = scenario_path(name)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(
+            f"zoo file {path.name} does not parse: {exc}"
+        ) from exc
+    spec = ScenarioSpec.from_dict(payload)
+    if spec.name != name:
+        raise ScenarioError(
+            f"zoo file {path.name} declares name {spec.name!r}; the file "
+            "stem and spec name must match"
+        )
+    return spec

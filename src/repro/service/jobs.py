@@ -9,7 +9,9 @@ onto the public endpoints, plus the health probe:
 * ``sweep`` — a design-space sweep over a (layers x mappings) grid
   against named attack scenarios, on the vectorized batch kernels;
 * ``campaign`` — a checkpointed Monte-Carlo campaign (batch; resumable
-  after a worker crash, cancellable on deadline);
+  after a worker crash, cancellable on deadline), or — when the body
+  carries ``{"scenario": "<zoo name>"}`` — one multi-vector scenario
+  campaign replayed through the detection→repair loop;
 * ``ping`` — a no-op used by readiness probes and breaker half-open
   trials.
 
@@ -26,8 +28,12 @@ from repro.core.architecture import SOSArchitecture
 from repro.core.attack_models import OneBurstAttack, SuccessiveAttack
 from repro.core.design_space import enumerate_designs, evaluate_designs
 from repro.core.model import evaluate
-from repro.errors import ServiceError
+from repro.detection.loop import LOOP_MODES
+from repro.errors import CampaignInterrupted, ScenarioError, ServiceError
 from repro.resilience.checkpoint import fingerprint
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import SCENARIO_ENGINES, SCENARIO_TIERS
+from repro.scenarios.zoo import load_scenario
 from repro.simulation.monte_carlo import MonteCarloConfig, MonteCarloEstimator
 
 JOB_KINDS = ("eval", "sweep", "campaign", "ping")
@@ -103,12 +109,66 @@ def build_attack(payload: Dict[str, Any]) -> "OneBurstAttack | SuccessiveAttack"
     )
 
 
+_SCENARIO_CAMPAIGN_FIELDS = frozenset(
+    ("scenario", "mode", "phases", "engine", "tier", "seed",
+     "deadline_ms", "priority", "checkpoint_every", "chaos_fail")
+)
+
+
+def _validate_scenario_campaign(payload: Dict[str, Any]) -> None:
+    unknown = sorted(set(payload) - _SCENARIO_CAMPAIGN_FIELDS)
+    if unknown:
+        raise ServiceError(f"unknown scenario-campaign fields: {unknown}")
+    name = payload["scenario"]
+    if not isinstance(name, str):
+        raise ServiceError(
+            f"'scenario' must be a zoo scenario name, got {name!r}"
+        )
+    try:
+        load_scenario(name)
+    except ScenarioError as exc:
+        raise ServiceError(str(exc)) from exc
+    mode = payload.get("mode", "detected")
+    if mode not in LOOP_MODES:
+        raise ServiceError(
+            f"'mode' must be one of {LOOP_MODES}, got {mode!r}"
+        )
+    phases = payload.get("phases", 3)
+    if isinstance(phases, bool) or not isinstance(phases, int) \
+            or not 1 <= phases <= 16:
+        raise ServiceError(
+            f"'phases' must be an integer in [1, 16], got {phases!r}"
+        )
+    engine = payload.get("engine")
+    if engine is not None and engine not in SCENARIO_ENGINES:
+        raise ServiceError(
+            f"'engine' must be one of {SCENARIO_ENGINES}, got {engine!r}"
+        )
+    tier = payload.get("tier")
+    if tier is not None and tier not in SCENARIO_TIERS:
+        raise ServiceError(
+            f"'tier' must be one of {SCENARIO_TIERS}, got {tier!r}"
+        )
+    seed = payload.get("seed")
+    if seed is not None and (
+        isinstance(seed, bool) or not isinstance(seed, int) or seed < 0
+    ):
+        raise ServiceError(
+            f"'seed' must be a non-negative integer when set, got {seed!r}"
+        )
+
+
 def validate_payload(kind: str, payload: Dict[str, Any]) -> None:
     """Eagerly validate a request body (raises :class:`ServiceError` /
     other :class:`ReproError` subtypes for a 400 before admission)."""
     if kind == "ping":
         return
     if kind in ("eval", "campaign"):
+        if kind == "campaign" and "scenario" in payload:
+            # A named zoo campaign: the spec carries the architecture
+            # and seed, so the Monte-Carlo fields do not apply.
+            _validate_scenario_campaign(payload)
+            return
         build_architecture(payload.get("architecture", {}))
         build_attack(payload.get("attack", {}))
         if kind == "campaign":
@@ -239,6 +299,24 @@ def execute_job(
             ],
         }
     if kind == "campaign":
+        if "scenario" in payload:
+
+            def _raise_if_aborted() -> None:
+                if abort_check is not None and abort_check():
+                    raise CampaignInterrupted(
+                        "scenario campaign cancelled between repair phases"
+                    )
+
+            report = run_scenario(
+                payload["scenario"],
+                mode=payload.get("mode", "detected"),
+                phases=int(payload.get("phases", 3)),
+                engine=payload.get("engine"),
+                tier=payload.get("tier"),
+                seed=payload.get("seed"),
+                abort_check=_raise_if_aborted,
+            )
+            return report.to_dict()
         config = _campaign_config(payload, checkpoint_path)
         estimate = MonteCarloEstimator(config).estimate(
             build_architecture(payload["architecture"]),

@@ -18,6 +18,8 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.attacks.knowledge import AttackerKnowledge
 from repro.attacks.strategies import (
     _attempt_break_ins,
@@ -28,6 +30,7 @@ from repro.attacks.strategies import (
 from repro.core.architecture import SOSArchitecture
 from repro.core.attack_models import SuccessiveAttack
 from repro.errors import SimulationError
+from repro.perf.compiled import get_kernels, resolve_tier
 from repro.repair.defender import RepairingDefender
 from repro.repair.policy import NO_REPAIR, RepairPolicy
 from repro.resilience.detector import DetectorConfig, FailureDetector
@@ -65,7 +68,10 @@ class CampaignReport:
 
     ``crashes_injected`` / ``benign_recoveries`` count fault-injector
     activity (0 without churn); ``false_alarms`` counts healthy nodes the
-    failure detector flagged (0 without a detector).
+    failure detector flagged (0 without a detector). ``p_s_mean`` /
+    ``p_s_variance`` summarize the measured ``P_S`` series with a
+    streaming Welford fold (empty series: 1.0 / 0.0); the fold is
+    bit-identical across tiers.
     """
 
     times: Tuple[float, ...]
@@ -76,6 +82,8 @@ class CampaignReport:
     crashes_injected: int = 0
     benign_recoveries: int = 0
     false_alarms: int = 0
+    p_s_mean: float = 1.0
+    p_s_variance: float = 0.0
 
     def p_s_at(self, time: float) -> float:
         """The last measured ``P_S`` at or before ``time``."""
@@ -108,10 +116,12 @@ class CampaignSimulation:
         fault_plan: FaultPlan = ZERO_CHURN,
         detector_config: Optional[DetectorConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        tier: str = "scalar",
     ) -> None:
         self.architecture = architecture
         self.attack = attack
         self.config = config
+        self.tier = resolve_tier(tier)
         factory = SeedSequenceFactory(seed)
         self._rng = factory.generator()
         self.deployment = SOSDeployment.deploy(architecture, rng=factory.generator())
@@ -250,6 +260,30 @@ class CampaignSimulation:
                 self.config.probe_interval, lambda: self._probe(horizon)
             )
 
+    def _fold_p_s(self) -> Tuple[float, float]:
+        """Welford mean/variance of the ``P_S`` series at ``self.tier``.
+
+        The scalar loop performs the exact float operations of the
+        compiled kernel in the same order, so the two tiers agree bit
+        for bit.
+        """
+        if not self._ps:
+            return 1.0, 0.0
+        values = np.asarray(self._ps, dtype=np.float64)
+        kernels = get_kernels(self.tier)
+        if kernels is not None:
+            count, mean, m2, _ = kernels.welford(
+                values, 0, 0.0, 0.0, float("-inf")
+            )
+        else:
+            count, mean, m2 = 0, 0.0, 0.0
+            for value in values.tolist():
+                delta = value - mean
+                count += 1
+                mean += delta / float(count)
+                m2 += delta * (value - mean)
+        return mean, m2 / float(count)
+
     # ------------------------------------------------------------------
     # Run
     # ------------------------------------------------------------------
@@ -268,6 +302,7 @@ class CampaignSimulation:
             )
         self.injector.install(horizon)
         self.scheduler.run(until=horizon)
+        p_s_mean, p_s_variance = self._fold_p_s()
         return CampaignReport(
             times=tuple(self._times),
             p_s=tuple(self._ps),
@@ -279,6 +314,8 @@ class CampaignSimulation:
             false_alarms=(
                 self.detector.false_alarms if self.detector is not None else 0
             ),
+            p_s_mean=p_s_mean,
+            p_s_variance=p_s_variance,
         )
 
 
@@ -291,6 +328,7 @@ def run_campaign(
     fault_plan: FaultPlan = ZERO_CHURN,
     detector_config: Optional[DetectorConfig] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    tier: str = "scalar",
 ) -> CampaignReport:
     """Convenience wrapper: build and run one :class:`CampaignSimulation`."""
     return CampaignSimulation(
@@ -302,4 +340,5 @@ def run_campaign(
         fault_plan=fault_plan,
         detector_config=detector_config,
         retry_policy=retry_policy,
+        tier=tier,
     ).run()

@@ -28,6 +28,7 @@ from repro.utils.seeding import SeedLike, make_rng
 if TYPE_CHECKING:  # imported lazily to keep repro.detection optional here
     from repro.detection.marking import MarkCollector
     from repro.detection.monitor import TrafficMonitor
+    from repro.scenarios.schedule import InjectionSchedule
 
 
 def uniform_index(u: float, count: int) -> int:
@@ -241,9 +242,60 @@ class PacketLevelSimulation:
         )
 
     # ------------------------------------------------------------------
+    # Scheduled sources (precompiled scenario vectors)
+    # ------------------------------------------------------------------
+    def _clip_times(self, times) -> List[float]:
+        """Absolute instants < duration, as plain floats. Both engines
+        apply this same mask, so a schedule compiled for a longer run
+        replays identically under a shorter config."""
+        return [
+            float(value)
+            for value in times.tolist()
+            if float(value) < self.config.duration
+        ]
+
+    def _start_scheduled_attack(self, node_id: int, times) -> None:
+        """Chain one attack-offer event per precompiled instant.
+
+        Like :meth:`_start_flood` the packets consume capacity and feed
+        the monitor but are never forwarded; unlike it, the instants are
+        data — no RNG draw happens here, which is what keeps scheduled
+        vectors bit-identical across engines.
+        """
+        instants = self._clip_times(times)
+
+        def offer(index: int) -> None:
+            accepted = self._capacities[node_id].offer(self.scheduler.now)
+            self.report.attack_packets_absorbed += 1
+            if self.monitor is not None:
+                self.monitor.observe(node_id, self.scheduler.now, accepted)
+            if index + 1 < len(instants):
+                self.scheduler.schedule_at(
+                    instants[index + 1], lambda: offer(index + 1)
+                )
+
+        if instants:
+            self.scheduler.schedule_at(instants[0], lambda: offer(0))
+
+    def _start_scheduled_source(self, source) -> None:
+        """Chain one legitimate injection per precompiled surge instant."""
+        contacts = list(source.contacts)
+        instants = self._clip_times(source.times)
+
+        def emit(index: int) -> None:
+            self._inject_from(contacts)
+            if index + 1 < len(instants):
+                self.scheduler.schedule_at(
+                    instants[index + 1], lambda: emit(index + 1)
+                )
+
+        if instants:
+            self.scheduler.schedule_at(instants[0], lambda: emit(0))
+
+    # ------------------------------------------------------------------
     # Forwarding
     # ------------------------------------------------------------------
-    def _inject_client_packet(self, client_index: int) -> None:
+    def _inject_from(self, contacts: Sequence[int]) -> None:
         if self.scheduler.now < self.config.warmup:
             return
         self.report.sent += 1
@@ -255,11 +307,13 @@ class PacketLevelSimulation:
         choices = self._routing_rng.random(
             self.deployment.architecture.layers + 1
         )
-        contacts = self._client_contacts[client_index]
         entry = contacts[uniform_index(float(choices[0]), len(contacts))]
         self._forward(
             entry, layer=1, sent_at=self.scheduler.now, choices=choices
         )
+
+    def _inject_client_packet(self, client_index: int) -> None:
+        self._inject_from(self._client_contacts[client_index])
 
     def _forward(
         self, node_id: int, layer: int, sent_at: float, choices
@@ -329,6 +383,7 @@ class PacketLevelSimulation:
         self,
         flood_targets: Optional[Sequence[int]] = None,
         fast: bool = False,
+        schedule: "Optional[InjectionSchedule]" = None,
     ) -> PacketSimReport:
         """Simulate ``duration`` time units, flooding ``flood_targets``.
 
@@ -344,12 +399,42 @@ class PacketLevelSimulation:
         timelines, see :mod:`repro.perf.fastsim`), so flooded runs are
         statistically equivalent rather than identical. The
         event-driven path remains the oracle.
+
+        ``schedule`` (an :class:`~repro.scenarios.schedule.InjectionSchedule`
+        from :func:`~repro.scenarios.schedule.compile_scenario`) adds
+        precompiled vector traffic: per-node attack offer instants and
+        extra legitimate surge sources. Scheduled times are *data* — no
+        engine-side draw — so they are identical across engines by
+        construction and compose freely with a classic ``flood_targets``
+        flood. Packet marking covers only the classic flood graph, so
+        combining ``marking`` with a schedule is rejected.
         """
         targets = sorted(flood_targets or ())
         for target in targets:
             if target not in self._capacities:
                 raise SimulationError(
                     f"flood target {target} is not an SOS node or filter"
+                )
+        if schedule is not None:
+            for node in schedule.attack_targets:
+                if node not in self._capacities:
+                    raise SimulationError(
+                        f"scheduled attack target {node} is not an SOS "
+                        "node or filter"
+                    )
+            for source in schedule.surge_sources:
+                for contact in source.contacts:
+                    if contact not in self._capacities:
+                        raise SimulationError(
+                            f"surge contact {contact} is not an SOS node "
+                            "or filter"
+                        )
+            if self.marking is not None:
+                from repro.errors import DetectionError
+
+                raise DetectionError(
+                    "packet marking does not support scheduled scenario "
+                    "vectors; run marking against a classic flood instead"
                 )
         if self.marking is not None and targets:
             uncovered = set(targets) - set(self.marking.graph.victims())
@@ -377,6 +462,7 @@ class PacketLevelSimulation:
                 monitor=self.monitor,
                 marking=self.marking,
                 mark_master=self._mark_master,
+                schedule=schedule,
             )
             return self.report
         # One dedicated stream per flood target, spawned in sorted-target
@@ -393,6 +479,11 @@ class PacketLevelSimulation:
             targets, flood_streams, mark_streams
         ):
             self._start_flood(target, stream, mark_stream)
+        if schedule is not None:
+            for node in schedule.attack_targets:
+                self._start_scheduled_attack(node, schedule.attack_times[node])
+            for source in schedule.surge_sources:
+                self._start_scheduled_source(source)
         for client_index in range(self.config.clients):
             self._start_client(client_index)
         self.scheduler.run(until=self.drain_horizon())

@@ -48,6 +48,9 @@ MC_FIGURES = [
     "det-traceback",
     "det-ppm",
     "det-sweep",
+    # scn-zoo is simulation-backed like the MC figures; its claims are
+    # asserted by tests/scenarios/test_scenario_figure.py.
+    "scn-zoo",
 ]
 
 

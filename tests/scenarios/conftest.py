@@ -1,0 +1,59 @@
+"""Shared small fixtures for the scenario-DSL tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    ArchitectureSpec,
+    BenignSurge,
+    PhaseSpec,
+    PulsingFlood,
+    ScenarioSpec,
+    SimSpec,
+    TargetedLowRate,
+)
+from repro.sos.deployment import SOSDeployment
+
+TINY_ARCH = ArchitectureSpec(
+    layers=3, mapping="one-to-two", overlay_nodes=200, sos_nodes=24, filters=4
+)
+TINY_SIM = SimSpec(duration=12.0, warmup=2.0, clients=4, client_rate=2.0)
+
+
+def tiny_spec(**kwargs) -> ScenarioSpec:
+    """A small two-phase campaign with one attack + one benign vector."""
+    defaults = dict(
+        name="tiny",
+        seed=11,
+        architecture=TINY_ARCH,
+        sim=TINY_SIM,
+        phases=(
+            PhaseSpec("calm", 0.0, 4.0),
+            PhaseSpec(
+                "assault",
+                4.0,
+                8.0,
+                vectors=(
+                    PulsingFlood(layer=1, fraction=0.4, rate=250.0),
+                    TargetedLowRate(layer=2, count=2, rate=90.0),
+                    BenignSurge(clients=4, rate=3.0, ramp=1.0),
+                ),
+            ),
+        ),
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+@pytest.fixture
+def spec() -> ScenarioSpec:
+    return tiny_spec()
+
+
+@pytest.fixture
+def deployment(spec) -> SOSDeployment:
+    return SOSDeployment.deploy(
+        spec.build_architecture(), rng=np.random.default_rng(3)
+    )

@@ -1,0 +1,174 @@
+"""ScenarioSpec DSL: round-trip fidelity and validation errors."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    ArchitectureSpec,
+    BenignSurge,
+    BotnetWave,
+    PhaseSpec,
+    PulsingFlood,
+    ScenarioSpec,
+    SimSpec,
+    TargetedLowRate,
+    vector_from_dict,
+)
+
+from tests.scenarios.conftest import tiny_spec
+
+
+def test_dict_round_trip_is_identity():
+    spec = tiny_spec()
+    assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_json_round_trip_is_identity():
+    spec = tiny_spec()
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+def test_to_dict_emits_every_field_including_defaults():
+    payload = ScenarioSpec(name="bare").to_dict()
+    assert set(payload) == {
+        "name",
+        "description",
+        "seed",
+        "engine",
+        "tier",
+        "architecture",
+        "sim",
+        "phases",
+    }
+    assert payload["engine"] == "fast"
+    assert payload["tier"] == "numpy"
+    assert payload["architecture"]["overlay_nodes"] == 2000
+
+
+@pytest.mark.parametrize(
+    "vector",
+    [
+        PulsingFlood(),
+        BotnetWave(),
+        TargetedLowRate(),
+        BenignSurge(),
+        PulsingFlood(layer=2, fraction=0.25, rate=100.0, intensity=2.0),
+        BotnetWave(bots=7, recruit_rate=1.5),
+    ],
+)
+def test_vector_round_trip(vector):
+    assert vector_from_dict(vector.to_dict()) == vector
+
+
+def test_vector_from_dict_coerces_json_ints_to_floats():
+    decoded = vector_from_dict(
+        {"kind": "pulsing-flood", "rate": 300, "period": 2, "duty": 1}
+    )
+    assert decoded == PulsingFlood(rate=300.0, period=2.0, duty=1.0)
+    assert isinstance(decoded.rate, float)
+
+
+@pytest.mark.parametrize(
+    "payload,fragment",
+    [
+        ({"kind": "no-such-vector"}, "unknown vector kind"),
+        ({"kind": "pulsing-flood", "rate": -1.0}, "rate"),
+        ({"kind": "pulsing-flood", "bogus": 1}, "bogus"),
+        ({"kind": "botnet-wave", "bots": 0}, "bots"),
+        ({"kind": "targeted-low-rate", "count": "two"}, "count"),
+        ({"kind": "benign-surge", "ramp": -0.5}, "ramp"),
+        ("not-a-dict", "JSON object"),
+    ],
+)
+def test_vector_from_dict_rejects_bad_payloads(payload, fragment):
+    with pytest.raises(ScenarioError, match=fragment):
+        vector_from_dict(payload)
+
+
+def test_duplicate_phase_names_rejected():
+    with pytest.raises(ScenarioError, match="duplicate phase name"):
+        tiny_spec(
+            phases=(PhaseSpec("p", 0.0, 2.0), PhaseSpec("p", 2.0, 2.0))
+        )
+
+
+def test_phase_past_sim_duration_rejected():
+    with pytest.raises(ScenarioError, match="runs only to"):
+        tiny_spec(phases=(PhaseSpec("late", 0.0, 100.0),))
+
+
+def test_vector_layer_out_of_architecture_rejected():
+    with pytest.raises(ScenarioError, match="targets layer"):
+        tiny_spec(
+            phases=(
+                PhaseSpec(
+                    "deep",
+                    0.0,
+                    4.0,
+                    vectors=(TargetedLowRate(layer=9),),
+                ),
+            )
+        )
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"name": ""},
+        {"seed": -1},
+        {"engine": "warp"},
+        {"tier": "gpu"},
+    ],
+)
+def test_spec_field_validation(kwargs):
+    with pytest.raises(ScenarioError):
+        tiny_spec(**kwargs)
+
+
+def test_from_dict_rejects_unknown_and_mistyped_fields():
+    good = tiny_spec().to_dict()
+    bad = dict(good, surprise=1)
+    with pytest.raises(ScenarioError, match="surprise"):
+        ScenarioSpec.from_dict(bad)
+    with pytest.raises(ScenarioError, match="seed"):
+        ScenarioSpec.from_dict(dict(good, seed="eleven"))
+    with pytest.raises(ScenarioError, match="seed"):
+        ScenarioSpec.from_dict(dict(good, seed=True))  # bool is not an int
+
+
+def test_from_json_rejects_malformed_json():
+    with pytest.raises(ScenarioError, match="does not parse"):
+        ScenarioSpec.from_json("{not json")
+
+
+def test_architecture_spec_validates_eagerly():
+    with pytest.raises(ScenarioError, match="invalid architecture"):
+        ArchitectureSpec(overlay_nodes=2, sos_nodes=600)
+
+
+def test_sim_spec_validates_eagerly():
+    with pytest.raises(ScenarioError, match="invalid sim settings"):
+        SimSpec(duration=-1.0)
+
+
+def test_sim_config_tier_override_does_not_mutate_spec():
+    spec = tiny_spec()
+    assert spec.sim_config().tier == spec.tier
+    assert spec.sim_config(tier="scalar").tier == "scalar"
+    assert spec.tier == "numpy"
+
+
+def test_vector_occurrences_are_phase_major():
+    spec = tiny_spec()
+    kinds = [vector.kind for _, vector in spec.vector_occurrences()]
+    assert kinds == ["pulsing-flood", "targeted-low-rate", "benign-surge"]
+
+
+def test_specs_are_frozen():
+    spec = tiny_spec()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        spec.seed = 99

@@ -1,0 +1,189 @@
+"""Vector compilation: determinism, stream isolation, shape properties."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    BenignSurge,
+    BotnetWave,
+    PhaseSpec,
+    PulsingFlood,
+    TargetedLowRate,
+    compile_scenario,
+)
+from repro.scenarios.vectors import poisson_times
+
+from tests.scenarios.conftest import tiny_spec
+
+
+def _streams(seed=5):
+    parent = np.random.SeedSequence(seed)
+    a, b = parent.spawn(2)
+    return np.random.default_rng(a), np.random.default_rng(b)
+
+
+def test_poisson_times_window_and_determinism():
+    stream_a = np.random.default_rng(np.random.SeedSequence(1))
+    stream_b = np.random.default_rng(np.random.SeedSequence(1))
+    times = poisson_times(stream_a, rate=50.0, start=3.0, end=9.0)
+    assert np.array_equal(times, poisson_times(stream_b, 50.0, 3.0, 9.0))
+    assert (times > 3.0).all() and (times < 9.0).all()
+    assert np.array_equal(times, np.sort(times))
+    # ~50/s over 6s: loose 5-sigma band
+    assert 200 < len(times) < 400
+
+
+def test_poisson_times_empty_cases():
+    stream, _ = _streams()
+    assert len(poisson_times(stream, 0.0, 0.0, 10.0)) == 0
+    assert len(poisson_times(stream, 5.0, 4.0, 4.0)) == 0
+
+
+@pytest.mark.parametrize(
+    "vector",
+    [
+        PulsingFlood(layer=1, fraction=0.4, rate=200.0),
+        BotnetWave(layer=1, fraction=0.4, bots=10),
+        TargetedLowRate(layer=2, count=2, rate=80.0),
+        BenignSurge(clients=3, rate=3.0),
+    ],
+)
+def test_compile_is_deterministic(vector, deployment):
+    outs = []
+    for _ in range(2):
+        target_stream, time_stream = _streams()
+        outs.append(
+            vector.compile(
+                deployment, 2.0, 10.0, "p", target_stream, time_stream
+            )
+        )
+    first, second = outs
+    assert sorted(first.attack_times) == sorted(second.attack_times)
+    for node in first.attack_times:
+        assert np.array_equal(first.attack_times[node], second.attack_times[node])
+    assert len(first.surge_sources) == len(second.surge_sources)
+    for one, two in zip(first.surge_sources, second.surge_sources):
+        assert one.contacts == two.contacts
+        assert np.array_equal(one.times, two.times)
+
+
+def test_pulsing_flood_respects_duty_windows(deployment):
+    vector = PulsingFlood(layer=1, fraction=0.5, rate=300.0, period=2.0, duty=0.25)
+    target_stream, time_stream = _streams()
+    compiled = vector.compile(
+        deployment, 4.0, 10.0, "p", target_stream, time_stream
+    )
+    assert compiled.total_attack_packets > 0
+    for times in compiled.attack_times.values():
+        assert (((times - 4.0) % 2.0) < 0.5).all()
+
+
+def test_botnet_wave_ramps_up(deployment):
+    vector = BotnetWave(
+        layer=1, fraction=0.3, bots=30, rate_per_bot=20.0,
+        recruit_rate=2.0, mean_lifetime=50.0,
+    )
+    target_stream, time_stream = _streams()
+    compiled = vector.compile(
+        deployment, 0.0, 10.0, "p", target_stream, time_stream
+    )
+    merged = np.sort(np.concatenate(list(compiled.attack_times.values())))
+    early = int((merged < 3.0).sum())
+    late = int((merged >= 7.0).sum())
+    # Recruitment is cumulative and lifetimes are long, so the tail of
+    # the window must carry much more traffic than the head.
+    assert late > 2 * early
+
+
+def test_targeted_low_rate_picks_exactly_count(deployment):
+    vector = TargetedLowRate(layer=2, count=3, rate=50.0)
+    target_stream, time_stream = _streams()
+    compiled = vector.compile(
+        deployment, 0.0, 8.0, "p", target_stream, time_stream
+    )
+    assert len(compiled.attack_times) == 3
+    members = set(deployment.layer_members(2))
+    assert set(compiled.attack_times) <= members
+
+
+def test_benign_surge_contacts_and_ramp(deployment):
+    vector = BenignSurge(clients=5, rate=4.0, ramp=4.0)
+    target_stream, time_stream = _streams()
+    compiled = vector.compile(
+        deployment, 2.0, 10.0, "p", target_stream, time_stream
+    )
+    assert compiled.attack_times == {}
+    assert len(compiled.surge_sources) == 5
+    soaps = set(deployment.layer_members(1))
+    for index, source in enumerate(compiled.surge_sources):
+        assert set(source.contacts) <= soaps
+        onset = 2.0 + 4.0 * (index / 5)
+        assert (source.times >= onset).all()
+
+
+def test_intensity_scales_rates_not_targets(deployment):
+    base = TargetedLowRate(layer=2, count=2, rate=60.0)
+    hot = dataclasses.replace(base, intensity=3.0)
+    target_stream, time_stream = _streams()
+    low = base.compile(deployment, 0.0, 10.0, "p", target_stream, time_stream)
+    target_stream, time_stream = _streams()
+    high = hot.compile(deployment, 0.0, 10.0, "p", target_stream, time_stream)
+    assert sorted(low.attack_times) == sorted(high.attack_times)
+    assert high.total_attack_packets > 2 * low.total_attack_packets
+
+
+def test_layer_out_of_range_raises(deployment):
+    target_stream, time_stream = _streams()
+    with pytest.raises(ScenarioError, match="out of range"):
+        PulsingFlood(layer=9).compile(
+            deployment, 0.0, 5.0, "p", target_stream, time_stream
+        )
+
+
+def test_appending_a_vector_never_perturbs_earlier_occurrences(deployment):
+    spec = tiny_spec()
+    extended = dataclasses.replace(
+        spec,
+        phases=(
+            spec.phases[0],
+            dataclasses.replace(
+                spec.phases[1],
+                vectors=spec.phases[1].vectors + (BotnetWave(bots=6),),
+            ),
+        ),
+    )
+    base = compile_scenario(spec, deployment, salt=0)
+    more = compile_scenario(extended, deployment, salt=0)
+    # Occurrence-indexed streams: every original vector compiles to the
+    # exact same arrays; only the new occurrence adds traffic.
+    for index, compiled in enumerate(base.vectors):
+        other = more.vectors[index]
+        assert sorted(compiled.attack_times) == sorted(other.attack_times)
+        for node in compiled.attack_times:
+            assert np.array_equal(
+                compiled.attack_times[node], other.attack_times[node]
+            )
+        for one, two in zip(compiled.surge_sources, other.surge_sources):
+            assert one.contacts == two.contacts
+            assert np.array_equal(one.times, two.times)
+    assert len(more.vectors) == len(base.vectors) + 1
+
+
+def test_salt_varies_times_but_not_targets(deployment):
+    spec = tiny_spec()
+    round0 = compile_scenario(spec, deployment, salt=0)
+    round1 = compile_scenario(spec, deployment, salt=1)
+    assert round0.schedule.attack_targets == round1.schedule.attack_targets
+    changed = any(
+        not np.array_equal(
+            round0.schedule.attack_times[node],
+            round1.schedule.attack_times[node],
+        )
+        for node in round0.schedule.attack_targets
+    )
+    assert changed

@@ -1,0 +1,85 @@
+"""The committed zoo: golden-file stability and load-time validation."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import ZOO_DIR, list_scenarios, load_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.zoo import scenario_path
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def test_zoo_has_at_least_six_scenarios():
+    assert len(list_scenarios()) >= 6
+
+
+def test_zoo_includes_a_mixed_benign_and_multi_attack_campaign():
+    spec = load_scenario("combined-assault")
+    kinds = {vector.kind for _, vector in spec.vector_occurrences()}
+    assert "benign-surge" in kinds
+    assert len(kinds - {"benign-surge"}) >= 2
+
+
+@pytest.mark.parametrize("name", list_scenarios())
+def test_zoo_file_matches_golden_bytes(name):
+    committed = (ZOO_DIR / f"{name}.json").read_bytes()
+    golden = (GOLDEN_DIR / f"{name}.json").read_bytes()
+    assert committed == golden, (
+        f"zoo/{name}.json drifted from its golden copy; regenerate both "
+        "with tools/generate_zoo.py"
+    )
+
+
+@pytest.mark.parametrize("name", list_scenarios())
+def test_zoo_file_is_exact_spec_serialization(name):
+    text = (ZOO_DIR / f"{name}.json").read_text()
+    spec = load_scenario(name)
+    assert text == spec.to_json() + "\n"
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+@pytest.mark.parametrize("name", list_scenarios())
+def test_zoo_loads_and_names_match(name):
+    spec = load_scenario(name)
+    assert spec.name == name
+    assert spec.phases
+
+
+def test_unknown_scenario_lists_available():
+    with pytest.raises(ScenarioError, match="available"):
+        load_scenario("definitely-not-a-scenario")
+
+
+@pytest.mark.parametrize("name", ["", "../escape", "a/b", ".hidden", "a\\b"])
+def test_invalid_names_rejected(name):
+    with pytest.raises(ScenarioError, match="invalid scenario name"):
+        scenario_path(name)
+
+
+def test_name_stem_mismatch_rejected(tmp_path, monkeypatch):
+    import repro.scenarios.zoo as zoo_module
+
+    rogue = tmp_path / "zoo"
+    rogue.mkdir()
+    (rogue / "alias.json").write_text(
+        ScenarioSpec(name="other").to_json() + "\n"
+    )
+    monkeypatch.setattr(zoo_module, "ZOO_DIR", rogue)
+    with pytest.raises(ScenarioError, match="must match"):
+        zoo_module.load_scenario("alias")
+
+
+def test_unparseable_zoo_file_rejected(tmp_path, monkeypatch):
+    import repro.scenarios.zoo as zoo_module
+
+    rogue = tmp_path / "zoo"
+    rogue.mkdir()
+    (rogue / "broken.json").write_text("{nope")
+    monkeypatch.setattr(zoo_module, "ZOO_DIR", rogue)
+    with pytest.raises(ScenarioError, match="does not parse"):
+        zoo_module.load_scenario("broken")

@@ -1,0 +1,46 @@
+"""Tier threading through the time-resolved campaign simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SOSArchitecture, SuccessiveAttack
+from repro.errors import SimulationError
+from repro.repair import NO_REPAIR
+from repro.simulation.campaign import CampaignSimulation, run_campaign
+
+ARCH = SOSArchitecture(
+    layers=3,
+    mapping="one-to-two",
+    total_overlay_nodes=1000,
+    sos_nodes=45,
+    filters=5,
+)
+ATTACK = SuccessiveAttack(
+    break_in_budget=80, congestion_budget=300, rounds=3, prior_knowledge=0.3
+)
+
+
+def test_reports_are_bit_identical_across_tiers():
+    reports = {
+        tier: run_campaign(ARCH, ATTACK, NO_REPAIR, seed=11, tier=tier)
+        for tier in ("scalar", "numpy", "compiled")
+    }
+    assert reports["scalar"] == reports["numpy"]
+    assert reports["scalar"] == reports["compiled"]
+
+
+def test_p_s_moments_match_the_trajectory():
+    report = run_campaign(ARCH, ATTACK, NO_REPAIR, seed=11)
+    mean = sum(report.p_s) / len(report.p_s)
+    assert report.p_s_mean == pytest.approx(mean)
+    variance = sum((p - report.p_s_mean) ** 2 for p in report.p_s) / len(
+        report.p_s
+    )
+    assert report.p_s_variance == pytest.approx(variance)
+    assert report.p_s_variance > 0.0  # the attack visibly moves p_s
+
+
+def test_unknown_tier_rejected():
+    with pytest.raises(SimulationError, match="tier"):
+        CampaignSimulation(ARCH, ATTACK, NO_REPAIR, tier="gpu")

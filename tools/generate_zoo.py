@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""Regenerate the committed scenario zoo from its in-code definitions.
+
+The zoo files under ``src/repro/scenarios/zoo/`` are the exact
+``ScenarioSpec.to_json()`` output of the specs defined here — run this
+after changing the DSL or the curated campaigns, then refresh the golden
+copies the tests compare against::
+
+    PYTHONPATH=src python tools/generate_zoo.py
+
+The golden files in ``tests/scenarios/golden/`` are byte-for-byte copies
+of the zoo; the test suite fails if either side drifts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.scenarios import (  # noqa: E402
+    ArchitectureSpec,
+    BenignSurge,
+    BotnetWave,
+    PhaseSpec,
+    PulsingFlood,
+    ScenarioSpec,
+    SimSpec,
+    TargetedLowRate,
+)
+from repro.scenarios.zoo import ZOO_DIR  # noqa: E402
+
+GOLDEN_DIR = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "tests"
+    / "scenarios"
+    / "golden"
+)
+
+#: Shared deployment for every zoo campaign: small enough that the
+#: event-driven oracle engine replays each scenario in seconds, large
+#: enough that per-layer floods leave healthy siblings to route around.
+ZOO_ARCH = ArchitectureSpec(
+    layers=3,
+    mapping="one-to-two",
+    overlay_nodes=400,
+    sos_nodes=36,
+    filters=4,
+)
+
+ZOO_SIM = SimSpec(
+    duration=16.0,
+    warmup=2.0,
+    clients=6,
+    client_rate=2.0,
+    node_capacity=50.0,
+    hop_latency=0.05,
+)
+
+
+def build_zoo() -> list[ScenarioSpec]:
+    return [
+        ScenarioSpec(
+            name="pulsing-shrew",
+            description=(
+                "Shrew-style on/off flood against half of layer 1: full "
+                "rate during each duty window, silence between pulses."
+            ),
+            seed=101,
+            architecture=ZOO_ARCH,
+            sim=ZOO_SIM,
+            phases=(
+                PhaseSpec("baseline", 0.0, 5.0),
+                PhaseSpec(
+                    "pulse",
+                    5.0,
+                    11.0,
+                    vectors=(
+                        PulsingFlood(
+                            layer=1,
+                            fraction=0.5,
+                            rate=350.0,
+                            period=2.0,
+                            duty=0.5,
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        ScenarioSpec(
+            name="botnet-recruitment",
+            description=(
+                "Mirai-style wave: bots join at a recruitment rate, each "
+                "flooding its layer-1 target until its lifetime expires."
+            ),
+            seed=211,
+            architecture=ZOO_ARCH,
+            sim=ZOO_SIM,
+            phases=(
+                PhaseSpec("quiet", 0.0, 4.0),
+                PhaseSpec(
+                    "wave",
+                    4.0,
+                    12.0,
+                    vectors=(
+                        BotnetWave(
+                            layer=1,
+                            fraction=0.5,
+                            bots=40,
+                            rate_per_bot=25.0,
+                            recruit_rate=6.0,
+                            mean_lifetime=8.0,
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        ScenarioSpec(
+            name="stealth-lowrate",
+            description=(
+                "Targeted low-rate DoS: a handful of beacon relays "
+                "receive a steady drip just above their service rate."
+            ),
+            seed=307,
+            architecture=ZOO_ARCH,
+            sim=ZOO_SIM,
+            phases=(
+                PhaseSpec("quiet", 0.0, 4.0),
+                PhaseSpec(
+                    "drip",
+                    4.0,
+                    12.0,
+                    vectors=(
+                        TargetedLowRate(layer=2, count=3, rate=120.0),
+                    ),
+                ),
+            ),
+        ),
+        ScenarioSpec(
+            name="flash-crowd",
+            description=(
+                "Benign-only false-positive stress: a legitimate flash "
+                "crowd ramps in with no attack anywhere."
+            ),
+            seed=401,
+            architecture=ZOO_ARCH,
+            sim=ZOO_SIM,
+            phases=(
+                PhaseSpec("normal", 0.0, 5.0),
+                PhaseSpec(
+                    "surge",
+                    5.0,
+                    11.0,
+                    vectors=(
+                        BenignSurge(clients=20, rate=4.0, ramp=3.0),
+                    ),
+                ),
+            ),
+        ),
+        ScenarioSpec(
+            name="combined-assault",
+            description=(
+                "Mixed campaign: pulsing flood on layer 1, low-rate drip "
+                "on layer 2, and a benign flash crowd arriving at once."
+            ),
+            seed=503,
+            architecture=ZOO_ARCH,
+            sim=ZOO_SIM,
+            phases=(
+                PhaseSpec("calm", 0.0, 4.0),
+                PhaseSpec(
+                    "assault",
+                    4.0,
+                    12.0,
+                    vectors=(
+                        PulsingFlood(
+                            layer=1,
+                            fraction=0.4,
+                            rate=300.0,
+                            period=2.0,
+                            duty=0.5,
+                        ),
+                        TargetedLowRate(layer=2, count=2, rate=110.0),
+                        BenignSurge(clients=12, rate=3.0, ramp=2.0),
+                    ),
+                ),
+            ),
+        ),
+        ScenarioSpec(
+            name="escalating-waves",
+            description=(
+                "Three-act escalation: a low-rate probe, then a pulsing "
+                "flood, then a botnet wave stacked on a deeper drip."
+            ),
+            seed=601,
+            architecture=ZOO_ARCH,
+            sim=ZOO_SIM,
+            phases=(
+                PhaseSpec(
+                    "probe",
+                    0.0,
+                    4.0,
+                    vectors=(
+                        TargetedLowRate(layer=1, count=1, rate=60.0),
+                    ),
+                ),
+                PhaseSpec(
+                    "surge",
+                    4.0,
+                    5.0,
+                    vectors=(
+                        PulsingFlood(
+                            layer=1,
+                            fraction=0.4,
+                            rate=320.0,
+                            period=2.0,
+                            duty=0.5,
+                        ),
+                    ),
+                ),
+                PhaseSpec(
+                    "crescendo",
+                    9.0,
+                    7.0,
+                    vectors=(
+                        BotnetWave(
+                            layer=1,
+                            fraction=0.4,
+                            bots=30,
+                            rate_per_bot=20.0,
+                            recruit_rate=8.0,
+                            mean_lifetime=6.0,
+                        ),
+                        TargetedLowRate(layer=3, count=2, rate=100.0),
+                    ),
+                ),
+            ),
+        ),
+    ]
+
+
+def main() -> int:
+    ZOO_DIR.mkdir(parents=True, exist_ok=True)
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for spec in build_zoo():
+        path = ZOO_DIR / f"{spec.name}.json"
+        path.write_text(spec.to_json() + "\n")
+        shutil.copyfile(path, GOLDEN_DIR / path.name)
+        print(f"wrote {path.relative_to(pathlib.Path.cwd())}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
